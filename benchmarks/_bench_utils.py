@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark timer.
+
+    The experiment harnesses are end-to-end runs measured in seconds-to-
+    minutes; statistical repetition would multiply runtimes for no insight.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,23 @@
+"""Ablation A1b — the Delta X_syn sample size t (paper Section V, Remark 1).
+
+Larger t inspects more of each candidate's induced pairs during rejection at
+higher online cost; the paper introduces the sampling exactly to bound that
+cost.
+"""
+
+from repro.experiments import ablations
+
+from _bench_utils import run_once
+
+
+def test_ablation_delta_sample_size(benchmark, reports):
+    rows = run_once(
+        benchmark, ablations.run_delta_sample_ablation,
+        sample_sizes=(2, 10, 30), dataset="restaurant", scale=0.08, seed=7,
+    )
+    reports.save("ablation_delta_sample", ablations.report_delta_sample(rows))
+    by_t = {r.delta_sample_size: r for r in rows}
+    # More sampled partners = more rejection opportunities (>= within noise).
+    assert by_t[30].rejected_distribution >= by_t[2].rejected_distribution - 5
+    for row in rows:
+        assert row.jsd_final is None or row.jsd_final < 0.69

@@ -1,0 +1,19 @@
+"""Ablation A3 — DP noise scale vs privacy budget and synthesis quality.
+
+Trains small DP transformers at several noise multipliers; the RDP
+accountant's epsilon must fall as sigma rises (more privacy for more noise).
+"""
+
+from repro.experiments import ablations
+
+from _bench_utils import run_once
+
+
+def test_ablation_privacy_noise(benchmark, reports):
+    rows = run_once(
+        benchmark, ablations.run_privacy_ablation, noise_scales=(0.5, 1.0, 2.0),
+        seed=7,
+    )
+    reports.save("ablation_privacy", ablations.report_privacy(rows))
+    epsilons = [r.epsilon for r in sorted(rows, key=lambda r: r.noise_scale)]
+    assert epsilons[0] > epsilons[1] > epsilons[2], epsilons

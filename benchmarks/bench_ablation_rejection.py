@@ -1,0 +1,30 @@
+"""Ablation A1 — rejection parameters alpha/beta (paper Section V).
+
+Sweeps the Eq. 10 strictness alpha and the discriminator threshold beta on a
+small dataset and records the resulting distribution drift and rejection
+activity.  Expectation: stricter settings reject more.
+"""
+
+from repro.experiments import ablations
+
+from _bench_utils import run_once
+
+
+def test_ablation_rejection_parameters(benchmark, reports):
+    rows = run_once(
+        benchmark,
+        ablations.run_rejection_ablation,
+        alphas=(1.0, float("inf")),
+        betas=(0.0, 0.6),
+        dataset="restaurant",
+        scale=0.1,
+        seed=7,
+    )
+    reports.save("ablation_rejection", ablations.report_rejection(rows))
+    by_key = {(r.alpha, r.beta): r for r in rows}
+    # Discriminator active only when beta > 0.
+    assert by_key[(1.0, 0.0)].rejected_discriminator == 0
+    assert by_key[(1.0, 0.6)].rejected_discriminator >= 0
+    # Distribution rejection only when alpha is finite.
+    assert by_key[(float("inf"), 0.0)].rejected_distribution == 0
+    assert by_key[(1.0, 0.0)].rejected_distribution > 0

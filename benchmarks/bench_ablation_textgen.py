@@ -1,0 +1,22 @@
+"""Ablation A2 — text-synthesis budget (paper Section VI).
+
+Rule backend: search budget vs achieved |sim' - sim|.  Transformer backend:
+candidate count vs gap (the paper samples 10 candidates per synthesis).
+"""
+
+from repro.experiments import ablations
+
+from _bench_utils import run_once
+
+
+def test_ablation_textgen_budget(benchmark, reports):
+    rows = run_once(benchmark, ablations.run_textgen_ablation, seed=7)
+    reports.save("ablation_textgen", ablations.report_textgen(rows))
+    rule_rows = {r.value: r.mean_gap for r in rows if r.backend == "rule"}
+    # More search budget never hurts (monotone within noise).
+    assert rule_rows[40] <= rule_rows[5] + 0.02, rule_rows
+    transformer_rows = {
+        r.value: r.mean_gap for r in rows if r.backend == "transformer"
+    }
+    # More candidates help the closest-to-target selection.
+    assert transformer_rows[10] <= transformer_rows[1] + 0.05, transformer_rows

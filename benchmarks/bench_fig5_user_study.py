@@ -1,0 +1,22 @@
+"""Fig. 5 — Exp-1 user studies over SERD's synthesized datasets.
+
+S1: ~90% of synthesized entities should be judged real (agree), with a small
+disagree fraction.  S2: synthesized matching pairs should be judged matching
+by a large majority, and non-matching pairs almost always non-matching.
+"""
+
+from repro.experiments import exp1_user_study
+
+from _bench_utils import run_once
+
+
+def test_fig5_user_study(benchmark, context, reports):
+    rows = run_once(benchmark, exp1_user_study.run_all, context)
+    reports.save("fig5_user_study", exp1_user_study.report(rows))
+    for row in rows:
+        # S1 shape (paper: ~90% agree, <4% disagree).
+        assert row.s1.agree > 0.6, row
+        assert row.s1.disagree < 0.25, row
+        # S2 shape (paper: >=94% match agreement, ~100% non-match).
+        assert row.s2.match_agreement > 0.7, row
+        assert row.s2.non_match_agreement > 0.85, row

@@ -1,0 +1,22 @@
+"""Fig. 6 — Exp-2 with the Magellan (random forest) matcher.
+
+Matchers trained on Real vs SERD vs SERD- vs EMBench data, all evaluated on
+the same real test set.  Paper shape: SERD's average F1 difference from Real
+is a few percent and the smallest of the three methods.
+"""
+
+from repro.experiments import exp2_model_eval
+
+from _bench_utils import run_once
+
+
+def test_fig6_magellan_model_evaluation(benchmark, context, reports):
+    rows = run_once(
+        benchmark, exp2_model_eval.run_model_evaluation, context, "magellan"
+    )
+    reports.save("fig6_magellan", exp2_model_eval.report(rows, "magellan"))
+    averages = exp2_model_eval.average_differences(rows)
+    # Paper shape: SERD tracks Real closely (<= ~10% at reproduction scale)
+    # and is at least as close as the baselines.
+    assert averages["SERD"].f1 < 0.12, averages
+    assert averages["SERD"].f1 <= averages["EMBench"].f1 + 0.05, averages

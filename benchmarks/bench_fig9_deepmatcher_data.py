@@ -1,0 +1,19 @@
+"""Fig. 9 — Exp-3 with the Deepmatcher matcher.
+
+Same protocol as Fig. 8 with the neural matcher; paper shape: SERD's F1 gap
+~2.9%, below SERD- (~16%) and EMBench (~22%).
+"""
+
+from repro.experiments import exp3_data_eval
+
+from _bench_utils import run_once
+
+
+def test_fig9_deepmatcher_data_evaluation(benchmark, context, reports):
+    rows = run_once(
+        benchmark, exp3_data_eval.run_data_evaluation, context, "deepmatcher"
+    )
+    reports.save("fig9_deepmatcher_data", exp3_data_eval.report(rows, "deepmatcher"))
+    averages = exp3_data_eval.average_differences(rows)
+    assert averages["SERD"].f1 < averages["EMBench"].f1, averages
+    assert averages["SERD"].f1 < 0.2, averages

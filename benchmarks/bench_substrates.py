@@ -1,0 +1,89 @@
+"""Micro-benchmarks for the heavy substrate operations.
+
+Not a paper artifact — these track the throughput of the primitives the
+pipeline leans on (similarity, EM, JSD, autograd step) so regressions in the
+substrates are visible independently of the end-to-end numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributions import PairDistribution, fit_gmm, select_gmm_by_aic
+from repro.distributions.divergence import pair_distribution_jsd
+from repro.nn import Adam, Seq2SeqTransformer, TransformerConfig, cross_entropy
+from repro.similarity import levenshtein_distance, qgram_jaccard
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    rng = np.random.default_rng(0)
+    x_match = rng.normal([0.9, 0.8, 0.85, 0.95], 0.05, size=(300, 4)).clip(0, 1)
+    x_non = rng.normal([0.1, 0.1, 0.2, 0.6], 0.1, size=(900, 4)).clip(0, 1)
+    return x_match, x_non
+
+
+def test_bench_qgram_jaccard(benchmark):
+    left = "adaptable query optimization and evaluation in temporal middleware"
+    right = "generalized hash teams for join and group-by processing"
+    result = benchmark(qgram_jaccard, left, right)
+    assert 0.0 <= result <= 1.0
+
+
+def test_bench_levenshtein(benchmark):
+    left = "adaptable query optimization and evaluation" * 2
+    right = "generalized hash teams for join and group" * 2
+    result = benchmark(levenshtein_distance, left, right)
+    assert result > 0
+
+
+def test_bench_gmm_fit(benchmark, vectors):
+    x_match, _ = vectors
+    rng = np.random.default_rng(1)
+    mixture = benchmark.pedantic(
+        fit_gmm, args=(x_match, 2, rng), rounds=3, iterations=1
+    )
+    assert mixture.n_components <= 2
+
+
+def test_bench_gmm_aic_selection(benchmark, vectors):
+    _, x_non = vectors
+    rng = np.random.default_rng(2)
+    mixture = benchmark.pedantic(
+        select_gmm_by_aic, args=(x_non, rng),
+        kwargs={"max_components": 3}, rounds=1, iterations=1,
+    )
+    assert mixture.n_components >= 1
+
+
+def test_bench_jsd_estimate(benchmark, vectors):
+    x_match, x_non = vectors
+    rng = np.random.default_rng(3)
+    dist = PairDistribution.fit(x_match, x_non, rng, max_components=2)
+    value = benchmark.pedantic(
+        pair_distribution_jsd, args=(dist, dist),
+        kwargs={"n_samples": 256}, rounds=5, iterations=1,
+    )
+    assert value < 0.05
+
+
+def test_bench_transformer_train_step(benchmark):
+    rng = np.random.default_rng(4)
+    config = TransformerConfig(
+        vocab_size=40, d_model=32, n_heads=2, n_encoder_layers=1,
+        n_decoder_layers=1, d_feedforward=64, dropout=0.0, max_length=40,
+    )
+    model = Seq2SeqTransformer(config, rng)
+    optimizer = Adam(model.parameters(), 1e-3)
+    src = rng.integers(3, 40, size=(8, 24))
+    tgt_in = rng.integers(3, 40, size=(8, 24))
+    tgt_out = rng.integers(3, 40, size=(8, 24))
+
+    def step():
+        loss = cross_entropy(model(src, tgt_in), tgt_out, ignore_index=0)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    value = benchmark.pedantic(step, rounds=3, iterations=1)
+    assert np.isfinite(value)

@@ -1,0 +1,18 @@
+"""Table I — example synthesized strings (paper Section VI).
+
+Regenerates the paper's demonstration that for each domain the synthesizer
+produces a semantically plausible ``s'`` with ``sim' ~= sim``.
+"""
+
+from repro.experiments import table1_strings
+
+from _bench_utils import run_once
+
+
+def test_table1_synthesized_strings(benchmark, reports):
+    examples = run_once(benchmark, table1_strings.synthesize_examples, seed=7)
+    reports.save("table1_strings", table1_strings.report(examples))
+    # Shape check: every domain hits its target similarity closely.
+    assert len(examples) == len(table1_strings.TABLE1_CASES)
+    for example in examples:
+        assert example.gap < 0.25, example

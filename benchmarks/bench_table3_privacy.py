@@ -1,0 +1,29 @@
+"""Table III — Exp-4 privacy evaluation (Hitting Rate, DCR).
+
+Paper shape: SERD and SERD- have hitting rates 1-2 orders of magnitude below
+EMBench and clearly higher DCRs; SERD ~ SERD- (rejection does not affect
+privacy).
+"""
+
+import numpy as np
+
+from repro.experiments import exp4_privacy
+
+from _bench_utils import run_once
+
+
+def test_table3_privacy_evaluation(benchmark, context, reports):
+    rows = run_once(
+        benchmark, exp4_privacy.run_privacy_evaluation, context
+    )
+    reports.save("table3_privacy", exp4_privacy.report(rows))
+    by_key = {(r.dataset, r.method): r for r in rows}
+    for name in context.datasets:
+        serd = by_key[(name, "SERD")]
+        serd_minus = by_key[(name, "SERD-")]
+        embench = by_key[(name, "EMBench")]
+        # EMBench leaks: higher hitting rate, lower DCR than SERD.
+        assert serd.hitting_rate <= embench.hitting_rate + 1e-9, name
+        assert serd.dcr > embench.dcr, name
+        # Rejection does not change privacy: SERD ~ SERD-.
+        assert np.isclose(serd.dcr, serd_minus.dcr, atol=0.15), name

@@ -1,0 +1,34 @@
+"""Table IV — Exp-5 efficiency (offline vs online wall-clock).
+
+Paper shape: offline time (model training) is driven by the number of text
+columns; online time (the S2/S3 loop) grows with the number of entities.
+Absolute numbers are far below the paper's (reduced scales, smaller models).
+"""
+
+from repro.experiments import exp5_efficiency
+
+from _bench_utils import run_once
+
+
+def test_table4_efficiency_evaluation(benchmark, context, reports):
+    rows = run_once(benchmark, exp5_efficiency.run_efficiency_evaluation, context)
+    reports.save("table4_efficiency", exp5_efficiency.report(rows))
+    by_name = {r.dataset: r for r in rows}
+    for row in rows:
+        assert row.offline_seconds > 0
+        assert row.online_seconds > 0
+    # Online time grows with entity count: the largest dataset (by entities)
+    # takes longer than the smallest.
+    biggest = max(rows, key=lambda r: r.n_entities)
+    smallest = min(rows, key=lambda r: r.n_entities)
+    assert biggest.online_seconds > smallest.online_seconds, by_name
+
+
+def test_table4_online_scaling(benchmark, context, reports):
+    rows = run_once(
+        benchmark, exp5_efficiency.run_scaling_experiment, context,
+        dataset="restaurant", sizes=(40, 80, 160),
+    )
+    reports.save("table4_scaling", exp5_efficiency.report_scaling(rows))
+    times = [r.online_seconds for r in rows]
+    assert times[0] < times[-1], times  # online time grows with entities

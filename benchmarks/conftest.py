@@ -1,0 +1,42 @@
+"""Shared state for the paper-artifact benchmarks.
+
+All benchmarks share one :class:`ExperimentContext` (session-scoped) so each
+synthetic dataset is generated exactly once per run, and every benchmark
+writes its human-readable report to ``benchmarks/reports/<name>.txt`` —
+these files are the reproduction's tables and figures.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+REPORTS_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+class ReportSink:
+    """Writes benchmark reports to disk and echoes them to stdout."""
+
+    def __init__(self, directory: pathlib.Path):
+        self.directory = directory
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def save(self, name: str, report: str) -> pathlib.Path:
+        path = self.directory / f"{name}.txt"
+        path.write_text(report + "\n")
+        print(f"\n{report}\n[report saved to {path}]")
+        return path
+
+
+@pytest.fixture(scope="session")
+def reports() -> ReportSink:
+    return ReportSink(REPORTS_DIR)
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The default experiment context (all four datasets, reduced scales)."""
+    return ExperimentContext()

@@ -1,0 +1,73 @@
+"""Privacy audit: verify a synthetic release before sharing it.
+
+Scenario: a company wants to publish a surrogate of its product catalog ER
+dataset.  Before release, it audits the surrogate with the paper's Exp-4
+metrics (Hitting Rate, DCR) and the DP accounting of the text models, and
+compares SERD against the EMBench-style "just perturb the real rows"
+shortcut.
+
+Run: ``python examples/privacy_audit.py``
+"""
+
+from __future__ import annotations
+
+from repro import SERDConfig, SERDSynthesizer, load_dataset
+from repro.baselines import EMBenchConfig, EMBenchSynthesizer
+from repro.gan import TabularGANConfig
+from repro.privacy import (
+    RDPAccountant,
+    distance_to_closest_record,
+    hitting_rate,
+    noise_scale_for_epsilon,
+)
+
+
+def main() -> None:
+    real = load_dataset("walmart_amazon", scale=0.015, seed=11)
+    print("Auditing a surrogate for:", real)
+
+    # --- Build both candidate releases.
+    synthesizer = SERDSynthesizer(
+        SERDConfig(seed=11, gan=TabularGANConfig(iterations=80))
+    )
+    synthesizer.fit(real)
+    serd_release = synthesizer.synthesize().dataset
+    embench_release = EMBenchSynthesizer(EMBenchConfig(seed=11)).synthesize(real)
+
+    # --- Exp-4 metrics against the real entities.
+    model = synthesizer.similarity_model
+    real_entities = list(real.table_a) + list(real.table_b)
+
+    def audit(name, release):
+        entities = list(release.table_a)
+        if release.table_b is not release.table_a:
+            entities += list(release.table_b)
+        entities = entities[:150]
+        rate = hitting_rate(model, entities, real_entities[:150])
+        dcr = distance_to_closest_record(model, real_entities[:150], entities)
+        print(f"  {name:<10} hitting rate = {100 * rate:.3f}%   DCR = {dcr:.3f}")
+        return rate, dcr
+
+    print("\nPrivacy metrics (lower hitting rate / higher DCR = safer):")
+    serd_rate, serd_dcr = audit("SERD", serd_release)
+    em_rate, em_dcr = audit("EMBench", embench_release)
+    if serd_rate <= em_rate and serd_dcr >= em_dcr:
+        print("  -> SERD dominates the perturbation shortcut on both metrics.")
+
+    # --- DP budget planning for the text models.  How much noise does a
+    #     training run need to claim the paper's (epsilon=1, delta=1e-5)?
+    sampling_rate, steps = 0.1, 400
+    sigma = noise_scale_for_epsilon(
+        1.0, 1e-5, sampling_rate=sampling_rate, steps=steps
+    )
+    accountant = RDPAccountant()
+    accountant.step(sampling_rate, sigma, steps)
+    print(
+        f"\nDP planning: {steps} steps at sampling rate {sampling_rate} need "
+        f"sigma >= {sigma:.2f} for (1, 1e-5)-DP "
+        f"(achieved epsilon = {accountant.epsilon(1e-5):.3f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""String synthesis: the Section VI machinery in isolation.
+
+Demonstrates both text backends solving ``given s and sim, produce s' with
+f(s, s') ~= sim``:
+
+- the rule backend (fast, used by the experiments), and
+- the paper-faithful DP transformer bucket ensemble, trained with
+  Algorithm 1, including the RDP privacy accounting.
+
+Run: ``python examples/string_synthesis.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_background
+from repro.privacy import DPSGDConfig
+from repro.textgen import (
+    RuleTextSynthesizer,
+    TransformerTextSynthesizer,
+    TransformerTextSynthesizerConfig,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    corpus = load_background("restaurant", "name", size=200, seed=1)
+    print(f"Background corpus: {len(corpus)} restaurant names "
+          f"(e.g. {corpus[0]!r}, {corpus[1]!r})")
+
+    # --- Rule backend: Table I style demonstrations.
+    rule = RuleTextSynthesizer(corpus, tolerance=0.03, max_steps=60)
+    source = "forest family restaurant"
+    print(f"\nRule backend, source = {source!r}:")
+    print(f"{'target':>8} {'achieved':>9}  output")
+    for target in (0.9, 0.73, 0.5, 0.3, 0.1):
+        result = rule.synthesize(source, target, rng)
+        print(f"{target:>8.2f} {result.similarity:>9.2f}  {result.text!r}")
+
+    # --- Transformer backend with DP-SGD (scaled down to stay quick).
+    config = TransformerTextSynthesizerConfig(
+        n_buckets=4,
+        n_candidates=6,
+        pairs_per_bucket=32,
+        training_iterations=25,
+        batch_size=6,
+        max_length=32,
+        d_model=24,
+        n_heads=2,
+        d_feedforward=48,
+        dp=DPSGDConfig(noise_scale=0.8, clip_norm=1.0, learning_rate=0.1),
+    )
+    transformer = TransformerTextSynthesizer(config)
+    print("\nTraining DP transformers (Algorithm 1, one model per bucket)...")
+    transformer.fit(corpus, rng)
+    print(f"Spent privacy budget: epsilon = {transformer.epsilon(1e-5):.2f} "
+          f"at delta = 1e-5")
+    print("Transformer outputs (undertrained at this scale, but end-to-end):")
+    for target in (0.9, 0.5, 0.1):
+        result = transformer.synthesize(source, target, rng)
+        print(f"  target {target:.1f} -> achieved {result.similarity:.2f}, "
+              f"text {result.text[:50]!r}")
+
+
+if __name__ == "__main__":
+    main()

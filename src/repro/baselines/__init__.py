@@ -1,0 +1,24 @@
+"""Baselines the paper compares against (Section VII, Comparisons).
+
+- :class:`~repro.baselines.embench.EMBenchSynthesizer` — EMBench [Ioannou &
+  Velegrakis]: synthesize entities by *modifying real entities* with
+  predefined rules (abbreviation, misspelling, token noise); labels carry
+  over from the real pairs.  No distribution guarantee, no privacy.
+- :func:`~repro.baselines.serd_minus.serd_minus` — SERD without entity
+  rejection (the SERD- ablation).
+- :class:`~repro.baselines.gan_table.IndependentGANSynthesizer` — the
+  GAN-per-table strawman from the novelty discussion: each relation is
+  synthesized independently, so the cross-table similarity distribution is
+  uncontrolled.
+"""
+
+from repro.baselines.embench import EMBenchConfig, EMBenchSynthesizer
+from repro.baselines.gan_table import IndependentGANSynthesizer
+from repro.baselines.serd_minus import serd_minus_config
+
+__all__ = [
+    "EMBenchConfig",
+    "EMBenchSynthesizer",
+    "IndependentGANSynthesizer",
+    "serd_minus_config",
+]

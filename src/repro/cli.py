@@ -1,0 +1,134 @@
+"""Command-line interface for the SERD reproduction.
+
+Usage::
+
+    python -m repro synthesize --dataset restaurant --scale 0.2 --out ./release
+    python -m repro evaluate   --dataset restaurant --scale 0.2
+    python -m repro stats      [--scale 1.0]
+    python -m repro experiments
+
+``synthesize`` fits SERD on a generated benchmark and writes the surrogate
+as a CSV bundle; ``evaluate`` runs the Exp-2/Exp-3 protocol on one dataset;
+``stats`` prints Table II; ``experiments`` runs the full harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SERD — synthesize privacy-preserving ER datasets (ICDE'22)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    synthesize = commands.add_parser(
+        "synthesize", help="fit SERD on a benchmark and write the surrogate"
+    )
+    synthesize.add_argument("--dataset", required=True, help="registry name")
+    synthesize.add_argument("--scale", type=float, default=0.1)
+    synthesize.add_argument("--seed", type=int, default=7)
+    synthesize.add_argument("--out", required=True, help="output directory")
+    synthesize.add_argument(
+        "--no-rejection", action="store_true", help="run the SERD- ablation"
+    )
+    synthesize.add_argument(
+        "--text-backend", choices=("rule", "transformer"), default="rule"
+    )
+
+    evaluate = commands.add_parser(
+        "evaluate", help="Exp-2/Exp-3 matcher evaluation on one dataset"
+    )
+    evaluate.add_argument("--dataset", required=True)
+    evaluate.add_argument("--scale", type=float, default=0.1)
+    evaluate.add_argument("--seed", type=int, default=7)
+    evaluate.add_argument(
+        "--matcher", choices=("magellan", "deepmatcher"), default="magellan"
+    )
+
+    stats = commands.add_parser("stats", help="print Table II")
+    stats.add_argument("--scale", type=float, default=1.0)
+    stats.add_argument("--seed", type=int, default=7)
+
+    commands.add_parser("experiments", help="run every table/figure harness")
+    return parser
+
+
+def _cmd_synthesize(args) -> int:
+    from repro.core import SERDConfig, SERDSynthesizer
+    from repro.datasets import load_dataset
+    from repro.schema import save_dataset
+
+    real = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(f"Fitting SERD on {real} ...")
+    config = SERDConfig(seed=args.seed, text_backend=args.text_backend)
+    if args.no_rejection:
+        config = config.without_rejection()
+    synthesizer = SERDSynthesizer(config)
+    synthesizer.fit(real)
+    output = synthesizer.synthesize()
+    path = save_dataset(output.dataset, args.out)
+    print(f"Synthesized {output.dataset} -> {path}")
+    print(f"Rejections: {output.rejection_stats}")
+    print(
+        f"Offline {output.offline_seconds:.1f}s, online {output.online_seconds:.1f}s"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core import SERDConfig
+    from repro.experiments import ExperimentContext, ExperimentScales
+    from repro.experiments import exp2_model_eval, exp3_data_eval
+
+    scales = ExperimentScales(**{args.dataset: args.scale})
+    context = ExperimentContext(
+        scales=scales,
+        seed=args.seed,
+        serd_config=SERDConfig(seed=args.seed),
+        datasets=(args.dataset,),
+    )
+    rows = exp2_model_eval.run_model_evaluation(context, args.matcher)
+    print(exp2_model_eval.report(rows, args.matcher))
+    print()
+    rows3 = exp3_data_eval.run_data_evaluation(context, args.matcher)
+    print(exp3_data_eval.report(rows3, args.matcher))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.experiments import table2_datasets
+
+    rows = table2_datasets.dataset_statistics(scale=args.scale, seed=args.seed)
+    print(table2_datasets.report(rows))
+    return 0
+
+
+def _cmd_experiments(_args) -> int:
+    from repro.experiments.runner import main as run_experiments
+
+    run_experiments()
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _cmd_synthesize,
+    "evaluate": _cmd_evaluate,
+    "stats": _cmd_stats,
+    "experiments": _cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

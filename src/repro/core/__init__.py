@@ -1,0 +1,28 @@
+"""SERD — the paper's core algorithm (Sections III-VI).
+
+Pipeline:
+
+- **S1** (:meth:`SERDSynthesizer.fit`) — learn the O-distribution (matching
+  and non-matching similarity-vector GMMs) from the real dataset, train the
+  per-column text synthesizers on background data, train the GAN used for
+  cold start and rejection.
+- **S2** (:meth:`SERDSynthesizer.synthesize`) — iteratively sample an
+  existing synthetic entity and a similarity vector from the O-distribution,
+  synthesize a new entity satisfying that vector, and accept or reject it
+  (discriminator Case 1, distribution-drift Case 2).
+- **S3** — label every remaining pair by its GMM posterior.
+"""
+
+from repro.core.config import SERDConfig
+from repro.core.serd import (
+    SERDSynthesizer,
+    SynthesisOutput,
+    load_exported_distributions,
+)
+
+__all__ = [
+    "SERDConfig",
+    "SERDSynthesizer",
+    "SynthesisOutput",
+    "load_exported_distributions",
+]

@@ -1,0 +1,508 @@
+"""The SERD synthesizer (paper Algorithm SERD, Sections III-VI).
+
+Usage::
+
+    synthesizer = SERDSynthesizer(SERDConfig(seed=7))
+    synthesizer.fit(real_dataset)            # S1 + model training (offline)
+    output = synthesizer.synthesize()        # S2 + S3 (online)
+    output.dataset                           # the synthetic ERDataset
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cold_start import cold_start_entity
+from repro.core.config import SERDConfig
+from repro.core.labeling import label_all_pairs
+from repro.core.rejection import DistributionTracker, RejectionPolicy
+from repro.core.synthesis import EntityFactory
+from repro.distributions.divergence import pair_distribution_jsd
+from repro.distributions.mixture import PairDistribution
+from repro.gan.encoding import EntityEncoder
+from repro.gan.training import TabularGAN
+from repro.schema.dataset import ERDataset, Pair
+from repro.schema.entity import Entity, Relation
+from repro.schema.types import AttributeType
+from repro.similarity.vector import SimilarityModel
+from repro.textgen.backend import TextSynthesizer
+from repro.textgen.rules import RuleTextSynthesizer
+from repro.textgen.transformer_backend import TransformerTextSynthesizer
+
+
+@dataclass
+class SynthesisOutput:
+    """The synthetic dataset plus run diagnostics."""
+
+    dataset: ERDataset
+    o_real: PairDistribution
+    rejection_stats: dict[str, int]
+    n_sampled_matches: int
+    n_sampled_non_matches: int
+    n_posterior_labeled: int
+    jsd_final: float | None
+    offline_seconds: float
+    online_seconds: float
+    epsilon: float | None = None
+    extras: dict = field(default_factory=dict)
+
+
+def load_exported_distributions(path) -> dict:
+    """Read a distribution artifact written by ``export_distributions``.
+
+    Returns a dict with ``o_real`` (a :class:`PairDistribution`),
+    ``o_labeling_match_probability``, ``match_edge_rate``,
+    ``plausibility_floor``, ``ranges`` and ``schema``.
+    """
+    import json
+    import pathlib
+
+    payload = json.loads(pathlib.Path(path).read_text())
+    payload["o_real"] = PairDistribution.from_dict(payload["o_real"])
+    payload["ranges"] = {k: tuple(v) for k, v in payload["ranges"].items()}
+    return payload
+
+
+class SERDSynthesizer:
+    """End-to-end SERD pipeline."""
+
+    def __init__(self, config: SERDConfig | None = None):
+        self.config = config or SERDConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.similarity_model: SimilarityModel | None = None
+        self.o_real: PairDistribution | None = None
+        self.o_labeling: PairDistribution | None = None
+        self.factory: EntityFactory | None = None
+        self.gan: TabularGAN | None = None
+        self._background: dict[str, list[str]] = {}
+        self._categorical_values: dict[str, list] = {}
+        self._real: ERDataset | None = None
+        self._text_backends: dict[str, TextSynthesizer] = {}
+        self.match_edge_rate = 0.0
+        self.plausibility_floor: float | None = None
+        self.offline_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # S1 + model training (offline phase)
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        real: ERDataset,
+        background: dict[str, list[str]] | None = None,
+        *,
+        train_gan: bool = True,
+    ) -> "SERDSynthesizer":
+        """Learn the O-distribution and train the synthesis models.
+
+        Parameters
+        ----------
+        real:
+            The real ER dataset ``E_real``.
+        background:
+            ``{text column: background strings}``.  When omitted, the dataset
+            registry is consulted by ``real.name`` (the bundled benchmarks all
+            ship background corpora).  Background data must be in-domain but
+            outside the active domain — it is the only string data the text
+            models ever see (paper Fig. 2).
+        train_gan:
+            Train the tabular GAN for cold start and rejection Case 1.
+            Without it, cold start falls back to per-column sampling and
+            discriminator rejection is skipped.
+        """
+        started = time.perf_counter()
+        self._real = real
+        self.similarity_model = SimilarityModel.from_relations(real.table_a, real.table_b)
+        self._background = self._resolve_background(real, background)
+        self._categorical_values = self._collect_categorical_values(real)
+
+        # S1: learn the M- and N-distributions from labeled real pairs.
+        x_match = self.similarity_model.vectors(real.match_pairs())
+        wanted_neg = int(round(self.config.negative_ratio * max(1, len(real.matches))))
+        from repro.similarity.blocking import mixed_non_matches
+
+        negatives = mixed_non_matches(
+            real, self.similarity_model,
+            min(wanted_neg, 20 * max(1, len(real.matches))), self.rng,
+            hard_fraction=self.config.hard_negative_fraction,
+        )
+        x_non_match = self.similarity_model.vectors(
+            real.resolve(pair) for pair in negatives
+        )
+        self.o_real = PairDistribution.fit(
+            x_match, x_non_match, self.rng,
+            max_components=self.config.max_gmm_components,
+        )
+        # The O-distribution's pi is the match fraction of the *labeled* pair
+        # sample (the paper's |X+| / (|X+| + |X-|)) and drives S2 sampling.
+        # S3, however, scores every one of the n_a * n_b cross pairs, whose
+        # true match prior is |M| / (|A| * |B|) — orders of magnitude smaller.
+        # Using the labeled-set prior there would label a large fraction of
+        # all pairs as matches and destroy the synthetic dataset's sparsity,
+        # so labeling uses the same GMMs with the all-pairs prior.
+        pi_all = len(real.matches) / max(1, len(real.table_a) * len(real.table_b))
+        self.o_labeling = PairDistribution(
+            float(np.clip(pi_all, 1e-9, 1 - 1e-9)),
+            self.o_real.match_distribution,
+            self.o_real.non_match_distribution,
+        )
+        # S2 creates one labeled edge per synthesized entity, so the fraction
+        # of *match* edges controls the synthetic dataset's match density.
+        # |M_real| matches spread over n_a + n_b - 1 synthesis steps is the
+        # rate that reproduces the real density (each sampled match edge,
+        # plus transitive cluster closures found in S3, contributes to
+        # M_syn).  Capped below 0.6 so match chains cannot blow up clusters.
+        self.match_edge_rate = float(
+            np.clip(
+                len(real.matches) / max(1, len(real.table_a) + len(real.table_b) - 1),
+                1e-6,
+                0.6,
+            )
+        )
+        # Plausibility floor for rejection: real labeled vectors define what
+        # "follows the O-distribution" means; anything far less likely than
+        # the least likely real vectors is rejected (see SERDConfig).
+        real_vectors = np.vstack([x_match, x_non_match])
+        plausibility = self.o_real.plausibility(real_vectors)
+        self.plausibility_floor = float(
+            np.quantile(plausibility, self.config.plausibility_quantile)
+            - self.config.plausibility_margin
+        )
+
+        # Text backends, one per text column (Section VI).
+        self._text_backends = {}
+        for attr in real.schema.text_attributes:
+            corpus = self._background[attr.name]
+            if self.config.text_backend == "transformer":
+                backend = TransformerTextSynthesizer(self._transformer_config())
+                backend.fit(corpus, self.rng)
+            else:
+                backend = RuleTextSynthesizer(
+                    corpus,
+                    tolerance=self.config.rule_tolerance,
+                    max_steps=self.config.rule_max_steps,
+                )
+            self._text_backends[attr.name] = backend
+
+        self.factory = EntityFactory(
+            self.similarity_model, self._categorical_values, self._text_backends
+        )
+
+        # GAN for cold start + rejection Case 1 (Section IV-B2 / V).
+        self.gan = None
+        if train_gan:
+            encoder = EntityEncoder(real.schema).fit(
+                [real.table_a, real.table_b], text_pools=self._background
+            )
+            self.gan = TabularGAN(encoder, self.config.gan, seed=self.config.seed + 1)
+            self.gan.fit(list(real.table_a) + list(real.table_b))
+        self.offline_seconds = time.perf_counter() - started
+        return self
+
+    def _transformer_config(self):
+        import dataclasses
+
+        return dataclasses.replace(
+            self.config.transformer,
+            n_buckets=self.config.n_similarity_buckets,
+            n_candidates=self.config.n_text_candidates,
+            dp=self.config.dp,
+        )
+
+    def _resolve_background(
+        self, real: ERDataset, background: dict[str, list[str]] | None
+    ) -> dict[str, list[str]]:
+        text_columns = [a.name for a in real.schema.text_attributes]
+        if not text_columns:
+            return {}
+        if background is None:
+            from repro.datasets.loaders import load_background
+
+            try:
+                background = load_background(
+                    real.name, size=self.config.background_size,
+                    seed=self.config.seed + 17,
+                )
+            except KeyError:
+                raise ValueError(
+                    f"dataset {real.name!r} is not in the registry; pass "
+                    "background={column: strings} for its text columns"
+                ) from None
+        missing = [c for c in text_columns if not background.get(c)]
+        if missing:
+            raise ValueError(f"background data missing for text columns: {missing}")
+        return {c: list(background[c]) for c in text_columns}
+
+    @staticmethod
+    def _collect_categorical_values(real: ERDataset) -> dict[str, dict[str, list]]:
+        """Per-side categorical pools (see :class:`EntityFactory`)."""
+        values: dict[str, dict[str, list]] = {"a": {}, "b": {}}
+        for attr in real.schema:
+            if attr.attr_type != AttributeType.CATEGORICAL:
+                continue
+            for side, table in (("a", real.table_a), ("b", real.table_b)):
+                values[side][attr.name] = table.distinct_values(attr.name)
+        return values
+
+    # ------------------------------------------------------------------
+    # The shareable artifact (paper Fig. 2, input 1)
+    # ------------------------------------------------------------------
+    def export_distributions(self, path) -> None:
+        """Write the learned similarity-vector distributions to JSON.
+
+        This is exactly the artifact the paper's privacy argument allows a
+        data owner to share (Fig. 2): the M/N GMMs, the priors and the
+        numeric ranges — but no entities.  ``load_exported_distributions``
+        reads it back.
+        """
+        import json
+        import pathlib
+
+        if self.o_real is None:
+            raise RuntimeError("synthesizer is not fitted; call fit() first")
+        payload = {
+            "o_real": self.o_real.to_dict(),
+            "o_labeling_match_probability": self.o_labeling.match_probability,
+            "match_edge_rate": self.match_edge_rate,
+            "plausibility_floor": self.plausibility_floor,
+            "ranges": {k: list(v) for k, v in self.similarity_model.ranges.items()},
+            "schema": [
+                {"name": a.name, "type": a.attr_type.value}
+                for a in self.similarity_model.schema
+            ],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+    # ------------------------------------------------------------------
+    # S2 + S3 (online phase)
+    # ------------------------------------------------------------------
+    def synthesize(
+        self, n_a: int | None = None, n_b: int | None = None
+    ) -> SynthesisOutput:
+        """Run the iterative synthesis loop and label all pairs.
+
+        Default sizes are the real tables' sizes (problem statement,
+        Section II-D).
+        """
+        if self.o_real is None or self.factory is None or self._real is None:
+            raise RuntimeError("synthesizer is not fitted; call fit() first")
+        started = time.perf_counter()
+        real = self._real
+        n_a = n_a if n_a is not None else len(real.table_a)
+        n_b = n_b if n_b is not None else len(real.table_b)
+        if n_a < 1 or n_b < 1:
+            raise ValueError("both synthetic tables need at least one entity")
+
+        # Rejection and S3 labeling both score *cross* pairs, so they use the
+        # all-pairs prior (see fit()); S2 sampling keeps the labeled-set pi.
+        tracker = DistributionTracker(self.o_labeling, self.config, self.rng)
+        policy = RejectionPolicy(
+            self.config, tracker,
+            self.gan if self.config.reject_entities else None,
+            jsd_seed=self.config.seed + 23,
+            plausibility_floor=self.plausibility_floor,
+        )
+
+        a_entities: list[Entity] = []
+        b_entities: list[Entity] = []
+        sampled_matches: list[Pair] = []
+        sampled_non_matches: list[Pair] = []
+
+        # Cold start: the first A-entity.
+        a_entities.append(
+            cold_start_entity(
+                real.schema,
+                self.similarity_model.ranges,
+                self._categorical_values["a"],
+                self._background,
+                self.rng,
+                entity_id="sa0",
+                gan=self.gan,
+            )
+        )
+
+        counter_a, counter_b = 1, 0
+        matched_ids: set[str] = set()
+        while len(a_entities) < n_a or len(b_entities) < n_b:
+            # S2-2 (label part): decide match vs non-match at the match-edge
+            # rate (see fit()).
+            is_match = bool(self.rng.random() < self.match_edge_rate)
+
+            # S2-1: sample e from the union, restricted to sides whose
+            # opposite table still needs entities (Section III, Remark 1).
+            # For a match edge, prefer anchors with no match yet so the
+            # synthetic matching stays (near) one-to-one like real data.
+            sources: list[tuple[str, list[Entity]]] = []
+            if len(b_entities) < n_b and a_entities:
+                sources.append(("a", a_entities))
+            if len(a_entities) < n_a and b_entities:
+                sources.append(("b", b_entities))
+            if not sources:  # pragma: no cover - loop condition guards this
+                break
+            if is_match and self.config.one_to_one_matches:
+                filtered = [
+                    (side, [e for e in pool if e.entity_id not in matched_ids])
+                    for side, pool in sources
+                ]
+                filtered = [(side, pool) for side, pool in filtered if pool]
+                if filtered:
+                    sources = filtered
+                else:
+                    is_match = False
+            weights = np.array([len(pool) for _, pool in sources], dtype=float)
+            side, pool = sources[
+                int(self.rng.choice(len(sources), p=weights / weights.sum()))
+            ]
+            anchor = pool[int(self.rng.integers(len(pool)))]
+
+            # S2-2 (vector part): sample the similarity vector from O_real.
+            source = (
+                self.o_real.match_distribution
+                if is_match
+                else self.o_real.non_match_distribution
+            )
+            vector = np.clip(source.sample(1, self.rng)[0], 0.0, 1.0)
+
+            # S2-3 with rejection (Section V): retry until accepted.
+            if side == "a":
+                new_id, new_side = f"sb{counter_b}", "b"
+            else:
+                new_id, new_side = f"sa{counter_a}", "a"
+            accepted_entity, delta = self._synthesize_with_rejection(
+                anchor, vector, new_id, new_side, pool, policy, is_match
+            )
+
+            # S2-4: add to the right table and record the sampled label.
+            if side == "a":
+                b_entities.append(accepted_entity)
+                counter_b += 1
+                pair = (anchor.entity_id, accepted_entity.entity_id)
+            else:
+                a_entities.append(accepted_entity)
+                counter_a += 1
+                pair = (accepted_entity.entity_id, anchor.entity_id)
+            if is_match:
+                sampled_matches.append(pair)
+                matched_ids.add(anchor.entity_id)
+                matched_ids.add(accepted_entity.entity_id)
+            else:
+                sampled_non_matches.append(pair)
+            policy.commit(delta)
+
+        table_a = Relation(f"{real.name}_syn_a", real.schema, a_entities)
+        table_b = Relation(f"{real.name}_syn_b", real.schema, b_entities)
+
+        # S3: label all remaining pairs by posterior (Section IV-C).
+        matches = list(sampled_matches)
+        n_labeled = 0
+        if self.config.label_all_pairs:
+            known = set(sampled_matches) | set(sampled_non_matches)
+            # Budget extra matches so the synthetic match density tracks the
+            # real one: pi_all * n_a * n_b total, minus the sampled edges.
+            expected_total = int(
+                round(self.o_labeling.match_probability * n_a * n_b)
+            )
+            budget = max(0, expected_total - len(sampled_matches))
+            blocker = None
+            if self.config.use_blocking_for_labeling and any(
+                attr.attr_type.is_string_like for attr in real.schema
+            ):
+                from repro.similarity.candidates import TokenBlocker
+
+                blocker = TokenBlocker(real.schema)
+            extra_matches, n_labeled = label_all_pairs(
+                table_a, table_b, known, self.o_labeling, self.similarity_model,
+                max_matches=budget, blocker=blocker,
+            )
+            matches.extend(extra_matches)
+
+        dataset = ERDataset(
+            table_a, table_b, matches,
+            non_matches=sampled_non_matches,
+            name=f"{real.name}_syn",
+        )
+        jsd_final = None
+        current = tracker.current()
+        if current is not None:
+            jsd_final = pair_distribution_jsd(
+                current, self.o_labeling,
+                seed=self.config.seed + 23, n_samples=self.config.jsd_samples,
+            )
+        epsilon = None
+        if self.config.text_backend == "transformer" and self.config.dp is not None:
+            epsilons = [
+                backend.epsilon()
+                for backend in self._text_backends.values()
+                if isinstance(backend, TransformerTextSynthesizer)
+            ]
+            epsilons = [e for e in epsilons if e is not None]
+            if epsilons:
+                epsilon = float(sum(epsilons))  # sequential composition
+        return SynthesisOutput(
+            dataset=dataset,
+            o_real=self.o_real,
+            rejection_stats=dict(policy.stats),
+            n_sampled_matches=len(sampled_matches),
+            n_sampled_non_matches=len(sampled_non_matches),
+            n_posterior_labeled=n_labeled,
+            jsd_final=jsd_final,
+            offline_seconds=self.offline_seconds,
+            online_seconds=time.perf_counter() - started,
+            epsilon=epsilon,
+        )
+
+    def _synthesize_with_rejection(
+        self,
+        anchor: Entity,
+        vector: np.ndarray,
+        new_id: str,
+        new_side: str,
+        anchor_table: list[Entity],
+        policy: RejectionPolicy,
+        is_match: bool,
+    ) -> tuple[Entity, np.ndarray]:
+        """S2-3 + Section V: synthesize, evaluate, retry; returns the entity
+        and its committed ``Delta X_syn`` vectors."""
+        best: tuple[Entity, np.ndarray] | None = None
+        best_key: tuple[float, float] = (np.inf, np.inf)
+        for _ in range(self.config.max_rejection_retries):
+            candidate = self.factory.synthesize_entity(
+                anchor, vector, new_id, self.rng, side=new_side
+            )
+            delta = self._delta_vectors(candidate, anchor, anchor_table)
+            decision = policy.evaluate(
+                candidate, delta, expected_match=is_match, target_vector=vector
+            )
+            if decision.accepted:
+                return candidate, delta
+            # Rank rejected candidates: lowest distribution drift first,
+            # then highest discriminator score.
+            key = (
+                decision.jsd_candidate if decision.jsd_candidate is not None else np.inf,
+                -(decision.discriminator_score or 0.0),
+            )
+            if best is None or key < best_key:
+                best, best_key = (candidate, delta), key
+        # Retries exhausted: accept the least-drifting candidate seen (the
+        # paper notes rejection can always be relaxed via alpha/beta; the
+        # cap keeps synthesis from livelocking).
+        assert best is not None
+        return best
+
+    def _delta_vectors(
+        self, candidate: Entity, anchor: Entity, anchor_table: list[Entity]
+    ) -> np.ndarray:
+        """``Delta X_syn``: candidate vs (a sample of) the anchor's table.
+
+        Always includes the anchor pair itself; other entities are sampled up
+        to ``delta_sample_size`` (Section V, Remark 1).
+        """
+        others = [e for e in anchor_table if e.entity_id != anchor.entity_id]
+        budget = max(0, self.config.delta_sample_size - 1)
+        if len(others) > budget:
+            picks = self.rng.choice(len(others), size=budget, replace=False)
+            others = [others[int(i)] for i in picks]
+        partners = [anchor] + others
+        return self.similarity_model.one_vs_many(candidate, partners)

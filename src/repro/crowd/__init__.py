@@ -1,0 +1,26 @@
+"""Simulated crowdsourcing substrate (paper Exp-1).
+
+The paper employs 288 Appen workers to answer two question types: Q1 "is
+this entity real?" (5 workers, majority vote over agree/neutral/disagree)
+and Q2 "is this pair matching?" (3 workers, majority vote).  Offline, we
+model workers as noisy judges of an underlying signal — entity realism for
+Q1, pair similarity for Q2 — with per-worker reliability, and reproduce the
+aggregation protocol exactly.  See DESIGN.md's substitution table.
+"""
+
+from repro.crowd.study import (
+    UserStudyS1Result,
+    UserStudyS2Result,
+    run_user_study_s1,
+    run_user_study_s2,
+)
+from repro.crowd.worker import CrowdWorker, WorkerPool
+
+__all__ = [
+    "CrowdWorker",
+    "UserStudyS1Result",
+    "UserStudyS2Result",
+    "WorkerPool",
+    "run_user_study_s1",
+    "run_user_study_s2",
+]

@@ -1,0 +1,99 @@
+"""Simulated crowd workers.
+
+A worker is a noisy judge: given the latent signal of a question (entity
+realism for Q1, pair similarity for Q2), the worker answers correctly with
+probability tied to their reliability and the signal's distance from their
+decision boundary.  The paper's HIT approval filter (> 90%) motivates the
+default reliability range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+Q1_ANSWERS = ("agree", "neutral", "disagree")
+
+
+@dataclass
+class CrowdWorker:
+    """One worker with a reliability in (0, 1] and a private threshold."""
+
+    reliability: float
+    match_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.reliability <= 1.0:
+            raise ValueError(f"reliability must be in (0, 1], got {self.reliability}")
+        if not 0.0 < self.match_threshold < 1.0:
+            raise ValueError(
+                f"match threshold must be in (0, 1), got {self.match_threshold}"
+            )
+
+    # ------------------------------------------------------------------
+    # Q1: "please choose whether the entity is a real one"
+    # ------------------------------------------------------------------
+    def answer_realism(self, realism: float, rng: np.random.Generator) -> str:
+        """Agree / neutral / disagree about an entity with latent realism.
+
+        A confident worker maps high realism to "agree" and low realism to
+        "disagree", with a neutral band in between; unreliable answers are
+        uniform.
+        """
+        if rng.random() > self.reliability:
+            return Q1_ANSWERS[int(rng.integers(3))]
+        noisy = realism + rng.normal(0.0, 0.08)
+        if noisy >= 0.55:
+            return "agree"
+        if noisy <= 0.35:
+            return "disagree"
+        return "neutral"
+
+    # ------------------------------------------------------------------
+    # Q2: "please choose whether the entity pair is matching"
+    # ------------------------------------------------------------------
+    def answer_matching(self, pair_similarity: float, rng: np.random.Generator) -> bool:
+        """True = the worker labels the pair as matching.
+
+        The worker perceives the pair's mean attribute similarity with noise
+        inversely proportional to reliability and compares against their
+        personal threshold.
+        """
+        if rng.random() > self.reliability:
+            return bool(rng.integers(2))
+        perceived = pair_similarity + rng.normal(0.0, 0.12 * (1.1 - self.reliability))
+        return perceived >= self.match_threshold
+
+
+class WorkerPool:
+    """A pool of workers with HIT-filtered reliabilities (paper: > 90%)."""
+
+    def __init__(
+        self,
+        size: int = 288,
+        seed: int = 0,
+        reliability_range: tuple[float, float] = (0.9, 0.995),
+    ):
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        low, high = reliability_range
+        if not 0.0 < low <= high <= 1.0:
+            raise ValueError(f"invalid reliability range {reliability_range}")
+        rng = np.random.default_rng(seed)
+        self.workers = [
+            CrowdWorker(
+                reliability=float(rng.uniform(low, high)),
+                match_threshold=float(np.clip(rng.normal(0.5, 0.05), 0.3, 0.7)),
+            )
+            for _ in range(size)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def sample(self, count: int, rng: np.random.Generator) -> list[CrowdWorker]:
+        """Assign ``count`` distinct workers to one question."""
+        count = min(count, len(self.workers))
+        picks = rng.choice(len(self.workers), size=count, replace=False)
+        return [self.workers[int(i)] for i in picks]

@@ -1,0 +1,31 @@
+"""Benchmark-like ER dataset generators (paper Table II) and registry.
+
+The paper evaluates on four public benchmarks — DBLP-ACM, Restaurant,
+Walmart-Amazon and iTunes-Amazon — which are not downloadable in this
+offline environment.  Each generator here deterministically re-creates its
+benchmark's *structure*: the same schema and attribute-type mix, the paper's
+table-size ratios and match counts (scaled by ``scale``), and realistic
+noise channels between matching records (token reordering, abbreviation,
+typos, venue renamings, price jitter, ...).
+
+Every generator also ships a **background corpus** per text column: strings
+from the same domain but a disjoint vocabulary (the paper's ``A'``/``B'``
+data, e.g. European author names when the real data has US names), used to
+train the DP text synthesizers without touching the active domain.
+"""
+
+from repro.datasets.loaders import (
+    DATASET_NAMES,
+    DatasetInfo,
+    dataset_info,
+    load_background,
+    load_dataset,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetInfo",
+    "dataset_info",
+    "load_background",
+    "load_dataset",
+]

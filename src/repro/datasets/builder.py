@@ -1,0 +1,152 @@
+"""Shared machinery for the dataset generators.
+
+Matching records in real ER benchmarks differ by systematic noise channels —
+abbreviations, token reorderings, typos, renamed categorical values, jittered
+numbers.  :class:`Perturber` implements those channels; each generator
+composes them into its benchmark's characteristic noise profile.
+"""
+
+from __future__ import annotations
+
+import string
+
+import numpy as np
+
+
+class Perturber:
+    """Deterministic (generator-driven) text and number perturbations."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+    # Character-level
+    # ------------------------------------------------------------------
+    def typo(self, text: str) -> str:
+        """One character-level typo: swap, delete, duplicate or replace."""
+        if len(text) < 2:
+            return text
+        position = int(self.rng.integers(len(text) - 1))
+        move = int(self.rng.integers(4))
+        if move == 0:  # swap adjacent
+            return text[:position] + text[position + 1] + text[position] + text[position + 2 :]
+        if move == 1:  # delete
+            return text[:position] + text[position + 1 :]
+        if move == 2:  # duplicate
+            return text[:position] + text[position] + text[position:]
+        replacement = string.ascii_lowercase[int(self.rng.integers(26))]
+        return text[:position] + replacement + text[position + 1 :]
+
+    # ------------------------------------------------------------------
+    # Token-level
+    # ------------------------------------------------------------------
+    def reorder_tokens(self, text: str) -> str:
+        """Swap two tokens (e.g. exchanging author name order)."""
+        tokens = text.split()
+        if len(tokens) < 2:
+            return text
+        i, j = self.rng.choice(len(tokens), size=2, replace=False)
+        tokens[i], tokens[j] = tokens[j], tokens[i]
+        return " ".join(tokens)
+
+    def abbreviate_token(self, text: str) -> str:
+        """Shorten one token to its initial ("Richard" -> "R.")."""
+        tokens = text.split()
+        candidates = [i for i, t in enumerate(tokens) if len(t) > 3 and t[0].isalpha()]
+        if not candidates:
+            return text
+        index = int(self.rng.choice(candidates))
+        tokens[index] = tokens[index][0] + "."
+        return " ".join(tokens)
+
+    def drop_token(self, text: str) -> str:
+        tokens = text.split()
+        if len(tokens) < 2:
+            return text
+        del tokens[int(self.rng.integers(len(tokens)))]
+        return " ".join(tokens)
+
+    def retitle_case(self, text: str) -> str:
+        """Flip between title case and lower case."""
+        return text.lower() if text != text.lower() else text.title()
+
+    def perturb_text(self, text: str, strength: float = 0.3) -> str:
+        """Apply 1-3 random channels; higher ``strength`` = more edits.
+
+        ``strength`` around 0.1 yields near-duplicates (similarity ~0.9);
+        around 0.5 yields clearly related but messier variants.
+        """
+        operations = 1 + int(self.rng.random() < strength) + int(
+            self.rng.random() < strength / 2
+        )
+        result = text
+        for _ in range(operations):
+            move = int(self.rng.integers(5))
+            if move == 0:
+                result = self.typo(result)
+            elif move == 1:
+                result = self.reorder_tokens(result)
+            elif move == 2:
+                result = self.abbreviate_token(result)
+            elif move == 3 and self.rng.random() < strength:
+                result = self.drop_token(result)
+            else:
+                result = self.retitle_case(result)
+        return result or text
+
+    def perturb_name_list(self, names: str) -> str:
+        """Author-list noise: reorder names, abbreviate first names.
+
+        Expects a comma-separated "First Last, First Last, ..." string.
+        """
+        people = [p.strip() for p in names.split(",") if p.strip()]
+        if not people:
+            return names
+        self.rng.shuffle(people)
+        rewritten = []
+        for person in people:
+            parts = person.split()
+            if len(parts) >= 2 and self.rng.random() < 0.4:
+                parts[0] = parts[0][0] + "."
+            rewritten.append(" ".join(parts))
+        return ", ".join(rewritten)
+
+    # ------------------------------------------------------------------
+    # Numbers
+    # ------------------------------------------------------------------
+    def jitter_number(
+        self,
+        value: float,
+        spread: float,
+        bounds: tuple[float, float],
+        *,
+        integral: bool = False,
+        jitter_probability: float = 0.3,
+    ) -> float:
+        """With some probability, nudge ``value`` within ``spread``, clamped."""
+        if self.rng.random() >= jitter_probability:
+            return int(value) if integral else value
+        low, high = bounds
+        nudged = value + self.rng.normal(0.0, spread)
+        nudged = min(high, max(low, nudged))
+        return int(round(nudged)) if integral else round(nudged, 2)
+
+    # ------------------------------------------------------------------
+    # Selection helpers
+    # ------------------------------------------------------------------
+    def pick(self, bank: tuple | list):
+        """Uniform choice from a word bank."""
+        return bank[int(self.rng.integers(len(bank)))]
+
+    def pick_distinct(self, bank: tuple | list, count: int) -> list:
+        """``count`` distinct choices (or fewer if the bank is small)."""
+        count = min(count, len(bank))
+        indices = self.rng.choice(len(bank), size=count, replace=False)
+        return [bank[int(i)] for i in indices]
+
+
+def scaled(count: int, scale: float, minimum: int = 2) -> int:
+    """Scale a paper-reported size, keeping at least ``minimum``."""
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    return max(minimum, int(round(count * scale)))

@@ -1,0 +1,159 @@
+"""iTunes-Amazon: music tracks (paper Table II row 4).
+
+Paper sizes: |iTunes| = 6907, |Amazon| = 55922, 8 columns, 132 matches.
+Schema: song_name, artist_name, album_name, genre, copyright (text),
+price (numeric), time, released (date).  Time is stored as track length in
+seconds; released as a year ordinal — both handled by the DATE column type.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocabularies as vocab
+from repro.datasets.builder import Perturber, scaled
+from repro.schema.dataset import ERDataset
+from repro.schema.entity import Entity, Relation
+from repro.schema.types import Schema, make_schema
+
+PAPER_SIZES = {"|A|": 6907, "|B|": 55922, "#-Col": 8, "|M|": 132}
+
+PRICE_RANGE = (0.69, 1.99)
+TIME_RANGE = (90, 420)  # track seconds
+RELEASED_RANGE = (1990, 2020)  # release year
+
+
+def schema() -> Schema:
+    return make_schema(
+        {
+            "song_name": "text",
+            "artist_name": "text",
+            "album_name": "text",
+            "genre": "categorical",
+            "copyright": "text",
+            "price": "numeric",
+            "time": "date",
+            "released": "date",
+        },
+        name="itunes_amazon",
+    )
+
+
+def _song_name(perturber: Perturber, *, background: bool = False) -> str:
+    openers = vocab.SONG_OPENERS_BG if background else vocab.SONG_OPENERS
+    subjects = vocab.SONG_SUBJECTS_BG if background else vocab.SONG_SUBJECTS
+    return f"{perturber.pick(openers)} {perturber.pick(subjects)}".title()
+
+
+def _artist(perturber: Perturber, first_bank, last_bank) -> str:
+    return f"{perturber.pick(first_bank)} {perturber.pick(last_bank)}"
+
+
+def _album(perturber: Perturber, *, background: bool = False) -> str:
+    subjects = vocab.SONG_SUBJECTS_BG if background else vocab.SONG_SUBJECTS
+    base = perturber.pick(subjects).title()
+    if perturber.rng.random() < 0.3:
+        return f"{base} (Deluxe Edition)"
+    return base
+
+
+def _copyright(perturber: Perturber, labels, year: int) -> str:
+    return f"(c) {year} {perturber.pick(labels)}"
+
+
+def _track(perturber: Perturber, first_bank, last_bank, labels) -> dict:
+    year = int(perturber.rng.integers(*RELEASED_RANGE))
+    return {
+        "song_name": _song_name(perturber),
+        "artist_name": _artist(perturber, first_bank, last_bank),
+        "album_name": _album(perturber),
+        "genre": perturber.pick(vocab.GENRES),
+        "copyright": _copyright(perturber, labels, year),
+        "price": float(np.round(perturber.rng.uniform(*PRICE_RANGE), 2)),
+        "time": int(perturber.rng.integers(*TIME_RANGE)),
+        "released": year,
+    }
+
+
+def _amazon_variant(perturber: Perturber, track: dict) -> dict:
+    """The Amazon listing of the same track."""
+    variant = dict(track)
+    variant["song_name"] = perturber.perturb_text(track["song_name"], strength=0.25)
+    if perturber.rng.random() < 0.3:
+        variant["album_name"] = track["album_name"].replace(" (Deluxe Edition)", "")
+    if perturber.rng.random() < 0.2:
+        variant["artist_name"] = perturber.abbreviate_token(track["artist_name"])
+    variant["price"] = perturber.jitter_number(
+        track["price"], spread=0.3, bounds=PRICE_RANGE, jitter_probability=0.5
+    )
+    variant["time"] = int(
+        perturber.jitter_number(
+            track["time"], spread=2.0, bounds=TIME_RANGE,
+            integral=True, jitter_probability=0.4,
+        )
+    )
+    return variant
+
+
+def _add(table: Relation, sch: Schema, entity_id: str, track: dict) -> None:
+    table.add(
+        Entity(entity_id, sch, [
+            track["song_name"], track["artist_name"], track["album_name"],
+            track["genre"], track["copyright"], track["price"],
+            track["time"], track["released"],
+        ])
+    )
+
+
+def generate(scale: float = 1.0, seed: int = 0) -> ERDataset:
+    """iTunes-Amazon-like dataset: extreme match sparsity, 8 columns."""
+    rng = np.random.default_rng(seed)
+    perturber = Perturber(rng)
+    sch = schema()
+    n_a = scaled(PAPER_SIZES["|A|"], scale)
+    n_b = scaled(PAPER_SIZES["|B|"], scale)
+    n_m = min(scaled(PAPER_SIZES["|M|"], scale, minimum=8), n_a, n_b)
+
+    table_a = Relation("itunes", sch)
+    table_b = Relation("amazon_music", sch)
+    matches = []
+    for index in range(n_m):
+        track = _track(perturber, vocab.ARTIST_FIRST, vocab.ARTIST_LAST, vocab.LABELS)
+        _add(table_a, sch, f"a{index}", track)
+        _add(table_b, sch, f"b{index}", _amazon_variant(perturber, track))
+        matches.append((f"a{index}", f"b{index}"))
+    for index in range(n_m, n_a):
+        _add(
+            table_a, sch, f"a{index}",
+            _track(perturber, vocab.ARTIST_FIRST, vocab.ARTIST_LAST, vocab.LABELS),
+        )
+    for index in range(n_m, n_b):
+        _add(
+            table_b, sch, f"b{index}",
+            _track(perturber, vocab.ARTIST_FIRST, vocab.ARTIST_LAST, vocab.LABELS),
+        )
+    return ERDataset(table_a, table_b, matches, name="itunes_amazon")
+
+
+def background_corpus(column: str, size: int = 300, seed: int = 1) -> list[str]:
+    """Background strings from the disjoint artist/label banks."""
+    rng = np.random.default_rng(seed + hash(column) % 1000)
+    perturber = Perturber(rng)
+    if column == "song_name":
+        return [_song_name(perturber, background=True) for _ in range(size)]
+    if column == "artist_name":
+        return [
+            _artist(perturber, vocab.ARTIST_FIRST_BG, vocab.ARTIST_LAST_BG)
+            for _ in range(size)
+        ]
+    if column == "album_name":
+        return [_album(perturber, background=True) for _ in range(size)]
+    if column == "copyright":
+        return [
+            _copyright(
+                perturber, vocab.LABELS_BG,
+                int(perturber.rng.integers(*RELEASED_RANGE)),
+            )
+            for _ in range(size)
+        ]
+    raise KeyError(f"itunes_amazon has no text column {column!r}")

@@ -1,0 +1,115 @@
+"""Restaurant: single-table duplicate detection (paper Table II row 2).
+
+Paper sizes: one table of 864 entities treated as both A and B, 112 matching
+(duplicate) pairs, 4 columns: name (text), address (text),
+city (categorical), flavor/cuisine (categorical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocabularies as vocab
+from repro.datasets.builder import Perturber, scaled
+from repro.schema.dataset import ERDataset
+from repro.schema.entity import Entity, Relation
+from repro.schema.types import Schema, make_schema
+
+PAPER_SIZES = {"|A|": 864, "|B|": 864, "#-Col": 4, "|M|": 112}
+
+
+def schema() -> Schema:
+    return make_schema(
+        {
+            "name": "text",
+            "address": "text",
+            "city": "categorical",
+            "flavor": "categorical",
+        },
+        name="restaurant",
+    )
+
+
+def _name(perturber: Perturber, adjectives, nouns) -> str:
+    pattern = int(perturber.rng.integers(3))
+    adjective = perturber.pick(adjectives)
+    noun = perturber.pick(nouns)
+    kind = perturber.pick(vocab.RESTAURANT_TYPES)
+    if pattern == 0:
+        return f"{adjective} {noun} {kind}"
+    if pattern == 1:
+        return f"the {adjective} {noun}"
+    return f"{noun}'s {kind}"
+
+
+def _address(perturber: Perturber, streets) -> str:
+    number = int(perturber.rng.integers(1, 9999))
+    street = perturber.pick(streets)
+    if perturber.rng.random() < 0.25:
+        other = perturber.pick(streets)
+        return f"{street} between {other.split()[0]} and broadway"
+    return f"{number} {street}"
+
+
+def _record(perturber: Perturber) -> list:
+    return [
+        _name(perturber, vocab.RESTAURANT_ADJECTIVES, vocab.RESTAURANT_NOUNS),
+        _address(perturber, vocab.STREET_NAMES),
+        perturber.pick(vocab.CITIES),
+        perturber.pick(vocab.CUISINES),
+    ]
+
+
+def _duplicate(perturber: Perturber, values: list) -> list:
+    """A duplicate listing of the same restaurant with entry noise.
+
+    Roughly one duplicate in six is a "hard" one (heavy renaming), mirroring
+    the messy tail of the real Fodors/Zagat data.
+    """
+    name, address, city, flavor = values
+    strength = 0.7 if perturber.rng.random() < 0.15 else 0.35
+    name = perturber.perturb_text(name, strength=strength)
+    if perturber.rng.random() < 0.7:
+        address = perturber.perturb_text(address, strength=0.3)
+    # City stays; cuisine occasionally recorded under a broader label.
+    if perturber.rng.random() < 0.15:
+        flavor = perturber.pick(vocab.CUISINES)
+    return [name, address, city, flavor]
+
+
+def generate(scale: float = 1.0, seed: int = 0) -> ERDataset:
+    """Single-table dataset with planted duplicate pairs (symmetric)."""
+    rng = np.random.default_rng(seed)
+    perturber = Perturber(rng)
+    sch = schema()
+    n = scaled(PAPER_SIZES["|A|"], scale, minimum=6)
+    n_m = min(scaled(PAPER_SIZES["|M|"], scale, minimum=8), n // 2)
+
+    table = Relation("restaurant", sch)
+    matches = []
+    index = 0
+    for dup in range(n_m):
+        values = _record(perturber)
+        a_id, b_id = f"r{index}", f"r{index + 1}"
+        table.add(Entity(a_id, sch, values))
+        table.add(Entity(b_id, sch, _duplicate(perturber, values)))
+        matches.append((a_id, b_id))
+        index += 2
+    while index < n:
+        table.add(Entity(f"r{index}", sch, _record(perturber)))
+        index += 1
+    return ERDataset(table, table, matches, name="restaurant", symmetric=True)
+
+
+def background_corpus(column: str, size: int = 300, seed: int = 1) -> list[str]:
+    """Background strings: restaurants from European-style name banks."""
+    rng = np.random.default_rng(seed + hash(column) % 1000)
+    perturber = Perturber(rng)
+    if column == "name":
+        return [
+            _name(perturber, vocab.RESTAURANT_ADJECTIVES_BG, vocab.RESTAURANT_NOUNS_BG)
+            for _ in range(size)
+        ]
+    if column == "address":
+        return [_address(perturber, vocab.STREET_NAMES_BG) for _ in range(size)]
+    raise KeyError(f"restaurant has no text column {column!r}")

@@ -1,0 +1,142 @@
+"""Walmart-Amazon: electronics products (paper Table II row 3).
+
+Paper sizes: |Walmart| = 2554, |Amazon| = 22074, 5 columns, 1154 matches.
+Schema: modelno (text), title (text), descr (text), brand (categorical),
+price (numeric).  The Amazon side is an order of magnitude larger — most of
+its records have no Walmart counterpart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import vocabularies as vocab
+from repro.datasets.builder import Perturber, scaled
+from repro.schema.dataset import ERDataset
+from repro.schema.entity import Entity, Relation
+from repro.schema.types import Schema, make_schema
+
+PAPER_SIZES = {"|A|": 2554, "|B|": 22074, "#-Col": 5, "|M|": 1154}
+
+PRICE_RANGE = (9.99, 2499.99)
+
+
+def schema() -> Schema:
+    return make_schema(
+        {
+            "modelno": "text",
+            "title": "text",
+            "descr": "text",
+            "brand": "categorical",
+            "price": "numeric",
+        },
+        name="walmart_amazon",
+    )
+
+
+def _modelno(perturber: Perturber, brand: str) -> str:
+    letters = "".join(
+        perturber.pick("abcdefghjkmnprstuvwxyz") for _ in range(2)
+    ).upper()
+    digits = int(perturber.rng.integers(100, 9999))
+    return f"{brand[:2].upper()}-{letters}{digits}"
+
+
+def _title(perturber: Perturber, brand: str, brands=None) -> str:
+    kind = perturber.pick(vocab.PRODUCT_TYPES)
+    modifier = perturber.pick(vocab.PRODUCT_MODIFIERS)
+    spec = perturber.pick(vocab.PRODUCT_SPECS)
+    return f"{brand} {modifier} {kind} {spec}"
+
+
+def _description(perturber: Perturber, title: str) -> str:
+    extras = perturber.pick_distinct(vocab.PRODUCT_SPECS, 2)
+    tail = perturber.pick(vocab.PRODUCT_MODIFIERS)
+    return f"{title} with {extras[0]} and {extras[-1]}, {tail} design"
+
+
+def _product(perturber: Perturber, brands) -> dict:
+    brand = perturber.pick(brands)
+    title = _title(perturber, brand)
+    return {
+        "brand": brand,
+        "modelno": _modelno(perturber, brand),
+        "title": title,
+        "descr": _description(perturber, title),
+        "price": float(
+            np.round(perturber.rng.uniform(*PRICE_RANGE), 2)
+        ),
+    }
+
+
+def _amazon_variant(perturber: Perturber, product: dict) -> dict:
+    """The Amazon listing of the same product: renamed title, price delta."""
+    title = perturber.perturb_text(product["title"], strength=0.3)
+    descr = perturber.perturb_text(product["descr"], strength=0.4)
+    modelno = product["modelno"]
+    if perturber.rng.random() < 0.2:
+        modelno = modelno.replace("-", "")
+    price = perturber.jitter_number(
+        product["price"], spread=15.0, bounds=PRICE_RANGE, jitter_probability=0.6
+    )
+    return {
+        "brand": product["brand"],
+        "modelno": modelno,
+        "title": title,
+        "descr": descr,
+        "price": price,
+    }
+
+
+def _add(table: Relation, sch: Schema, entity_id: str, product: dict) -> None:
+    table.add(
+        Entity(entity_id, sch, [
+            product["modelno"], product["title"], product["descr"],
+            product["brand"], product["price"],
+        ])
+    )
+
+
+def generate(scale: float = 1.0, seed: int = 0) -> ERDataset:
+    """Walmart-Amazon-like dataset with the paper's skewed table ratio."""
+    rng = np.random.default_rng(seed)
+    perturber = Perturber(rng)
+    sch = schema()
+    n_a = scaled(PAPER_SIZES["|A|"], scale)
+    n_b = scaled(PAPER_SIZES["|B|"], scale)
+    n_m = min(scaled(PAPER_SIZES["|M|"], scale, minimum=8), n_a, n_b)
+
+    table_a = Relation("walmart", sch)
+    table_b = Relation("amazon", sch)
+    matches = []
+    for index in range(n_m):
+        product = _product(perturber, vocab.BRANDS)
+        _add(table_a, sch, f"a{index}", product)
+        _add(table_b, sch, f"b{index}", _amazon_variant(perturber, product))
+        matches.append((f"a{index}", f"b{index}"))
+    for index in range(n_m, n_a):
+        _add(table_a, sch, f"a{index}", _product(perturber, vocab.BRANDS))
+    for index in range(n_m, n_b):
+        _add(table_b, sch, f"b{index}", _product(perturber, vocab.BRANDS))
+    return ERDataset(table_a, table_b, matches, name="walmart_amazon")
+
+
+def background_corpus(column: str, size: int = 300, seed: int = 1) -> list[str]:
+    """Background strings from the disjoint brand bank."""
+    rng = np.random.default_rng(seed + hash(column) % 1000)
+    perturber = Perturber(rng)
+    if column == "title":
+        return [
+            _title(perturber, perturber.pick(vocab.BRANDS_BG)) for _ in range(size)
+        ]
+    if column == "descr":
+        out = []
+        for _ in range(size):
+            title = _title(perturber, perturber.pick(vocab.BRANDS_BG))
+            out.append(_description(perturber, title))
+        return out
+    if column == "modelno":
+        return [
+            _modelno(perturber, perturber.pick(vocab.BRANDS_BG)) for _ in range(size)
+        ]
+    raise KeyError(f"walmart_amazon has no text column {column!r}")

@@ -1,0 +1,300 @@
+"""Word banks for the four benchmark domains.
+
+Each domain has an *active* bank (used to generate the "real" dataset) and a
+disjoint *background* bank (used for background corpora, mirroring the
+paper's "if E_real contains names from the US, the background data could be
+names from Europe").
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Scholar domain (DBLP-ACM)
+# ----------------------------------------------------------------------
+
+TITLE_OPENERS = (
+    "adaptive", "efficient", "scalable", "incremental", "distributed",
+    "parallel", "approximate", "robust", "optimal", "online", "dynamic",
+    "interactive", "declarative", "automatic", "unified", "practical",
+    "lightweight", "secure", "streaming", "probabilistic",
+)
+
+TITLE_TOPICS = (
+    "query optimization", "join processing", "index structures",
+    "transaction management", "data integration", "entity resolution",
+    "schema matching", "view maintenance", "data cleaning",
+    "similarity search", "graph processing", "stream processing",
+    "concurrency control", "query evaluation", "data warehousing",
+    "spatial indexing", "workload forecasting", "cardinality estimation",
+    "keyword search", "top-k retrieval", "skyline computation",
+    "duplicate detection", "record linkage", "provenance tracking",
+)
+
+TITLE_TOPICS_BG = (
+    "materialized view selection", "federated query execution",
+    "adaptive radix trees", "log-structured storage", "write-ahead logging",
+    "multi-version concurrency", "columnar compression",
+    "learned cost models", "approximate aggregation", "temporal joins",
+    "semantic caching", "elastic resource allocation", "query rewriting",
+    "vectorized scans", "persistent memory indexing", "sketch maintenance",
+    "incremental view updates", "serializable snapshots",
+    "distributed checkpoints", "parallel sorting networks",
+)
+
+TITLE_CONTEXTS_BG = (
+    "for embedded devices", "in federated clouds", "over versioned data",
+    "on persistent memory", "for scientific workflows", "with gpu offloading",
+    "in serverless runtimes", "under strict latency budgets",
+    "for multi-tenant clusters", "over compressed archives",
+    "in geo-replicated stores", "with adaptive sampling",
+    "for time series at scale", "on disaggregated storage",
+    "in trusted enclaves", "with workload-aware tuning",
+)
+
+TITLE_CONTEXTS = (
+    "in relational databases", "for large-scale systems", "over data streams",
+    "in main memory", "on modern hardware", "in the cloud",
+    "for sensor networks", "with machine learning", "using sampling",
+    "in temporal middleware", "over encrypted data", "for web tables",
+    "in peer-to-peer systems", "with crowdsourcing", "under uncertainty",
+    "at interactive speed", "for heterogeneous sources", "in column stores",
+)
+
+FIRST_NAMES_US = (
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael",
+    "Linda", "William", "Elizabeth", "David", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Daniel",
+    "Nancy", "Matthew", "Lisa", "Donald", "Betty", "Mark", "Margaret",
+    "Paul", "Sandra", "Steven", "Ashley", "Andrew", "Kimberly", "Kenneth",
+    "Emily", "Joshua", "Donna", "Kevin", "Michelle",
+)
+
+LAST_NAMES_US = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+)
+
+FIRST_NAMES_EU = (
+    "Lars", "Ingrid", "Henrik", "Astrid", "Klaus", "Greta", "Sven",
+    "Annika", "Matteo", "Chiara", "Luca", "Giulia", "Pierre", "Camille",
+    "Antoine", "Margaux", "Jorge", "Lucia", "Andres", "Carmen", "Piotr",
+    "Agnieszka", "Tomasz", "Katarzyna", "Mikko", "Aino", "Jari", "Helmi",
+    "Dimitris", "Eleni", "Nikos", "Sofia", "Bram", "Femke", "Daan",
+    "Lotte", "Oisin", "Niamh", "Cillian", "Saoirse",
+)
+
+LAST_NAMES_EU = (
+    "Johansson", "Andersson", "Lindqvist", "Bergstrom", "Muller",
+    "Schneider", "Fischer", "Weber", "Rossi", "Ferrari", "Esposito",
+    "Bianchi", "Dubois", "Moreau", "Laurent", "Fournier", "Fernandez",
+    "Alvarez", "Romero", "Navarro", "Kowalski", "Nowak", "Wisniewski",
+    "Zielinski", "Virtanen", "Korhonen", "Nieminen", "Makinen",
+    "Papadopoulos", "Georgiou", "Nikolaidis", "Vassiliou", "deVries",
+    "vanDijk", "Bakker", "Visser", "Byrne", "Kelly", "Walsh", "Doyle",
+)
+
+VENUES_DBLP = (
+    "SIGMOD Conference", "VLDB", "ICDE", "EDBT", "CIKM",
+    "ACM Trans. Database Syst.", "IEEE Trans. Knowl. Data Eng.",
+    "SIGMOD Record", "VLDB J.",
+)
+
+VENUES_ACM = (
+    "International Conference on Management of Data",
+    "Very Large Data Bases",
+    "International Conference on Data Engineering",
+    "Extending Database Technology",
+    "Conference on Information and Knowledge Management",
+    "ACM Transactions on Database Systems",
+    "IEEE Transactions on Knowledge and Data Engineering",
+    "ACM SIGMOD Record",
+    "The VLDB Journal",
+)
+
+# ----------------------------------------------------------------------
+# Restaurant domain
+# ----------------------------------------------------------------------
+
+RESTAURANT_ADJECTIVES = (
+    "golden", "silver", "blue", "red", "royal", "little", "grand", "old",
+    "new", "happy", "lucky", "cozy", "rustic", "urban", "coastal", "sunny",
+    "hidden", "green", "wild", "twin", "crimson", "emerald", "midnight",
+    "morning", "harvest", "smoky", "salty", "sweet", "spicy", "crooked",
+    "dancing", "whistling", "roaring", "gentle", "brave", "ancient",
+    "modern", "famous", "secret", "friendly",
+)
+
+RESTAURANT_NOUNS = (
+    "dragon", "garden", "palace", "kitchen", "table", "bistro", "grill",
+    "oven", "spoon", "fork", "lantern", "harbor", "orchard", "meadow",
+    "corner", "terrace", "hearth", "olive", "pepper", "basil", "rooster",
+    "tiger", "elephant", "whale", "sparrow", "pelican", "turtle", "rabbit",
+    "windmill", "lighthouse", "cottage", "veranda", "courtyard", "pantry",
+    "skillet", "kettle", "ladle", "platter", "tandoor", "wok",
+)
+
+RESTAURANT_TYPES = (
+    "restaurant", "cafe", "diner", "eatery", "tavern", "brasserie",
+    "trattoria", "cantina", "steakhouse", "noodle house",
+)
+
+RESTAURANT_ADJECTIVES_BG = (
+    "amber", "copper", "ivory", "velvet", "quiet", "bright", "humble",
+    "merry", "windy", "stone", "cedar", "maple", "winter", "summer",
+    "northern", "southern", "eastern", "western", "central", "highland",
+)
+
+RESTAURANT_NOUNS_BG = (
+    "falcon", "willow", "anchor", "barrel", "crown", "bridge", "mill",
+    "forge", "cellar", "garden gate", "fox", "heron", "thistle", "acorn",
+    "juniper", "saffron", "nutmeg", "clove", "tamarind", "sage",
+)
+
+CUISINES = (
+    "american", "italian", "french", "chinese", "japanese", "mexican",
+    "thai", "indian", "mediterranean", "seafood", "steakhouse", "bbq",
+)
+
+CITIES = (
+    "new york", "los angeles", "san francisco", "chicago", "atlanta",
+    "boston", "seattle", "austin", "denver", "portland",
+)
+
+CITIES_BG = (
+    "london", "paris", "berlin", "madrid", "rome", "amsterdam", "vienna",
+    "prague", "lisbon", "dublin",
+)
+
+STREET_NAMES = (
+    "main st.", "broadway", "5th ave.", "oak street", "maple avenue",
+    "market st.", "sunset blvd.", "river road", "park avenue",
+    "washington st.", "lake shore drive", "elm street", "2nd street",
+    "union square", "canal st.", "cedar lane", "birch boulevard",
+    "franklin ave.", "jefferson st.", "lincoln road", "madison drive",
+    "harbor view way", "pine crest court", "willow bend", "foxglove lane",
+    "grove street", "highland ave.", "mission blvd.", "ocean drive",
+    "prospect place", "spring garden st.", "vine street", "walnut st.",
+    "college ave.", "commerce way", "dockside road", "eagle pass",
+    "ferry landing", "granite row", "hillcrest terrace",
+)
+
+STREET_NAMES_BG = (
+    "high street", "king's road", "abbey lane", "rue de rivoli",
+    "unter den linden", "gran via", "via del corso", "damrak",
+    "ringstrasse", "wenceslas square", "rua augusta", "grafton street",
+    "queen's quay", "castle hill", "harbour walk",
+)
+
+# ----------------------------------------------------------------------
+# Electronics domain (Walmart-Amazon)
+# ----------------------------------------------------------------------
+
+BRANDS = (
+    "samsung", "sony", "dell", "hp", "lenovo", "asus", "acer", "apple",
+    "lg", "toshiba", "canon", "nikon", "panasonic", "logitech", "netgear",
+)
+
+BRANDS_BG = (
+    "nordix", "veltron", "quanta", "kyowa", "altus", "zenphone", "orbix",
+    "lumina", "cresta", "arkon", "novatek", "silvan", "peakline", "vexa",
+    "mirado",
+)
+
+PRODUCT_TYPES = (
+    "laptop", "tablet", "monitor", "keyboard", "mouse", "router", "camera",
+    "printer", "headphones", "speaker", "hard drive", "webcam", "charger",
+    "projector", "smartwatch",
+)
+
+PRODUCT_MODIFIERS = (
+    "wireless", "portable", "ultra slim", "gaming", "professional",
+    "compact", "ergonomic", "high speed", "noise cancelling", "4k",
+    "bluetooth", "mechanical", "rechargeable", "waterproof", "dual band",
+)
+
+PRODUCT_SPECS = (
+    "8gb memory", "16gb memory", "256gb ssd", "512gb ssd", "1tb storage",
+    "intel core i5", "intel core i7", "amd ryzen 5", "15.6 inch display",
+    "13.3 inch display", "usb-c", "hdmi output", "120hz refresh",
+    "10 hour battery", "backlit keys",
+)
+
+# ----------------------------------------------------------------------
+# Music domain (iTunes-Amazon)
+# ----------------------------------------------------------------------
+
+SONG_OPENERS = (
+    "dancing", "crying", "running", "dreaming", "falling", "waiting",
+    "burning", "flying", "singing", "drifting", "shining", "breaking",
+    "chasing", "holding", "losing", "finding",
+)
+
+SONG_SUBJECTS = (
+    "in the rain", "under the stars", "with you", "all night long",
+    "on the highway", "by the river", "in the moonlight", "for the summer",
+    "through the storm", "after midnight", "without a sound",
+    "in slow motion", "against the wind", "before the dawn",
+    "beyond the hills", "across the water",
+)
+
+SONG_OPENERS_BG = (
+    "wandering", "sailing", "whispering", "counting", "remembering",
+    "forgetting", "climbing", "floating", "spinning", "glowing",
+    "fading", "rising", "calling", "leaving", "returning", "believing",
+)
+
+SONG_SUBJECTS_BG = (
+    "along the coastline", "beneath the lanterns", "inside the echo",
+    "past the old pier", "between the seasons", "over the rooftops",
+    "behind the curtain", "near the lighthouse", "within the silence",
+    "beyond the meadow", "under the awning", "along the canal",
+    "through the orchard", "upon the ridge", "before the harvest",
+    "after the encore",
+)
+
+ARTIST_FIRST = (
+    "Ella", "Marvin", "Aretha", "Otis", "Nina", "Sam", "Etta", "Ray",
+    "Billie", "Louis", "Dinah", "Chet", "Patsy", "Hank", "Loretta",
+    "Johnny", "Dolly", "Willie", "Emmylou", "Townes",
+)
+
+ARTIST_LAST = (
+    "Rivers", "Monroe", "Hayes", "Brooks", "Carter", "Sullivan", "Bennett",
+    "Harper", "Monroe", "Whitfield", "Calloway", "Draper", "Ellington",
+    "Fontaine", "Graves", "Holloway", "Irving", "Jennings", "Kirkland",
+    "Lawson",
+)
+
+ARTIST_FIRST_BG = (
+    "Sigrid", "Matteo", "Amelie", "Bjorn", "Coralie", "Dario", "Elif",
+    "Fabio", "Greta", "Hugo", "Ilse", "Janek", "Katya", "Luca", "Maren",
+    "Nils", "Odette", "Paolo", "Runa", "Stellan",
+)
+
+ARTIST_LAST_BG = (
+    "Lindgren", "Moretti", "Beaumont", "Eriksen", "Castellano", "Dupont",
+    "Albrecht", "Rinaldi", "Sorensen", "Marchetti", "Leclair", "Vestergaard",
+    "Romano", "Girard", "Holm", "Petrov", "Sandoval", "Keller", "Ostberg",
+    "Fiorelli",
+)
+
+GENRES = (
+    "pop", "rock", "jazz", "blues", "country", "folk", "soul", "r&b",
+    "electronic", "classical", "hip hop", "indie",
+)
+
+LABELS = (
+    "sunset records", "bluebird music", "northside recordings",
+    "harbor lane records", "red brick music", "silver dollar records",
+    "wildflower music group", "late night records",
+)
+
+LABELS_BG = (
+    "aurora discs", "meridian sound", "old town recordings",
+    "lighthouse music", "ninth wave records", "velvet groove",
+    "paper lantern music", "high tide records",
+)

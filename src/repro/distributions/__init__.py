@@ -1,0 +1,32 @@
+"""Distribution substrate: multivariate GMMs and divergences.
+
+Paper Sections II-B and IV-A: the matching (M) and non-matching (N)
+similarity-vector distributions are modeled as multivariate Gaussian mixture
+models fit with EM, the number of components selected by AIC, and the overall
+O-distribution is the two-component mixture ``p = pi * p_m + (1 - pi) * p_n``.
+Section V updates the synthetic O-distribution incrementally (Eqs. 8-9) and
+compares distributions with Jensen-Shannon divergence (Eq. 3).
+"""
+
+from repro.distributions.divergence import (
+    jensen_shannon_divergence,
+    kl_divergence_monte_carlo,
+    pair_distribution_jsd,
+)
+from repro.distributions.gaussian import GaussianComponent, log_gaussian_pdf
+from repro.distributions.gmm import GaussianMixture, fit_gmm, select_gmm_by_aic
+from repro.distributions.incremental import IncrementalGMM
+from repro.distributions.mixture import PairDistribution
+
+__all__ = [
+    "GaussianComponent",
+    "GaussianMixture",
+    "IncrementalGMM",
+    "PairDistribution",
+    "fit_gmm",
+    "jensen_shannon_divergence",
+    "kl_divergence_monte_carlo",
+    "log_gaussian_pdf",
+    "pair_distribution_jsd",
+    "select_gmm_by_aic",
+]

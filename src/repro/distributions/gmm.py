@@ -1,0 +1,263 @@
+"""Gaussian mixture models fit with EM, component count chosen by AIC.
+
+Paper Section IV-A: the M- and N-distributions are multivariate GMMs; the
+number of components ``g`` minimizes the Akaike information criterion, and
+parameters are estimated by Expectation-Maximization (Eqs. 4-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.distributions.gaussian import GaussianComponent, regularize_covariance
+
+
+@dataclass
+class GaussianMixture:
+    """A fitted mixture ``sum_k pi_k N(mu_k, Sigma_k)``."""
+
+    weights: np.ndarray
+    components: tuple[GaussianComponent, ...]
+    log_likelihood_: float = float("nan")
+    n_observations_: int = 0
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.weights.ndim != 1 or self.weights.size != len(self.components):
+            raise ValueError("weights must align with components")
+        if np.any(self.weights < 0):
+            raise ValueError("weights must be non-negative")
+        total = float(self.weights.sum())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"weights must sum to 1, got {total}")
+        self.weights = self.weights / total
+        dims = {c.dim for c in self.components}
+        if len(dims) != 1:
+            raise ValueError(f"components disagree on dimension: {dims}")
+
+    @property
+    def n_components(self) -> int:
+        return len(self.components)
+
+    @property
+    def dim(self) -> int:
+        return self.components[0].dim
+
+    @property
+    def means(self) -> np.ndarray:
+        return np.vstack([c.mean for c in self.components])
+
+    # ------------------------------------------------------------------
+    # Densities
+    # ------------------------------------------------------------------
+    def component_log_pdf(self, points: np.ndarray) -> np.ndarray:
+        """Per-component weighted log densities, shape ``(n, g)``."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        columns = [
+            np.log(max(w, 1e-300)) + comp.log_pdf(points)
+            for w, comp in zip(self.weights, self.components)
+        ]
+        return np.column_stack(columns)
+
+    def log_pdf(self, points: np.ndarray) -> np.ndarray:
+        """Mixture log density at each row of ``points``."""
+        return logsumexp(self.component_log_pdf(points), axis=1)
+
+    def pdf(self, points: np.ndarray) -> np.ndarray:
+        return np.exp(self.log_pdf(points))
+
+    def responsibilities(self, points: np.ndarray) -> np.ndarray:
+        """E-step posteriors ``gamma_{i,k}`` (Eq. 5), shape ``(n, g)``."""
+        log_joint = self.component_log_pdf(points)
+        return np.exp(log_joint - logsumexp(log_joint, axis=1, keepdims=True))
+
+    # ------------------------------------------------------------------
+    # Sampling & information criteria
+    # ------------------------------------------------------------------
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` points from the mixture, shape ``(count, d)``."""
+        if count == 0:
+            return np.empty((0, self.dim))
+        choices = rng.choice(self.n_components, size=count, p=self.weights)
+        out = np.empty((count, self.dim))
+        for k, comp in enumerate(self.components):
+            mask = choices == k
+            n_k = int(mask.sum())
+            if n_k:
+                out[mask] = comp.sample(n_k, rng)
+        return out
+
+    def n_parameters(self) -> int:
+        """Free parameters: weights (g-1) + means (g d) + covariances (g d(d+1)/2)."""
+        g, d = self.n_components, self.dim
+        return (g - 1) + g * d + g * d * (d + 1) // 2
+
+    def aic(self, points: np.ndarray | None = None) -> float:
+        """Akaike information criterion; lower is better."""
+        if points is not None:
+            ll = float(self.log_pdf(points).sum())
+        else:
+            ll = self.log_likelihood_
+        return 2.0 * self.n_parameters() - 2.0 * ll
+
+    def bic(self, points: np.ndarray) -> float:
+        """Bayesian information criterion; lower is better."""
+        ll = float(self.log_pdf(points).sum())
+        return self.n_parameters() * float(np.log(len(points))) - 2.0 * ll
+
+    def to_dict(self) -> dict:
+        """JSON-serializable parameter dump."""
+        return {
+            "weights": self.weights.tolist(),
+            "means": [c.mean.tolist() for c in self.components],
+            "covariances": [c.covariance.tolist() for c in self.components],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GaussianMixture":
+        components = tuple(
+            GaussianComponent(np.array(m), np.array(c))
+            for m, c in zip(payload["means"], payload["covariances"])
+        )
+        return cls(np.array(payload["weights"]), components)
+
+
+def _kmeans_plus_plus(points: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial means across the data."""
+    n = len(points)
+    centers = [points[rng.integers(n)]]
+    for _ in range(1, k):
+        dist_sq = np.min(
+            [np.sum((points - c) ** 2, axis=1) for c in centers], axis=0
+        )
+        total = dist_sq.sum()
+        if total <= 0:
+            centers.append(points[rng.integers(n)])
+            continue
+        centers.append(points[rng.choice(n, p=dist_sq / total)])
+    return np.vstack(centers)
+
+
+def fit_gmm(
+    points: np.ndarray,
+    n_components: int,
+    rng: np.random.Generator,
+    *,
+    max_iterations: int = 200,
+    tolerance: float = 1e-6,
+    ridge: float = 1e-6,
+) -> GaussianMixture:
+    """Fit one GMM with EM (paper Eqs. 4-6).
+
+    Initialization is k-means++ on the data; covariances start from the global
+    covariance.  Components that collapse (take responsibility for < 1 point)
+    are re-seeded at a random data point.
+
+    Parameters
+    ----------
+    points:
+        Data matrix, shape ``(n, d)``.
+    n_components:
+        ``g``, the number of Gaussians.
+    rng:
+        Randomness for initialization and re-seeding.
+    max_iterations, tolerance:
+        EM stops when the per-point log-likelihood improves by less than
+        ``tolerance`` or after ``max_iterations`` iterations.
+    ridge:
+        Diagonal regularization added to every covariance.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    n, d = points.shape
+    if n == 0:
+        raise ValueError("cannot fit a GMM to zero points")
+    if n_components < 1:
+        raise ValueError(f"n_components must be >= 1, got {n_components}")
+    n_components = min(n_components, n)
+
+    # EM keeps an explicit variance floor (the ridge) so components
+    # cannot collapse; regularize_covariance alone is idempotent.
+    global_cov = regularize_covariance(
+        np.cov(points.T, bias=True).reshape(d, d) + ridge * np.eye(d), ridge
+    )
+    means = _kmeans_plus_plus(points, n_components, rng)
+    covariances = [global_cov.copy() for _ in range(n_components)]
+    weights = np.full(n_components, 1.0 / n_components)
+
+    previous_ll = -np.inf
+    mixture = GaussianMixture(
+        weights,
+        tuple(GaussianComponent(m, c) for m, c in zip(means, covariances)),
+    )
+    for _ in range(max_iterations):
+        # E-step (Eq. 5)
+        log_joint = mixture.component_log_pdf(points)
+        log_norm = logsumexp(log_joint, axis=1, keepdims=True)
+        gamma = np.exp(log_joint - log_norm)
+        ll = float(log_norm.sum())
+
+        # M-step (Eq. 6)
+        n_k = gamma.sum(axis=0)
+        new_means = np.empty_like(means)
+        new_covs = []
+        for k in range(n_components):
+            if n_k[k] < 1e-8:
+                # Collapsed component: re-seed on a random point.
+                new_means[k] = points[rng.integers(n)]
+                new_covs.append(global_cov.copy())
+                n_k[k] = 1.0
+                continue
+            new_means[k] = gamma[:, k] @ points / n_k[k]
+            centered = points - new_means[k]
+            cov = (gamma[:, k] * centered.T) @ centered / n_k[k]
+            new_covs.append(regularize_covariance(cov + ridge * np.eye(d), ridge))
+        weights = n_k / n_k.sum()
+        means = new_means
+        mixture = GaussianMixture(
+            weights,
+            tuple(GaussianComponent(m, c) for m, c in zip(means, new_covs)),
+        )
+        if abs(ll - previous_ll) < tolerance * max(1.0, abs(ll)):
+            previous_ll = ll
+            break
+        previous_ll = ll
+
+    mixture.log_likelihood_ = float(mixture.log_pdf(points).sum())
+    mixture.n_observations_ = n
+    return mixture
+
+
+def select_gmm_by_aic(
+    points: np.ndarray,
+    rng: np.random.Generator,
+    *,
+    max_components: int = 4,
+    restarts: int = 2,
+    **fit_kwargs,
+) -> GaussianMixture:
+    """Fit GMMs for ``g in [1, max_components]`` and keep the lowest AIC.
+
+    This is the model selection the paper applies to ``X+`` and ``X-``
+    (Section IV-A).  Each candidate ``g`` is fit ``restarts`` times with
+    different initializations and the best likelihood kept before AIC
+    comparison.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    best: GaussianMixture | None = None
+    best_aic = np.inf
+    upper = max(1, min(max_components, len(points)))
+    for g in range(1, upper + 1):
+        candidate: GaussianMixture | None = None
+        for _ in range(max(1, restarts)):
+            fitted = fit_gmm(points, g, rng, **fit_kwargs)
+            if candidate is None or fitted.log_likelihood_ > candidate.log_likelihood_:
+                candidate = fitted
+        assert candidate is not None
+        aic = candidate.aic(points)
+        if aic < best_aic:
+            best, best_aic = candidate, aic
+    assert best is not None
+    return best

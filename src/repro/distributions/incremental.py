@@ -1,0 +1,95 @@
+"""Incremental GMM updates (paper Section V, Eqs. 8-9).
+
+During synthesis, every accepted entity ``e'`` adds a batch of similarity
+vectors ``Delta X_syn`` to the synthetic distribution.  Re-running EM from
+scratch each time would be quadratic in the dataset size, so the paper folds
+the new vectors in incrementally: responsibilities for the new points are
+computed against the *frozen* parameters (Eq. 8), and the means, covariances
+and weights are re-estimated from the combined sufficient statistics (Eq. 9).
+
+:class:`IncrementalGMM` stores, per component ``k``:
+
+- ``s0[k] = sum_i gamma_{i,k}``            (responsibility mass)
+- ``s1[k] = sum_i gamma_{i,k} x_i``        (first moment)
+- ``s2[k] = sum_i gamma_{i,k} x_i x_i^T``  (second moment)
+
+from which ``mu_k = s1/s0`` and
+``Sigma_k = s2/s0 - mu_k mu_k^T`` — algebraically identical to the centered
+form in Eq. 9.  ``update`` is pure: it returns a new object, so a rejected
+entity's statistics are simply discarded (rejection rollback is free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.gaussian import GaussianComponent
+from repro.distributions.gmm import GaussianMixture
+
+
+@dataclass(frozen=True)
+class IncrementalGMM:
+    """A GMM together with the sufficient statistics that produced it."""
+
+    mixture: GaussianMixture
+    s0: np.ndarray  # (g,)
+    s1: np.ndarray  # (g, d)
+    s2: np.ndarray  # (g, d, d)
+    count: int
+    ridge: float = 1e-6
+
+    @classmethod
+    def from_fit(
+        cls, mixture: GaussianMixture, points: np.ndarray, ridge: float = 1e-6
+    ) -> "IncrementalGMM":
+        """Initialize statistics from the data a mixture was fit on."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        gamma = mixture.responsibilities(points)  # (n, g)
+        s0 = gamma.sum(axis=0)
+        s1 = gamma.T @ points
+        s2 = np.einsum("ik,id,ie->kde", gamma, points, points)
+        return cls(mixture, s0, s1, s2, len(points), ridge)
+
+    @property
+    def n_components(self) -> int:
+        return self.mixture.n_components
+
+    @property
+    def dim(self) -> int:
+        return self.mixture.dim
+
+    def update(self, new_points: np.ndarray) -> "IncrementalGMM":
+        """Fold ``new_points`` in and return the updated distribution.
+
+        Implements Eqs. 8-9: responsibilities ``gamma_hat`` for the new
+        points come from the current (frozen) parameters; the statistics are
+        summed and the parameters recomputed in closed form.
+        """
+        new_points = np.atleast_2d(np.asarray(new_points, dtype=np.float64))
+        if new_points.size == 0:
+            return self
+        if new_points.shape[1] != self.dim:
+            raise ValueError(
+                f"points have dimension {new_points.shape[1]}, expected {self.dim}"
+            )
+        gamma_hat = self.mixture.responsibilities(new_points)  # Eq. 8
+        s0 = self.s0 + gamma_hat.sum(axis=0)
+        s1 = self.s1 + gamma_hat.T @ new_points
+        s2 = self.s2 + np.einsum("ik,id,ie->kde", gamma_hat, new_points, new_points)
+        count = self.count + len(new_points)
+
+        # Eq. 9 in moment form.
+        components = []
+        weights = np.empty(self.n_components)
+        for k in range(self.n_components):
+            mass = max(float(s0[k]), 1e-12)
+            mean = s1[k] / mass
+            cov = s2[k] / mass - np.outer(mean, mean)
+            components.append(GaussianComponent(mean, cov + self.ridge * np.eye(self.dim)))
+            weights[k] = mass
+        weights = weights / weights.sum()
+        mixture = GaussianMixture(weights, tuple(components))
+        mixture.n_observations_ = count
+        return IncrementalGMM(mixture, s0, s1, s2, count, self.ridge)

@@ -1,0 +1,25 @@
+"""Experiment harnesses reproducing every table and figure of Section VII.
+
+Each module regenerates one paper artifact:
+
+========  =============================  =================================
+Paper      Module                         What it reports
+========  =============================  =================================
+Table I    :mod:`.table1_strings`         example synthesized strings
+Table II   :mod:`.table2_datasets`        dataset statistics
+Fig. 5     :mod:`.exp1_user_study`        user studies S1 and S2
+Fig. 6/7   :mod:`.exp2_model_eval`        matchers trained on real vs syn
+Fig. 8/9   :mod:`.exp3_data_eval`         M_real tested on T_real vs T_syn
+Table III  :mod:`.exp4_privacy`           Hitting Rate and DCR
+Table IV   :mod:`.exp5_efficiency`        offline / online wall-clock
+(ablate)   :mod:`.ablations`              alpha/beta, textgen, DP sweeps
+========  =============================  =================================
+
+:class:`~repro.experiments.context.ExperimentContext` caches the expensive
+artifacts (real datasets, fitted synthesizers, synthetic datasets) so the
+experiments and benchmarks share one synthesis per method.
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentScales
+
+__all__ = ["ExperimentContext", "ExperimentScales"]

@@ -1,0 +1,272 @@
+"""Ablations for the design choices DESIGN.md calls out.
+
+A1 — rejection parameters: sweep alpha (Eq. 10) and beta (discriminator
+threshold) and report the final JSD(O_syn, O_real) plus rejection activity.
+Expectation: larger alpha / smaller beta = laxer rejection = larger drift.
+
+A2 — text synthesis: search-budget sweep for the rule backend and candidate
+count for the transformer backend vs the achieved |sim' - sim| gap.
+Expectation: more budget / more candidates = tighter gaps (the paper uses 10
+candidates).
+
+A3 — DP noise: sigma sweep vs spent epsilon and synthesis quality.
+Expectation: more noise = smaller epsilon (more privacy) = looser similarity
+gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import SERDConfig
+from repro.core.serd import SERDSynthesizer
+from repro.datasets.loaders import load_background, load_dataset
+from repro.experiments.reporting import format_table
+from repro.gan.training import TabularGANConfig
+from repro.privacy.dpsgd import DPSGDConfig
+from repro.textgen.rules import RuleTextSynthesizer
+from repro.textgen.transformer_backend import (
+    TransformerTextSynthesizer,
+    TransformerTextSynthesizerConfig,
+)
+
+
+# ----------------------------------------------------------------------
+# A1: rejection parameters
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RejectionAblationRow:
+    alpha: float
+    beta: float
+    jsd_final: float | None
+    accepted: int
+    rejected_discriminator: int
+    rejected_distribution: int
+
+
+def run_rejection_ablation(
+    alphas: tuple[float, ...] = (0.5, 1.0, 2.0, float("inf")),
+    betas: tuple[float, ...] = (0.0, 0.6),
+    *,
+    dataset: str = "restaurant",
+    scale: float = 0.12,
+    seed: int = 7,
+) -> list[RejectionAblationRow]:
+    """Full SERD runs across the (alpha, beta) grid on one small dataset."""
+    real = load_dataset(dataset, scale=scale, seed=seed)
+    rows = []
+    for alpha in alphas:
+        for beta in betas:
+            config = SERDConfig(
+                seed=seed, alpha=alpha, beta=beta,
+                gan=TabularGANConfig(iterations=80),
+            )
+            synthesizer = SERDSynthesizer(config)
+            synthesizer.fit(real)
+            output = synthesizer.synthesize()
+            rows.append(
+                RejectionAblationRow(
+                    alpha=alpha,
+                    beta=beta,
+                    jsd_final=output.jsd_final,
+                    accepted=output.rejection_stats.get("accepted", 0),
+                    rejected_discriminator=output.rejection_stats.get(
+                        "discriminator", 0
+                    ),
+                    rejected_distribution=output.rejection_stats.get(
+                        "distribution", 0
+                    ),
+                )
+            )
+    return rows
+
+
+def report_rejection(rows: list[RejectionAblationRow]) -> str:
+    return format_table(
+        ["alpha", "beta", "JSD(O_syn, O_real)", "accepted", "rej(disc)", "rej(dist)"],
+        [
+            [r.alpha, r.beta,
+             "n/a" if r.jsd_final is None else f"{r.jsd_final:.4f}",
+             r.accepted, r.rejected_discriminator, r.rejected_distribution]
+            for r in rows
+        ],
+        title="Ablation A1 — rejection parameters (Section V)",
+    )
+
+
+# ----------------------------------------------------------------------
+# A1b: Delta X_syn sample size t (paper Section V, Remark 1)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DeltaSampleAblationRow:
+    delta_sample_size: int
+    jsd_final: float | None
+    online_seconds: float
+    rejected_distribution: int
+
+
+def run_delta_sample_ablation(
+    sample_sizes: tuple[int, ...] = (2, 10, 30),
+    *,
+    dataset: str = "restaurant",
+    scale: float = 0.1,
+    seed: int = 7,
+) -> list[DeltaSampleAblationRow]:
+    """Sweep ``t``, the number of opposite-table entities sampled when
+    computing ``Delta X_syn``.
+
+    The paper's Remark 1 introduces the sample to bound rejection cost;
+    larger ``t`` sees more of each candidate's induced pairs (better drift
+    detection) at higher online cost.
+    """
+    real = load_dataset(dataset, scale=scale, seed=seed)
+    rows = []
+    for t in sample_sizes:
+        config = SERDConfig(
+            seed=seed, delta_sample_size=t, gan=TabularGANConfig(iterations=60),
+        )
+        synthesizer = SERDSynthesizer(config)
+        synthesizer.fit(real)
+        output = synthesizer.synthesize()
+        rows.append(
+            DeltaSampleAblationRow(
+                delta_sample_size=t,
+                jsd_final=output.jsd_final,
+                online_seconds=output.online_seconds,
+                rejected_distribution=output.rejection_stats.get("distribution", 0),
+            )
+        )
+    return rows
+
+
+def report_delta_sample(rows: list[DeltaSampleAblationRow]) -> str:
+    return format_table(
+        ["t (delta sample)", "JSD(O_syn, O_real)", "online (s)", "rej(dist)"],
+        [
+            [r.delta_sample_size,
+             "n/a" if r.jsd_final is None else f"{r.jsd_final:.4f}",
+             f"{r.online_seconds:.2f}", r.rejected_distribution]
+            for r in rows
+        ],
+        title="Ablation A1b — Delta X_syn sample size (Section V, Remark 1)",
+    )
+
+
+# ----------------------------------------------------------------------
+# A2: text-synthesis budget
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TextAblationRow:
+    backend: str
+    parameter: str
+    value: int
+    mean_gap: float  # mean |sim' - sim|
+
+
+def run_textgen_ablation(
+    *,
+    dataset: str = "restaurant",
+    column: str = "name",
+    seed: int = 7,
+    n_trials: int = 30,
+) -> list[TextAblationRow]:
+    """Gap vs budget for both backends on one background corpus."""
+    corpus = load_background(dataset, column, size=150, seed=seed)
+    rng = np.random.default_rng(seed)
+    sources = [corpus[int(rng.integers(len(corpus)))] for _ in range(n_trials)]
+    targets = rng.uniform(0.05, 0.95, size=n_trials)
+    rows: list[TextAblationRow] = []
+
+    for steps in (5, 20, 40):
+        backend = RuleTextSynthesizer(corpus, max_steps=steps)
+        trial_rng = np.random.default_rng(seed + 1)
+        gaps = [
+            abs(backend.synthesize(s, t, trial_rng).similarity - t)
+            for s, t in zip(sources, targets)
+        ]
+        rows.append(TextAblationRow("rule", "max_steps", steps, float(np.mean(gaps))))
+
+    base = TransformerTextSynthesizerConfig(
+        n_buckets=4, pairs_per_bucket=24, training_iterations=15,
+        batch_size=6, max_length=32, d_model=24, n_heads=2, d_feedforward=48,
+    )
+    fitted = TransformerTextSynthesizer(base)
+    fitted.fit(corpus, np.random.default_rng(seed + 2))
+    for candidates in (1, 4, 10):
+        fitted.config = replace(base, n_candidates=candidates)
+        trial_rng = np.random.default_rng(seed + 3)
+        gaps = [
+            abs(fitted.synthesize(s, t, trial_rng).similarity - t)
+            for s, t in zip(sources[:10], targets[:10])
+        ]
+        rows.append(
+            TextAblationRow("transformer", "n_candidates", candidates,
+                            float(np.mean(gaps)))
+        )
+    return rows
+
+
+def report_textgen(rows: list[TextAblationRow]) -> str:
+    return format_table(
+        ["backend", "parameter", "value", "mean |sim' - sim|"],
+        [[r.backend, r.parameter, r.value, r.mean_gap] for r in rows],
+        title="Ablation A2 — text synthesis budget (Section VI)",
+    )
+
+
+# ----------------------------------------------------------------------
+# A3: DP noise scale
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrivacyAblationRow:
+    noise_scale: float
+    epsilon: float
+    mean_gap: float
+
+
+def run_privacy_ablation(
+    noise_scales: tuple[float, ...] = (0.5, 1.0, 2.0),
+    *,
+    dataset: str = "restaurant",
+    column: str = "name",
+    seed: int = 7,
+    delta: float = 1e-5,
+) -> list[PrivacyAblationRow]:
+    """Train tiny DP transformers at several sigmas; report epsilon + gap."""
+    corpus = load_background(dataset, column, size=60, seed=seed)
+    rng = np.random.default_rng(seed)
+    sources = [corpus[int(rng.integers(len(corpus)))] for _ in range(8)]
+    targets = rng.uniform(0.1, 0.9, size=8)
+    rows = []
+    for sigma in noise_scales:
+        config = TransformerTextSynthesizerConfig(
+            n_buckets=2, pairs_per_bucket=12, training_iterations=6,
+            batch_size=4, max_length=24, d_model=16, n_heads=2,
+            d_feedforward=32,
+            dp=DPSGDConfig(noise_scale=sigma, clip_norm=0.5, learning_rate=0.05),
+        )
+        backend = TransformerTextSynthesizer(config)
+        backend.fit(corpus, np.random.default_rng(seed + 5))
+        trial_rng = np.random.default_rng(seed + 6)
+        gaps = [
+            abs(backend.synthesize(s, t, trial_rng).similarity - t)
+            for s, t in zip(sources, targets)
+        ]
+        rows.append(
+            PrivacyAblationRow(
+                noise_scale=sigma,
+                epsilon=float(backend.epsilon(delta)),
+                mean_gap=float(np.mean(gaps)),
+            )
+        )
+    return rows
+
+
+def report_privacy(rows: list[PrivacyAblationRow]) -> str:
+    return format_table(
+        ["noise sigma", "epsilon (delta=1e-5)", "mean |sim' - sim|"],
+        [[r.noise_scale, r.epsilon, r.mean_gap] for r in rows],
+        title="Ablation A3 — DP noise scale vs privacy budget and quality",
+    )

@@ -1,0 +1,134 @@
+"""Shared, cached experiment state.
+
+Reproduction scales: the paper runs the full benchmark sizes over ~10 hours
+of model training per dataset (Table IV); this repository's substrate is a
+CPU numpy stack, so experiments default to reduced scales (recorded in
+EXPERIMENTS.md alongside results).  Everything is deterministic in the
+context seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.embench import EMBenchConfig, EMBenchSynthesizer
+from repro.core.config import SERDConfig
+from repro.core.serd import SERDSynthesizer, SynthesisOutput
+from repro.datasets.loaders import DATASET_NAMES, load_dataset
+from repro.gan.training import TabularGANConfig
+from repro.schema.dataset import ERDataset, MatchSplit, train_test_split
+
+
+@dataclass(frozen=True)
+class ExperimentScales:
+    """Per-dataset generation scales used by the experiments."""
+
+    dblp_acm: float = 0.06
+    restaurant: float = 0.20
+    walmart_amazon: float = 0.03
+    itunes_amazon: float = 0.015
+
+    def scale_of(self, name: str) -> float:
+        return getattr(self, name)
+
+
+class ExperimentContext:
+    """Lazily builds and caches real/synthetic datasets per benchmark.
+
+    ``serd(name)`` / ``serd_minus(name)`` / ``embench(name)`` return cached
+    synthesis outputs; ``split(name)`` the real train/test pair split used by
+    the matcher experiments.
+    """
+
+    METHODS = ("SERD", "SERD-", "EMBench")
+
+    def __init__(
+        self,
+        scales: ExperimentScales | None = None,
+        seed: int = 7,
+        serd_config: SERDConfig | None = None,
+        datasets: tuple[str, ...] = DATASET_NAMES,
+    ):
+        self.scales = scales or ExperimentScales()
+        self.seed = seed
+        self.datasets = datasets
+        self._serd_config = serd_config or SERDConfig(
+            seed=seed, gan=TabularGANConfig(iterations=120)
+        )
+        self._real: dict[str, ERDataset] = {}
+        self._split: dict[str, MatchSplit] = {}
+        self._synthesizer: dict[str, SERDSynthesizer] = {}
+        self._serd_out: dict[str, SynthesisOutput] = {}
+        self._serd_minus_out: dict[str, SynthesisOutput] = {}
+        self._embench: dict[str, ERDataset] = {}
+
+    # ------------------------------------------------------------------
+    # Real data
+    # ------------------------------------------------------------------
+    def real(self, name: str) -> ERDataset:
+        if name not in self._real:
+            self._real[name] = load_dataset(
+                name, scale=self.scales.scale_of(name), seed=self.seed
+            )
+        return self._real[name]
+
+    def split(self, name: str) -> MatchSplit:
+        """Real train/test pair split with blocking-style hard negatives."""
+        if name not in self._split:
+            from repro.experiments.protocol import make_matcher_split
+
+            rng = np.random.default_rng(self.seed + 101)
+            self._split[name] = make_matcher_split(
+                self.real(name),
+                self.synthesizer(name).similarity_model,
+                rng,
+                test_fraction=0.25,
+                negative_ratio=3.0,
+            )
+        return self._split[name]
+
+    # ------------------------------------------------------------------
+    # SERD / SERD- / EMBench
+    # ------------------------------------------------------------------
+    def synthesizer(self, name: str) -> SERDSynthesizer:
+        """The fitted SERD synthesizer (S1 + trained models) for a dataset."""
+        if name not in self._synthesizer:
+            synthesizer = SERDSynthesizer(self._serd_config)
+            synthesizer.fit(self.real(name))
+            self._synthesizer[name] = synthesizer
+        return self._synthesizer[name]
+
+    def serd(self, name: str) -> SynthesisOutput:
+        if name not in self._serd_out:
+            self._serd_out[name] = self.synthesizer(name).synthesize()
+        return self._serd_out[name]
+
+    def serd_minus(self, name: str) -> SynthesisOutput:
+        if name not in self._serd_minus_out:
+            synthesizer = SERDSynthesizer(self._serd_config.without_rejection())
+            synthesizer.fit(self.real(name))
+            self._serd_minus_out[name] = synthesizer.synthesize()
+        return self._serd_minus_out[name]
+
+    def embench(self, name: str) -> ERDataset:
+        if name not in self._embench:
+            self._embench[name] = EMBenchSynthesizer(
+                EMBenchConfig(seed=self.seed + 3)
+            ).synthesize(self.real(name))
+        return self._embench[name]
+
+    def synthetic(self, name: str, method: str) -> ERDataset:
+        """Synthetic dataset by method name ("SERD" | "SERD-" | "EMBench")."""
+        if method == "SERD":
+            return self.serd(name).dataset
+        if method == "SERD-":
+            return self.serd_minus(name).dataset
+        if method == "EMBench":
+            return self.embench(name)
+        raise KeyError(f"unknown method {method!r}; known: {self.METHODS}")
+
+    def rng(self, salt: int = 0) -> np.random.Generator:
+        """A fresh deterministic generator derived from the context seed."""
+        return np.random.default_rng(self.seed + salt)

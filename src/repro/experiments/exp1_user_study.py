@@ -1,0 +1,167 @@
+"""Exp-1 (Fig. 5): user studies over synthesized entities and pairs.
+
+S1 — "is this entity real?": the latent realism signal blends the GAN
+discriminator's score with a domain-vocabulary coverage heuristic (synthetic
+entities composed of in-domain words read as real; garbled strings do not).
+Paper shape: ~90% agree, <4% disagree.
+
+S2 — "is this pair matching?": workers perceive the pair's mean attribute
+similarity.  Paper shape: >=94% agreement on synthesized matching pairs,
+~100% on non-matching pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crowd.study import (
+    UserStudyS1Result,
+    UserStudyS2Result,
+    run_user_study_s1,
+    run_user_study_s2,
+)
+from repro.crowd.worker import WorkerPool
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table
+from repro.schema.entity import Entity
+from repro.schema.types import AttributeType
+
+
+@dataclass(frozen=True)
+class UserStudyRow:
+    dataset: str
+    s1: UserStudyS1Result
+    s2: UserStudyS2Result
+
+
+def _domain_vocabulary(context: ExperimentContext, name: str) -> set[str]:
+    """Words a domain-savvy worker would recognize: real + background."""
+    words: set[str] = set()
+    real = context.real(name)
+    synthesizer = context.synthesizer(name)
+    for table in (real.table_a, real.table_b):
+        for attr in real.schema.text_attributes:
+            for value in table.column(attr.name):
+                if value:
+                    words.update(str(value).lower().split())
+    for corpus in synthesizer._background.values():
+        for text in corpus:
+            words.update(text.lower().split())
+    return words
+
+
+def make_realism_fn(context: ExperimentContext, name: str):
+    """Entity -> latent realism in [0, 1].
+
+    The latent signal blends domain-vocabulary coverage with the GAN
+    discriminator's score *standardized against real entities*: an entity
+    whose words are all in-domain and whose discriminator score matches the
+    real entities' distribution sits at ~0.62 latent realism, where 5-worker
+    majorities agree ~90% of the time with a neutral tail — the operating
+    regime of the paper's Fig. 5(a).  (Absolute human agree-rates cannot be
+    derived offline; this calibration is the declared crowd-model
+    substitution, see DESIGN.md.)
+    """
+    vocabulary = _domain_vocabulary(context, name)
+    synthesizer = context.synthesizer(name)
+    real = context.real(name)
+    schema = real.schema
+    text_indices = [
+        i for i, attr in enumerate(schema) if attr.attr_type == AttributeType.TEXT
+    ]
+    reference_mean, reference_std = 0.5, 0.2
+    if synthesizer.gan is not None:
+        reference_scores = [
+            synthesizer.gan.discriminator_score(entity)
+            for entity in list(real.table_a)[:60]
+        ]
+        reference_mean = float(np.mean(reference_scores))
+        reference_std = float(max(0.05, np.std(reference_scores)))
+
+    def realism(entity: Entity) -> float:
+        tokens: list[str] = []
+        for index in text_indices:
+            value = entity.values[index]
+            if value:
+                tokens.extend(str(value).lower().split())
+        coverage = (
+            sum(t in vocabulary for t in tokens) / len(tokens) if tokens else 0.5
+        )
+        z_score = 0.0
+        if synthesizer.gan is not None:
+            score = synthesizer.gan.discriminator_score(entity)
+            z_score = (score - reference_mean) / (3.0 * reference_std)
+        return float(
+            np.clip(0.32 + 0.30 * coverage + 0.12 * z_score, 0.0, 1.0)
+        )
+
+    return realism
+
+
+def run_user_study(
+    context: ExperimentContext,
+    name: str,
+    *,
+    n_entities: int = 200,
+    n_pairs: int = 100,
+    pool: WorkerPool | None = None,
+) -> UserStudyRow:
+    """Both studies for one dataset's SERD output."""
+    pool = pool or WorkerPool(size=288, seed=context.seed)
+    output = context.serd(name)
+    synthetic = output.dataset
+    rng = context.rng(salt=11)
+    entities = list(synthetic.table_a) + list(synthetic.table_b)
+    if len(entities) > n_entities:
+        picks = rng.choice(len(entities), size=n_entities, replace=False)
+        entities = [entities[int(i)] for i in picks]
+    s1 = run_user_study_s1(entities, make_realism_fn(context, name), pool, rng)
+
+    similarity_model = context.synthesizer(name).similarity_model
+
+    def pair_signal(entity_a: Entity, entity_b: Entity) -> float:
+        return float(similarity_model.vector(entity_a, entity_b).mean())
+
+    matches = [synthetic.resolve(p) for p in synthetic.matches[:n_pairs]]
+    negatives = synthetic.sample_non_matches(
+        min(n_pairs, len(synthetic.table_a) * len(synthetic.table_b) // 4), rng
+    )
+    non_matches = [synthetic.resolve(p) for p in negatives]
+    s2 = run_user_study_s2(matches, non_matches, pair_signal, pool, rng)
+    return UserStudyRow(name, s1, s2)
+
+
+def run_all(context: ExperimentContext, **kwargs) -> list[UserStudyRow]:
+    pool = WorkerPool(size=288, seed=context.seed)
+    return [
+        run_user_study(context, name, pool=pool, **kwargs)
+        for name in context.datasets
+    ]
+
+
+def report(rows: list[UserStudyRow]) -> str:
+    s1_table = format_table(
+        ["dataset", "agree", "neutral", "disagree", "#entities"],
+        [
+            [r.dataset, r.s1.agree, r.s1.neutral, r.s1.disagree, r.s1.n_questions]
+            for r in rows
+        ],
+        title="Fig. 5(a) — user study S1: is the synthesized entity real?",
+    )
+    s2_table = format_table(
+        ["dataset", "match->match", "match->non", "non->match", "non->non"],
+        [
+            [
+                r.dataset,
+                r.s2.match_agreement,
+                1.0 - r.s2.match_agreement,
+                1.0 - r.s2.non_match_agreement,
+                r.s2.non_match_agreement,
+            ]
+            for r in rows
+        ],
+        title="Fig. 5(b) — user study S2: do workers agree with synthetic labels?",
+    )
+    return s1_table + "\n\n" + s2_table

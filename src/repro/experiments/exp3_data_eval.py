@@ -1,0 +1,136 @@
+"""Exp-3 (Figs. 8 and 9): the same model tested on real vs synthetic data.
+
+``M_real`` is trained on the real training pairs and evaluated on both the
+real test set ``T_real`` and a same-size test set ``T_syn`` sampled from
+each synthetic dataset.  Close scores mean the synthetic data has the same
+*characteristics* as the real data from the model's point of view.
+
+Paper shape: SERD gaps ~4% (Magellan) / ~2.9% (Deepmatcher) F1; SERD- ~15%;
+EMBench ~22%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.protocol import (
+    evaluate_on_pairs,
+    make_matcher,
+    shared_featurizer,
+)
+from repro.experiments.reporting import format_table
+from repro.matchers.evaluation import MatcherScores
+from repro.schema.dataset import ERDataset, Pair
+
+
+@dataclass(frozen=True)
+class DataEvalRow:
+    """M_real's scores on one test source."""
+
+    dataset: str
+    tested_on: str  # "Real" | method names
+    scores: MatcherScores
+    f1_difference: float
+
+
+def _synthetic_test_pairs(
+    synthetic: ERDataset,
+    similarity_model,
+    n_matches: int,
+    n_non_matches: int,
+    rng: np.random.Generator,
+) -> list[tuple[Pair, bool]]:
+    """A T_syn with the same label composition (and hard-negative mix) as
+    T_real."""
+    from repro.similarity.blocking import mixed_non_matches
+
+    matches = list(synthetic.matches)
+    rng.shuffle(matches)
+    matches = matches[: max(1, n_matches)]
+    capacity = len(synthetic.table_a) * len(synthetic.table_b) - len(synthetic.matches)
+    negatives = mixed_non_matches(
+        synthetic, similarity_model,
+        min(max(1, n_non_matches), max(1, capacity)), rng,
+    )
+    return [(p, True) for p in matches] + [(p, False) for p in negatives]
+
+
+def run_data_evaluation(
+    context: ExperimentContext, matcher_name: str, *, repetitions: int = 3
+) -> list[DataEvalRow]:
+    """Figs. 8/9 for one matcher family across all context datasets.
+
+    T_syn is resampled ``repetitions`` times and scores averaged."""
+    rows: list[DataEvalRow] = []
+    for name in context.datasets:
+        real = context.real(name)
+        split = context.split(name)
+        featurizer = shared_featurizer(context.synthesizer(name).similarity_model)
+
+        matcher = make_matcher(matcher_name, seed=context.seed)
+        train_x, train_y = featurizer.dataset_features(real, split.train_pairs)
+        matcher.fit(train_x, train_y)
+
+        real_scores = evaluate_on_pairs(matcher, real, featurizer, split.test_pairs)
+        rows.append(DataEvalRow(name, "Real", real_scores, 0.0))
+
+        n_matches = len(split.test_matches)
+        n_non = len(split.test_non_matches)
+        for method_index, method in enumerate(context.METHODS):
+            synthetic = context.synthetic(name, method)
+            per_rep = []
+            for rep in range(repetitions):
+                pairs = _synthetic_test_pairs(
+                    synthetic, featurizer.similarity_model, n_matches, n_non,
+                    context.rng(salt=2000 * method_index + rep),
+                )
+                per_rep.append(
+                    evaluate_on_pairs(matcher, synthetic, featurizer, pairs)
+                )
+            scores = MatcherScores.mean(per_rep)
+            rows.append(
+                DataEvalRow(name, method, scores, abs(scores.f1 - real_scores.f1))
+            )
+    return rows
+
+
+def average_differences(rows: list[DataEvalRow]) -> dict[str, MatcherScores]:
+    """Per-method average |metric - Real| across datasets."""
+    real_scores = {r.dataset: r.scores for r in rows if r.tested_on == "Real"}
+    by_method: dict[str, list[MatcherScores]] = {}
+    for row in rows:
+        if row.tested_on == "Real":
+            continue
+        base = real_scores[row.dataset]
+        by_method.setdefault(row.tested_on, []).append(row.scores.difference(base))
+    return {
+        method: MatcherScores(
+            precision=sum(d.precision for d in diffs) / len(diffs),
+            recall=sum(d.recall for d in diffs) / len(diffs),
+            f1=sum(d.f1 for d in diffs) / len(diffs),
+        )
+        for method, diffs in by_method.items()
+    }
+
+
+def report(rows: list[DataEvalRow], matcher_name: str) -> str:
+    figure = "Fig. 8 (Magellan)" if matcher_name == "magellan" else "Fig. 9 (Deepmatcher)"
+    body = format_table(
+        ["dataset", "tested on", "precision", "recall", "F1", "|dF1|"],
+        [
+            [r.dataset, r.tested_on, r.scores.precision, r.scores.recall,
+             r.scores.f1, r.f1_difference]
+            for r in rows
+        ],
+        title=f"{figure}: M_real tested on T_real vs T_syn",
+    )
+    averages = average_differences(rows)
+    summary = format_table(
+        ["method", "avg |dPrec|", "avg |dRec|", "avg |dF1|"],
+        [[m, s.precision, s.recall, s.f1] for m, s in sorted(averages.items())],
+        title="Average differences vs Real",
+    )
+    return body + "\n\n" + summary

@@ -1,0 +1,95 @@
+"""Exp-5 (Table IV): efficiency — offline vs online wall-clock time.
+
+Offline = S1 + model training (text synthesizers, GAN); online = the S2/S3
+synthesis loop.  Paper shape: offline grows with the number of textual
+columns, online with the number of entities; offline dominates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    dataset: str
+    n_text_columns: int
+    n_entities: int
+    offline_seconds: float
+    online_seconds: float
+
+
+def run_efficiency_evaluation(context: ExperimentContext) -> list[EfficiencyRow]:
+    """Timing of the cached SERD run per dataset (fit + synthesize)."""
+    rows = []
+    for name in context.datasets:
+        output = context.serd(name)
+        real = context.real(name)
+        rows.append(
+            EfficiencyRow(
+                dataset=name,
+                n_text_columns=len(real.schema.text_attributes),
+                n_entities=len(real.table_a) + len(real.table_b),
+                offline_seconds=output.offline_seconds,
+                online_seconds=output.online_seconds,
+            )
+        )
+    return rows
+
+
+def report(rows: list[EfficiencyRow]) -> str:
+    return format_table(
+        ["dataset", "#text cols", "#entities", "offline (s)", "online (s)"],
+        [
+            [r.dataset, r.n_text_columns, r.n_entities,
+             f"{r.offline_seconds:.2f}", f"{r.online_seconds:.2f}"]
+            for r in rows
+        ],
+        title="Table IV — efficiency (reduced scales; see EXPERIMENTS.md)",
+    )
+
+
+@dataclass(frozen=True)
+class ScalingRow:
+    n_entities: int
+    online_seconds: float
+    n_labeled_pairs: int
+
+
+def run_scaling_experiment(
+    context: ExperimentContext,
+    dataset: str = "restaurant",
+    sizes: tuple[int, ...] = (40, 80, 160),
+) -> list[ScalingRow]:
+    """Online-time scaling: synthesize ever-larger datasets from one fit.
+
+    Substantiates the paper's "the online time is proportional to the number
+    of entities" claim as a curve rather than a four-point table.  Reuses
+    the cached fitted synthesizer; each size is one synthesis run.
+    """
+    synthesizer = context.synthesizer(dataset)
+    rows = []
+    for size in sizes:
+        output = synthesizer.synthesize(n_a=size, n_b=size)
+        rows.append(
+            ScalingRow(
+                n_entities=2 * size,
+                online_seconds=output.online_seconds,
+                n_labeled_pairs=output.n_posterior_labeled,
+            )
+        )
+    return rows
+
+
+def report_scaling(rows: list[ScalingRow]) -> str:
+    return format_table(
+        ["#entities", "online (s)", "#labeled pairs"],
+        [
+            [r.n_entities, f"{r.online_seconds:.2f}", r.n_labeled_pairs]
+            for r in rows
+        ],
+        title="Exp-5 extension — online time vs synthetic dataset size",
+    )

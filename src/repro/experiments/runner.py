@@ -1,0 +1,62 @@
+"""Run every experiment and print the paper-artifact reports.
+
+``python -m repro.experiments.runner`` regenerates Tables I-IV and
+Figs. 5-9 at the default reduced scales.  Individual experiments can be
+invoked through their modules; they share one :class:`ExperimentContext` so
+synthesis happens once per method.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import exp1_user_study, exp2_model_eval, exp3_data_eval
+from repro.experiments import exp4_privacy, exp5_efficiency
+from repro.experiments import table1_strings, table2_datasets
+from repro.experiments.context import ExperimentContext
+
+
+def run_all(context: ExperimentContext | None = None, *, table2_full_scale: bool = False) -> dict[str, str]:
+    """Execute every experiment; returns {artifact: report text}."""
+    context = context or ExperimentContext()
+    reports: dict[str, str] = {}
+
+    examples = table1_strings.synthesize_examples(seed=context.seed)
+    reports["table1"] = table1_strings.report(examples)
+
+    scale = 1.0 if table2_full_scale else context.scales.scale_of(context.datasets[0])
+    stats = table2_datasets.dataset_statistics(
+        scale=1.0 if table2_full_scale else scale, seed=context.seed,
+        names=context.datasets,
+    )
+    reports["table2"] = table2_datasets.report(stats)
+
+    study_rows = exp1_user_study.run_all(context)
+    reports["fig5"] = exp1_user_study.report(study_rows)
+
+    for matcher_name, key in (("magellan", "fig6"), ("deepmatcher", "fig7")):
+        rows = exp2_model_eval.run_model_evaluation(context, matcher_name)
+        reports[key] = exp2_model_eval.report(rows, matcher_name)
+
+    for matcher_name, key in (("magellan", "fig8"), ("deepmatcher", "fig9")):
+        rows = exp3_data_eval.run_data_evaluation(context, matcher_name)
+        reports[key] = exp3_data_eval.report(rows, matcher_name)
+
+    privacy_rows = exp4_privacy.run_privacy_evaluation(context)
+    reports["table3"] = exp4_privacy.report(privacy_rows)
+
+    efficiency_rows = exp5_efficiency.run_efficiency_evaluation(context)
+    reports["table4"] = exp5_efficiency.report(efficiency_rows)
+    return reports
+
+
+def main() -> None:
+    context = ExperimentContext()
+    reports = run_all(context)
+    order = ["table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+             "table3", "table4"]
+    for key in order:
+        print(reports[key])
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Tabular GAN substrate (paper Sections IV-B2 and V, Case 1).
+
+The GAN plays two roles in SERD:
+
+1. **Cold start** — synthesize the first fake entity that bootstraps the S2
+   loop ("we bootstrap SERD ... by synthesizing the first entity
+   automatically using the GAN model", Section VII).
+2. **Entity rejection Case 1** — the discriminator scores each synthesized
+   entity; entities scoring below ``beta`` are rejected as not resembling
+   real entities (Section V).
+
+Entities are encoded into fixed-width vectors (min-max numerics, one-hot
+categoricals, hashed character-n-gram profiles for text) and a standard
+generator/discriminator MLP pair plays the adversarial game.
+"""
+
+from repro.gan.encoding import EntityEncoder
+from repro.gan.training import TabularGAN, TabularGANConfig
+
+__all__ = ["EntityEncoder", "TabularGAN", "TabularGANConfig"]

@@ -1,0 +1,172 @@
+"""Mixed-type entity <-> vector encoding for the tabular GAN.
+
+Per column type:
+
+- **numeric/date** — min-max scaled to [0, 1] (1 dim);
+- **categorical** — one-hot over the values observed at fit time;
+- **text** — an L2-normalized hashed character-3-gram profile
+  (``text_profile_dim`` dims), which captures enough surface structure for
+  the discriminator to judge realism, and decodes by nearest-profile lookup
+  into a candidate string pool.
+
+The decoder inverts each block, so generator outputs become concrete
+:class:`~repro.schema.entity.Entity` objects (the GAN cold-start entity).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.schema.entity import Entity, Relation
+from repro.schema.types import AttributeType, Schema
+from repro.similarity.ngram import qgrams
+
+
+def _hash_gram(gram: str, dim: int) -> int:
+    return zlib.crc32(gram.encode("utf-8")) % dim
+
+
+def text_profile(text: str, dim: int) -> np.ndarray:
+    """L2-normalized hashed 3-gram count vector of ``text``."""
+    profile = np.zeros(dim)
+    for gram in qgrams(text or "", 3):
+        profile[_hash_gram(gram, dim)] += 1.0
+    norm = np.linalg.norm(profile)
+    if norm > 0:
+        profile /= norm
+    return profile
+
+
+class EntityEncoder:
+    """Fit on relations, then encode/decode entities as float vectors."""
+
+    def __init__(self, schema: Schema, text_profile_dim: int = 16):
+        self.schema = schema
+        self.text_profile_dim = text_profile_dim
+        self._fitted = False
+        self._ranges: dict[str, tuple[float, float]] = {}
+        self._integral: dict[str, bool] = {}
+        self._categories: dict[str, list] = {}
+        self._text_pool: dict[str, list[str]] = {}
+        self._text_pool_profiles: dict[str, np.ndarray] = {}
+        self._blocks: list[tuple[str, int]] = []  # (attr name, width) in order
+
+    def fit(
+        self,
+        relations: Sequence[Relation],
+        text_pools: dict[str, Sequence[str]] | None = None,
+    ) -> "EntityEncoder":
+        """Learn ranges/categories from ``relations``.
+
+        ``text_pools`` supplies the candidate strings each text column may
+        decode to (background data for privacy-preserving cold start); when
+        omitted, observed values are used.
+        """
+        text_pools = text_pools or {}
+        for attr in self.schema:
+            values = []
+            for relation in relations:
+                values.extend(v for v in relation.column(attr.name) if v is not None)
+            if attr.attr_type in (AttributeType.NUMERIC, AttributeType.DATE):
+                numbers = [float(v) for v in values]
+                if not numbers:
+                    raise ValueError(f"column {attr.name!r} has no values to fit")
+                self._ranges[attr.name] = (min(numbers), max(numbers))
+                self._integral[attr.name] = all(v.is_integer() for v in numbers)
+                self._blocks.append((attr.name, 1))
+            elif attr.attr_type == AttributeType.CATEGORICAL:
+                seen: dict = {}
+                for value in values:
+                    seen.setdefault(value, None)
+                categories = list(seen)
+                if not categories:
+                    raise ValueError(f"column {attr.name!r} has no categories to fit")
+                self._categories[attr.name] = categories
+                self._blocks.append((attr.name, len(categories)))
+            else:  # TEXT
+                pool = list(text_pools.get(attr.name, ())) or [str(v) for v in values]
+                if not pool:
+                    raise ValueError(f"column {attr.name!r} has no text pool")
+                self._text_pool[attr.name] = pool
+                self._text_pool_profiles[attr.name] = np.vstack(
+                    [text_profile(t, self.text_profile_dim) for t in pool]
+                )
+                self._blocks.append((attr.name, self.text_profile_dim))
+        self._fitted = True
+        return self
+
+    @property
+    def dim(self) -> int:
+        """Total encoded width."""
+        self._require_fitted()
+        return sum(width for _, width in self._blocks)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("encoder is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def encode(self, entity: Entity) -> np.ndarray:
+        """Entity to a float vector in [0, 1]^dim (approximately)."""
+        self._require_fitted()
+        pieces = []
+        for attr in self.schema:
+            value = entity[attr.name]
+            if attr.attr_type in (AttributeType.NUMERIC, AttributeType.DATE):
+                if value is None:
+                    pieces.append(np.array([0.5]))  # missing -> mid-range
+                    continue
+                low, high = self._ranges[attr.name]
+                span = high - low
+                scaled = 0.5 if span == 0 else (float(value) - low) / span
+                pieces.append(np.array([np.clip(scaled, 0.0, 1.0)]))
+            elif attr.attr_type == AttributeType.CATEGORICAL:
+                categories = self._categories[attr.name]
+                onehot = np.zeros(len(categories))
+                if value in categories:
+                    onehot[categories.index(value)] = 1.0
+                pieces.append(onehot)
+            else:
+                pieces.append(text_profile("" if value is None else str(value),
+                                           self.text_profile_dim))
+        return np.concatenate(pieces)
+
+    def encode_many(self, entities: Sequence[Entity]) -> np.ndarray:
+        return np.vstack([self.encode(e) for e in entities])
+
+    # ------------------------------------------------------------------
+    # Decoding (generator output -> entity values)
+    # ------------------------------------------------------------------
+    def decode(self, vector: np.ndarray, entity_id: str = "gan-0") -> Entity:
+        """Nearest-valid-value decode of a generated vector."""
+        self._require_fitted()
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dim,):
+            raise ValueError(f"expected vector of shape ({self.dim},), got {vector.shape}")
+        values = []
+        offset = 0
+        for attr in self.schema:
+            width = dict(self._blocks)[attr.name]
+            block = vector[offset : offset + width]
+            offset += width
+            if attr.attr_type in (AttributeType.NUMERIC, AttributeType.DATE):
+                low, high = self._ranges[attr.name]
+                raw = low + float(np.clip(block[0], 0.0, 1.0)) * (high - low)
+                if attr.attr_type == AttributeType.DATE or self._integral[attr.name]:
+                    raw = int(round(raw))
+                else:
+                    raw = round(raw, 2)
+                values.append(raw)
+            elif attr.attr_type == AttributeType.CATEGORICAL:
+                categories = self._categories[attr.name]
+                values.append(categories[int(np.argmax(block))])
+            else:
+                profiles = self._text_pool_profiles[attr.name]
+                scores = profiles @ block
+                values.append(self._text_pool[attr.name][int(np.argmax(scores))])
+        return Entity(entity_id, self.schema, values)

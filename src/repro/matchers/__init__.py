@@ -1,0 +1,46 @@
+"""ER matchers: the models Exp-2/Exp-3 train on real vs synthetic data.
+
+- ``MagellanMatcher`` — random forest over similarity features, standing in
+  for the Magellan system's default learner [Konda et al., VLDB'16].
+- ``DeepMatcher`` — a neural matcher trained with the autograd substrate,
+  standing in for Deepmatcher [Mudgal et al., SIGMOD'18].
+- Plus the rest of Magellan's classical menu: decision tree, logistic
+  regression, linear SVM, k-NN.
+
+All matchers share the :class:`~repro.matchers.base.Matcher` interface:
+``fit(features, labels)`` / ``predict_proba(features)`` / ``predict``.
+"""
+
+from repro.matchers.base import Matcher
+from repro.matchers.deep import DeepMatcher, DeepMatcherConfig
+from repro.matchers.evaluation import (
+    MatcherScores,
+    evaluate_matcher,
+    precision_recall_f1,
+    train_and_evaluate,
+)
+from repro.matchers.features import PairFeaturizer
+from repro.matchers.forest import MagellanMatcher, RandomForestMatcher
+from repro.matchers.knn import KNNMatcher
+from repro.matchers.logistic import LogisticMatcher
+from repro.matchers.svm import LinearSVMMatcher
+from repro.matchers.tree import DecisionTreeMatcher
+from repro.matchers.zeroer import ZeroERMatcher
+
+__all__ = [
+    "DecisionTreeMatcher",
+    "DeepMatcher",
+    "DeepMatcherConfig",
+    "KNNMatcher",
+    "LinearSVMMatcher",
+    "LogisticMatcher",
+    "MagellanMatcher",
+    "Matcher",
+    "MatcherScores",
+    "PairFeaturizer",
+    "RandomForestMatcher",
+    "ZeroERMatcher",
+    "evaluate_matcher",
+    "precision_recall_f1",
+    "train_and_evaluate",
+]

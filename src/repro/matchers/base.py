@@ -1,0 +1,38 @@
+"""Common matcher interface."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Matcher:
+    """Binary classifier over pair-feature vectors.
+
+    Subclasses implement :meth:`fit` and :meth:`predict_proba`; ``predict``
+    thresholds at 0.5.
+    """
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "Matcher":
+        raise NotImplementedError
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(matching) for each row, shape ``(n,)``."""
+        raise NotImplementedError
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Boolean matching predictions."""
+        return self.predict_proba(features) >= 0.5
+
+    @staticmethod
+    def _validate(features: np.ndarray, labels: np.ndarray | None = None):
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if labels is None:
+            return features
+        labels = np.asarray(labels).astype(np.float64).ravel()
+        if len(labels) != len(features):
+            raise ValueError(
+                f"{len(features)} feature rows but {len(labels)} labels"
+            )
+        if not np.isin(labels, (0.0, 1.0)).all():
+            raise ValueError("labels must be binary (0/1 or bool)")
+        return features, labels

@@ -1,0 +1,95 @@
+"""Matcher evaluation: precision / recall / F1 and the Exp-2 protocol.
+
+The paper's metric definitions (Exp-2): with TP/FP/FN counted over matching
+predictions, ``precision = TP/(TP+FP)``, ``recall = TP/(TP+FN)``,
+``F1 = 2PR/(P+R)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matchers.base import Matcher
+
+
+@dataclass(frozen=True)
+class MatcherScores:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def difference(self, other: "MatcherScores") -> "MatcherScores":
+        """Absolute per-metric differences — the quantity Figs. 6-9 report."""
+        return MatcherScores(
+            abs(self.precision - other.precision),
+            abs(self.recall - other.recall),
+            abs(self.f1 - other.f1),
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {"precision": self.precision, "recall": self.recall, "f1": self.f1}
+
+    @staticmethod
+    def mean(scores: list["MatcherScores"]) -> "MatcherScores":
+        """Component-wise average (experiments repeat sampling and average)."""
+        if not scores:
+            raise ValueError("no scores to average")
+        return MatcherScores(
+            precision=sum(s.precision for s in scores) / len(scores),
+            recall=sum(s.recall for s in scores) / len(scores),
+            f1=sum(s.f1 for s in scores) / len(scores),
+        )
+
+
+def precision_recall_f1(
+    predicted: np.ndarray, actual: np.ndarray
+) -> MatcherScores:
+    """Scores from boolean prediction and truth arrays.
+
+    Degenerate denominators yield 0.0 (no predicted positives -> precision 0,
+    etc.), matching the usual ER-evaluation convention.
+    """
+    predicted = np.asarray(predicted).astype(bool).ravel()
+    actual = np.asarray(actual).astype(bool).ravel()
+    if predicted.shape != actual.shape:
+        raise ValueError("prediction/truth length mismatch")
+    true_positive = int(np.sum(predicted & actual))
+    false_positive = int(np.sum(predicted & ~actual))
+    false_negative = int(np.sum(~predicted & actual))
+    precision = (
+        true_positive / (true_positive + false_positive)
+        if true_positive + false_positive
+        else 0.0
+    )
+    recall = (
+        true_positive / (true_positive + false_negative)
+        if true_positive + false_negative
+        else 0.0
+    )
+    f1 = (
+        2.0 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    return MatcherScores(precision, recall, f1)
+
+
+def evaluate_matcher(
+    matcher: Matcher, test_features: np.ndarray, test_labels: np.ndarray
+) -> MatcherScores:
+    """Score a fitted matcher on a test feature table."""
+    return precision_recall_f1(matcher.predict(test_features), test_labels)
+
+
+def train_and_evaluate(
+    matcher: Matcher,
+    train_features: np.ndarray,
+    train_labels: np.ndarray,
+    test_features: np.ndarray,
+    test_labels: np.ndarray,
+) -> MatcherScores:
+    """Fit on the train table, score on the test table."""
+    matcher.fit(train_features, train_labels)
+    return evaluate_matcher(matcher, test_features, test_labels)

@@ -1,0 +1,43 @@
+"""k-nearest-neighbour matcher (brute force — feature spaces are tiny)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.base import Matcher
+
+
+class KNNMatcher(Matcher):
+    """Distance-weighted k-NN over standardized features."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._features: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNNMatcher":
+        features, labels = self._validate(features, labels)
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        self._features = (features - self._mean) / self._std
+        self._labels = labels
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._features is None or self._labels is None:
+            raise RuntimeError("model is not fitted")
+        features = self._validate(features)
+        standardized = (features - self._mean) / self._std
+        k = min(self.k, len(self._features))
+        out = np.empty(len(standardized))
+        for i, row in enumerate(standardized):
+            distances = np.linalg.norm(self._features - row, axis=1)
+            nearest = np.argpartition(distances, k - 1)[:k]
+            weights = 1.0 / (distances[nearest] + 1e-9)
+            out[i] = float(np.average(self._labels[nearest], weights=weights))
+        return out

@@ -1,0 +1,57 @@
+"""L2-regularized logistic regression trained by full-batch gradient descent."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.base import Matcher
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+
+
+class LogisticMatcher(Matcher):
+    """Logistic regression with feature standardization."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        iterations: int = 300,
+        l2: float = 1e-3,
+    ):
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (features - self._mean) / self._std
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticMatcher":
+        features, labels = self._validate(features, labels)
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        standardized = self._standardize(features)
+        n, d = standardized.shape
+        self._weights = np.zeros(d)
+        self._bias = 0.0
+        for _ in range(self.iterations):
+            predictions = _sigmoid(standardized @ self._weights + self._bias)
+            error = predictions - labels
+            grad_w = standardized.T @ error / n + self.l2 * self._weights
+            grad_b = float(error.mean())
+            self._weights -= self.learning_rate * grad_w
+            self._bias -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("model is not fitted")
+        features = self._validate(features)
+        return _sigmoid(self._standardize(features) @ self._weights + self._bias)

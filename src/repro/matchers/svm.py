@@ -1,0 +1,78 @@
+"""Linear SVM trained with Pegasos-style SGD on the hinge loss."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matchers.base import Matcher
+
+
+class LinearSVMMatcher(Matcher):
+    """Primal linear SVM; probabilities via a logistic link on the margin."""
+
+    def __init__(
+        self,
+        regularization: float = 1e-2,
+        epochs: int = 40,
+        seed: int = 0,
+        class_weighted: bool = True,
+    ):
+        if regularization <= 0:
+            raise ValueError(f"regularization must be > 0, got {regularization}")
+        self.regularization = regularization
+        self.epochs = epochs
+        self.seed = seed
+        self.class_weighted = class_weighted
+        self._weights: np.ndarray | None = None
+        self._bias = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        assert self._mean is not None and self._std is not None
+        return (features - self._mean) / self._std
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVMMatcher":
+        features, labels = self._validate(features, labels)
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0)
+        self._std[self._std < 1e-12] = 1.0
+        standardized = self._standardize(features)
+        signs = np.where(labels > 0.5, 1.0, -1.0)
+        n, d = standardized.shape
+        # ER training pairs are imbalanced (1 match : several non-matches);
+        # class weighting keeps the hinge boundary between the classes.
+        if self.class_weighted:
+            n_pos = max(1.0, float((labels > 0.5).sum()))
+            n_neg = max(1.0, float(n - n_pos))
+            weights = np.where(labels > 0.5, n / (2 * n_pos), n / (2 * n_neg))
+        else:
+            weights = np.ones(n)
+        rng = np.random.default_rng(self.seed)
+        self._weights = np.zeros(d)
+        self._bias = 0.0
+        step = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for index in order:
+                step += 1
+                eta = 1.0 / (self.regularization * step)
+                margin = signs[index] * (
+                    standardized[index] @ self._weights + self._bias
+                )
+                self._weights *= 1.0 - eta * self.regularization
+                if margin < 1.0:
+                    update = eta * weights[index] * signs[index]
+                    self._weights += update * standardized[index]
+                    self._bias += update
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("model is not fitted")
+        features = self._validate(features)
+        return self._standardize(features) @ self._weights + self._bias
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        margins = self.decision_function(features)
+        return 1.0 / (1.0 + np.exp(-np.clip(2.0 * margins, -60, 60)))

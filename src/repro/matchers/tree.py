@@ -1,0 +1,159 @@
+"""CART decision tree (gini impurity), the building block of the forest."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matchers.base import Matcher
+
+
+@dataclass
+class _Node:
+    """Internal or leaf node; leaves carry a matching probability."""
+
+    probability: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    fractions = counts / total
+    return 1.0 - float(np.sum(fractions**2))
+
+
+class DecisionTreeMatcher(Matcher):
+    """Binary CART with threshold splits on continuous features.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth.
+    min_samples_leaf:
+        Minimum examples per leaf.
+    max_features:
+        Features considered per split: ``None`` (all), an int, or ``"sqrt"``
+        (random-forest style subsampling — requires ``rng``).
+    rng:
+        Randomness for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 2,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng or np.random.default_rng(0)
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def _features_to_consider(self, n_features: int) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(n_features)
+        if self.max_features == "sqrt":
+            count = max(1, int(np.sqrt(n_features)))
+        else:
+            count = min(int(self.max_features), n_features)
+        return self.rng.choice(n_features, size=count, replace=False)
+
+    def _best_split(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """(feature, threshold, gain) of the best gini split, or None."""
+        n = len(labels)
+        parent_counts = np.array([n - labels.sum(), labels.sum()])
+        parent_gini = _gini(parent_counts)
+        best: tuple[int, float, float] | None = None
+        for feature in self._features_to_consider(features.shape[1]):
+            column = features[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_labels = labels[order]
+            # Prefix label counts; split between consecutive distinct values.
+            positives = np.cumsum(sorted_labels)
+            totals = np.arange(1, n + 1)
+            distinct = np.nonzero(np.diff(sorted_vals) > 1e-12)[0]
+            for cut in distinct:
+                left_n = cut + 1
+                right_n = n - left_n
+                if left_n < self.min_samples_leaf or right_n < self.min_samples_leaf:
+                    continue
+                left_pos = positives[cut]
+                right_pos = positives[-1] - left_pos
+                left_gini = _gini(np.array([left_n - left_pos, left_pos]))
+                right_gini = _gini(np.array([right_n - right_pos, right_pos]))
+                weighted = (left_n * left_gini + right_n * right_gini) / n
+                gain = parent_gini - weighted
+                if gain > 1e-12 and (best is None or gain > best[2]):
+                    threshold = 0.5 * (sorted_vals[cut] + sorted_vals[cut + 1])
+                    best = (int(feature), float(threshold), float(gain))
+        _ = totals  # silence linters: kept for clarity of the prefix trick
+        return best
+
+    def _grow(self, features: np.ndarray, labels: np.ndarray, depth: int) -> _Node:
+        probability = float(labels.mean()) if len(labels) else 0.0
+        if (
+            depth >= self.max_depth
+            or len(labels) < 2 * self.min_samples_leaf
+            or probability in (0.0, 1.0)
+        ):
+            return _Node(probability)
+        split = self._best_split(features, labels)
+        if split is None:
+            return _Node(probability)
+        feature, threshold, _ = split
+        mask = features[:, feature] <= threshold
+        left = self._grow(features[mask], labels[mask], depth + 1)
+        right = self._grow(features[~mask], labels[~mask], depth + 1)
+        return _Node(probability, feature, threshold, left, right)
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "DecisionTreeMatcher":
+        features, labels = self._validate(features, labels)
+        self._root = self._grow(features, labels, depth=0)
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        features = self._validate(features)
+        out = np.empty(len(features))
+        for i, row in enumerate(features):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.probability
+        return out
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+
+        def _depth(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return _depth(self._root)

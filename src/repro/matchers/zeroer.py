@@ -1,0 +1,117 @@
+"""ZeroER-style unsupervised matcher [Wu et al., SIGMOD'20].
+
+The paper builds its distribution model on ZeroER's observation that
+matching and non-matching similarity vectors follow two distinguishable
+distributions.  ZeroER needs *zero labels*: it fits a two-component mixture
+over all candidate pair vectors with EM — one component per class — and
+labels each pair by posterior, identifying the matching component as the one
+with the higher mean similarity.
+
+Included both as a baseline matcher (it shares the ``Matcher`` interface but
+ignores the labels passed to ``fit``) and as a sanity check that the GMM
+substrate supports the reference system the paper cites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.distributions.gmm import GaussianMixture, fit_gmm
+from repro.matchers.base import Matcher
+
+
+class ZeroERMatcher(Matcher):
+    """Unsupervised two-cluster EM over pair similarity vectors.
+
+    Parameters
+    ----------
+    components_per_class:
+        GMM components per side (ZeroER uses 1 Gaussian per class; allow
+        more for multi-modal similarity data).
+    max_iterations:
+        Outer EM iterations alternating responsibilities and per-class
+        refits.
+    seed:
+        Initialization randomness.
+    """
+
+    def __init__(
+        self,
+        components_per_class: int = 1,
+        max_iterations: int = 30,
+        seed: int = 0,
+    ):
+        if components_per_class < 1:
+            raise ValueError("components_per_class must be >= 1")
+        self.components_per_class = components_per_class
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.match_distribution: GaussianMixture | None = None
+        self.non_match_distribution: GaussianMixture | None = None
+        self.match_prior_ = 0.5
+
+    def fit(self, features: np.ndarray, labels: np.ndarray | None = None) -> "ZeroERMatcher":
+        """Fit from *unlabeled* similarity vectors; ``labels`` are ignored.
+
+        Initialization splits the data at the median mean-similarity, then
+        alternates: assign each vector to the class with higher posterior,
+        refit each class's GMM.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if len(features) < 4:
+            raise ValueError("need at least 4 vectors to separate two classes")
+        rng = np.random.default_rng(self.seed)
+        mean_similarity = features.mean(axis=1)
+        assignment = mean_similarity > np.median(mean_similarity)
+        if assignment.all() or not assignment.any():
+            # Degenerate split (constant data): split in half arbitrarily.
+            assignment = np.zeros(len(features), dtype=bool)
+            assignment[: len(features) // 2] = True
+
+        for _ in range(self.max_iterations):
+            high = features[assignment]
+            low = features[~assignment]
+            if len(high) < 2 or len(low) < 2:
+                break
+            high_gmm = fit_gmm(
+                high, min(self.components_per_class, len(high)), rng
+            )
+            low_gmm = fit_gmm(low, min(self.components_per_class, len(low)), rng)
+            prior = float(np.clip(assignment.mean(), 1e-6, 1 - 1e-6))
+            log_high = np.log(prior) + high_gmm.log_pdf(features)
+            log_low = np.log1p(-prior) + low_gmm.log_pdf(features)
+            new_assignment = log_high >= log_low
+            self.match_distribution = high_gmm
+            self.non_match_distribution = low_gmm
+            self.match_prior_ = prior
+            if (new_assignment == assignment).all():
+                break
+            if new_assignment.all() or not new_assignment.any():
+                break
+            assignment = new_assignment
+
+        # Identify the matching side as the higher-mean component set.
+        assert self.match_distribution is not None
+        if (
+            self.match_distribution.means.mean()
+            < self.non_match_distribution.means.mean()
+        ):
+            self.match_distribution, self.non_match_distribution = (
+                self.non_match_distribution,
+                self.match_distribution,
+            )
+            self.match_prior_ = 1.0 - self.match_prior_
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.match_distribution is None:
+            raise RuntimeError("model is not fitted")
+        features = self._validate(features)
+        log_match = np.log(max(self.match_prior_, 1e-12)) + (
+            self.match_distribution.log_pdf(features)
+        )
+        log_non = np.log(max(1.0 - self.match_prior_, 1e-12)) + (
+            self.non_match_distribution.log_pdf(features)
+        )
+        return np.exp(log_match - logsumexp([log_match, log_non], axis=0))

@@ -1,0 +1,56 @@
+"""A small reverse-mode autograd engine and neural-network library on numpy.
+
+The paper trains transformer seq2seq models (Vaswani et al.) for string
+synthesis, a tabular GAN for cold start and entity rejection, and a deep
+matcher — all of which this substrate supports offline, torch-free.
+
+Layout mirrors the familiar torch API at miniature scale:
+
+- :mod:`repro.nn.tensor` — :class:`Tensor` with broadcasting-aware backward.
+- :mod:`repro.nn.layers` — ``Module``, ``Linear``, ``Embedding``,
+  ``LayerNorm``, ``Dropout``, ``Sequential``.
+- :mod:`repro.nn.attention` — multi-head scaled dot-product attention.
+- :mod:`repro.nn.transformer` — encoder-decoder transformer with sampling
+  decode (paper Section VI / Fig. 4).
+- :mod:`repro.nn.optim` — SGD and Adam.
+- :mod:`repro.nn.losses` — cross entropy (with padding mask), BCE.
+"""
+
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import binary_cross_entropy, cross_entropy
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.transformer import Seq2SeqTransformer, TransformerConfig
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "MultiHeadAttention",
+    "Optimizer",
+    "ReLU",
+    "SGD",
+    "Seq2SeqTransformer",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "TransformerConfig",
+    "binary_cross_entropy",
+    "cross_entropy",
+    "no_grad",
+]

@@ -1,0 +1,90 @@
+"""Multi-head scaled dot-product attention (Vaswani et al., 2017).
+
+The paper uses the "typical transformer model from the Attention is All You
+Need paper" with 8 heads (Section VII, Settings); our default configs scale
+the head count down with the model size but the mechanism is identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Multi-head attention with optional additive boolean masking.
+
+    Masks are boolean ndarrays broadcastable to ``(batch, heads, q_len,
+    k_len)`` where True marks positions to *block* (set to -inf before
+    softmax) — the convention used for both padding and causal masks.
+    """
+
+    def __init__(
+        self,
+        d_model: int,
+        n_heads: int,
+        rng: np.random.Generator,
+        dropout: float = 0.0,
+    ):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError(f"d_model={d_model} not divisible by n_heads={n_heads}")
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.query_proj = Linear(d_model, d_model, rng)
+        self.key_proj = Linear(d_model, d_model, rng)
+        self.value_proj = Linear(d_model, d_model, rng)
+        self.out_proj = Linear(d_model, d_model, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def _split_heads(self, tensor: Tensor, batch: int, length: int) -> Tensor:
+        # (batch, len, d_model) -> (batch, heads, len, d_head)
+        return tensor.reshape(batch, length, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(
+        self,
+        query: Tensor,
+        key: Tensor,
+        value: Tensor,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Attend ``query`` over ``key``/``value``.
+
+        Shapes: query ``(batch, q_len, d_model)``, key/value ``(batch, k_len,
+        d_model)``; returns ``(batch, q_len, d_model)``.
+        """
+        batch, q_len, _ = query.shape
+        k_len = key.shape[1]
+        q = self._split_heads(self.query_proj(query), batch, q_len)
+        k = self._split_heads(self.key_proj(key), batch, k_len)
+        v = self._split_heads(self.value_proj(value), batch, k_len)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        if mask is not None:
+            scores = scores.masked_fill(mask, -1e9)
+        weights = self.dropout(scores.softmax(axis=-1))
+        context = weights @ v  # (batch, heads, q_len, d_head)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.d_model)
+        return self.out_proj(merged)
+
+
+def padding_mask(token_ids: np.ndarray, pad_id: int) -> np.ndarray:
+    """Mask blocking attention *to* padding keys.
+
+    Shape ``(batch, 1, 1, k_len)`` — broadcasts over heads and query
+    positions.
+    """
+    blocked = np.asarray(token_ids) == pad_id
+    return blocked[:, None, None, :]
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Upper-triangular mask blocking attention to future positions.
+
+    Shape ``(1, 1, length, length)``.
+    """
+    blocked = np.triu(np.ones((length, length), dtype=bool), k=1)
+    return blocked[None, None, :, :]

@@ -1,0 +1,77 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    *,
+    ignore_index: int | None = None,
+    reduction: str = "mean",
+) -> Tensor:
+    """Token-level cross entropy.
+
+    Parameters
+    ----------
+    logits:
+        ``(..., vocab)`` unnormalized scores.
+    targets:
+        Integer class ids with shape ``logits.shape[:-1]``.
+    ignore_index:
+        Target id to exclude (e.g. PAD=0 for seq2seq training).
+    reduction:
+        ``"mean"`` (over non-ignored targets), ``"sum"``, or ``"none"``
+        (per-position losses as a flat Tensor).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits {logits.shape}"
+        )
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    log_probs = flat_logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(flat_targets.size), flat_targets]
+    losses = -picked
+    if ignore_index is not None:
+        keep = (flat_targets != ignore_index).astype(np.float64)
+        losses = losses * Tensor(keep)
+        count = max(1.0, float(keep.sum()))
+    else:
+        count = float(flat_targets.size)
+    if reduction == "none":
+        return losses
+    if reduction == "sum":
+        return losses.sum()
+    if reduction == "mean":
+        return losses.sum() * (1.0 / count)
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def binary_cross_entropy(
+    probabilities: Tensor, targets: np.ndarray, *, eps: float = 1e-7
+) -> Tensor:
+    """Mean BCE between predicted probabilities and 0/1 targets.
+
+    Inputs are clamped away from {0, 1} for numerical stability — the GAN's
+    discriminator saturates early in training.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    clamped = Tensor(np.clip(probabilities.data, eps, 1.0 - eps))
+    # Route gradients through the original tensor where not clamped.
+    clamped = probabilities + (clamped - probabilities).detach()
+    positive = Tensor(targets) * clamped.log()
+    negative = Tensor(1.0 - targets) * (1.0 - clamped).log()
+    return -(positive + negative).mean()
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    difference = predictions - Tensor(np.asarray(targets, dtype=np.float64))
+    return (difference * difference).mean()

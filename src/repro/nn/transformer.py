@@ -1,0 +1,322 @@
+"""Encoder-decoder transformer for character-level string synthesis.
+
+Paper Section VI and Fig. 4: the string synthesizer is a typical transformer
+(character tokens, sinusoidal positions, multi-head attention, 3+3 layers in
+the paper).  Inference uses *sampling* decoding so that one input string can
+yield several candidate outputs, from which the caller keeps the one whose
+similarity to the input is closest to the target (paper's "number of
+candidate output strings").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadAttention, causal_mask, padding_mask
+from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Hyper-parameters of the seq2seq transformer.
+
+    The paper uses hidden 256, 3 encoder + 3 decoder layers, 8 heads,
+    dropout 0.1; the defaults here are scaled down so DP-SGD training on a
+    CPU numpy substrate stays fast (see DESIGN.md substitution table).
+    """
+
+    vocab_size: int
+    d_model: int = 64
+    n_heads: int = 4
+    n_encoder_layers: int = 2
+    n_decoder_layers: int = 2
+    d_feedforward: int = 128
+    dropout: float = 0.1
+    max_length: int = 96
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 4:
+            raise ValueError("vocab must include PAD/BOS/EOS/UNK at minimum")
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+
+
+def sinusoidal_positions(max_length: int, d_model: int) -> np.ndarray:
+    """The fixed sinusoidal positional encoding table, shape (max_len, d)."""
+    positions = np.arange(max_length)[:, None]
+    dims = np.arange(d_model)[None, :]
+    angles = positions / np.power(10000.0, (2 * (dims // 2)) / d_model)
+    table = np.where(dims % 2 == 0, np.sin(angles), np.cos(angles))
+    return table
+
+
+class FeedForward(Module):
+    """Position-wise two-layer MLP with ReLU."""
+
+    def __init__(self, d_model: int, d_hidden: int, rng: np.random.Generator,
+                 dropout: float):
+        super().__init__()
+        self.inner = Linear(d_model, d_hidden, rng)
+        self.outer = Linear(d_hidden, d_model, rng)
+        self.dropout = Dropout(dropout, rng)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.outer(self.dropout(self.inner(inputs).relu()))
+
+
+class EncoderLayer(Module):
+    """Self-attention + feed-forward with residuals and layer norm."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.self_attention = MultiHeadAttention(
+            config.d_model, config.n_heads, rng, config.dropout
+        )
+        self.feed_forward = FeedForward(
+            config.d_model, config.d_feedforward, rng, config.dropout
+        )
+        self.norm_attention = LayerNorm(config.d_model)
+        self.norm_feed_forward = LayerNorm(config.d_model)
+        self.dropout = Dropout(config.dropout, rng)
+
+    def forward(self, inputs: Tensor, mask: np.ndarray | None) -> Tensor:
+        attended = self.self_attention(inputs, inputs, inputs, mask)
+        inputs = self.norm_attention(inputs + self.dropout(attended))
+        fed = self.feed_forward(inputs)
+        return self.norm_feed_forward(inputs + self.dropout(fed))
+
+
+class DecoderLayer(Module):
+    """Masked self-attention + cross-attention + feed-forward."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.self_attention = MultiHeadAttention(
+            config.d_model, config.n_heads, rng, config.dropout
+        )
+        self.cross_attention = MultiHeadAttention(
+            config.d_model, config.n_heads, rng, config.dropout
+        )
+        self.feed_forward = FeedForward(
+            config.d_model, config.d_feedforward, rng, config.dropout
+        )
+        self.norm_self = LayerNorm(config.d_model)
+        self.norm_cross = LayerNorm(config.d_model)
+        self.norm_feed_forward = LayerNorm(config.d_model)
+        self.dropout = Dropout(config.dropout, rng)
+
+    def forward(
+        self,
+        targets: Tensor,
+        memory: Tensor,
+        target_mask: np.ndarray | None,
+        memory_mask: np.ndarray | None,
+    ) -> Tensor:
+        attended = self.self_attention(targets, targets, targets, target_mask)
+        targets = self.norm_self(targets + self.dropout(attended))
+        crossed = self.cross_attention(targets, memory, memory, memory_mask)
+        targets = self.norm_cross(targets + self.dropout(crossed))
+        fed = self.feed_forward(targets)
+        return self.norm_feed_forward(targets + self.dropout(fed))
+
+
+class Seq2SeqTransformer(Module):
+    """Character-level encoder-decoder transformer.
+
+    Token conventions (shared with :mod:`repro.textgen.vocab`): id 0 = PAD,
+    1 = BOS, 2 = EOS.  ``forward`` returns logits for teacher-forced decoding;
+    ``generate`` performs autoregressive sampling under ``no_grad``.
+    """
+
+    PAD, BOS, EOS = 0, 1, 2
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.rng = rng
+        self.token_embedding = Embedding(config.vocab_size, config.d_model, rng)
+        self.positions = sinusoidal_positions(config.max_length, config.d_model)
+        self.encoder_layers = [
+            EncoderLayer(config, rng) for _ in range(config.n_encoder_layers)
+        ]
+        self.decoder_layers = [
+            DecoderLayer(config, rng) for _ in range(config.n_decoder_layers)
+        ]
+        self.output_proj = Linear(config.d_model, config.vocab_size, rng)
+        self.embed_dropout = Dropout(config.dropout, rng)
+        self.scale = float(np.sqrt(config.d_model))
+
+    # ------------------------------------------------------------------
+    # Forward pieces
+    # ------------------------------------------------------------------
+    def _embed(self, token_ids: np.ndarray) -> Tensor:
+        length = token_ids.shape[1]
+        if length > self.config.max_length:
+            raise ValueError(
+                f"sequence length {length} exceeds max_length {self.config.max_length}"
+            )
+        embedded = self.token_embedding(token_ids) * self.scale
+        embedded = embedded + Tensor(self.positions[:length])
+        return self.embed_dropout(embedded)
+
+    def encode(self, source_ids: np.ndarray) -> tuple[Tensor, np.ndarray]:
+        """Run the encoder; returns (memory, source padding mask)."""
+        source_mask = padding_mask(source_ids, self.PAD)
+        hidden = self._embed(source_ids)
+        for layer in self.encoder_layers:
+            hidden = layer(hidden, source_mask)
+        return hidden, source_mask
+
+    def decode(
+        self, target_ids: np.ndarray, memory: Tensor, memory_mask: np.ndarray
+    ) -> Tensor:
+        """Teacher-forced decoder logits, shape (batch, t_len, vocab)."""
+        t_len = target_ids.shape[1]
+        target_mask = causal_mask(t_len) | padding_mask(target_ids, self.PAD)
+        hidden = self._embed(target_ids)
+        for layer in self.decoder_layers:
+            hidden = layer(hidden, memory, target_mask, memory_mask)
+        return self.output_proj(hidden)
+
+    def forward(self, source_ids: np.ndarray, target_ids: np.ndarray) -> Tensor:
+        """Logits for next-token prediction given source and shifted target."""
+        memory, memory_mask = self.encode(source_ids)
+        return self.decode(target_ids, memory, memory_mask)
+
+    # ------------------------------------------------------------------
+    # Autoregressive generation
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        source_ids: np.ndarray,
+        *,
+        max_new_tokens: int | None = None,
+        temperature: float = 1.0,
+        rng: np.random.Generator | None = None,
+        greedy: bool = False,
+    ) -> list[list[int]]:
+        """Sample output token ids for each source row.
+
+        Sampling (not beam search) is deliberate: the paper draws several
+        candidate strings per input and picks the one whose similarity is
+        closest to the target (Section VI, Inference).
+        """
+        rng = rng or self.rng
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                batch = source_ids.shape[0]
+                limit = max_new_tokens or (self.config.max_length - 1)
+                memory, memory_mask = self.encode(source_ids)
+                sequences = np.full((batch, 1), self.BOS, dtype=np.int64)
+                finished = np.zeros(batch, dtype=bool)
+                for _ in range(limit):
+                    logits = self.decode(sequences, memory, memory_mask)
+                    last = logits.data[:, -1, :].copy()  # (batch, vocab)
+                    # Never emit PAD or BOS mid-sequence.
+                    last[:, self.PAD] = -np.inf
+                    last[:, self.BOS] = -np.inf
+                    if greedy or temperature <= 0:
+                        next_ids = last.argmax(axis=-1)
+                    else:
+                        scaled = last / temperature
+                        scaled -= scaled.max(axis=-1, keepdims=True)
+                        probs = np.exp(scaled)
+                        probs /= probs.sum(axis=-1, keepdims=True)
+                        next_ids = np.array(
+                            [rng.choice(len(p), p=p) for p in probs], dtype=np.int64
+                        )
+                    next_ids = np.where(finished, self.PAD, next_ids)
+                    sequences = np.concatenate([sequences, next_ids[:, None]], axis=1)
+                    finished |= next_ids == self.EOS
+                    if finished.all():
+                        break
+                    if sequences.shape[1] >= self.config.max_length:
+                        break
+        finally:
+            if was_training:
+                self.train()
+        outputs: list[list[int]] = []
+        for row in sequences:
+            tokens: list[int] = []
+            for token in row[1:]:
+                if token in (self.EOS, self.PAD):
+                    break
+                tokens.append(int(token))
+            outputs.append(tokens)
+        return outputs
+
+    def generate_beam(
+        self,
+        source_ids: np.ndarray,
+        *,
+        beam_width: int = 4,
+        max_new_tokens: int | None = None,
+        length_penalty: float = 0.7,
+    ) -> list[list[int]]:
+        """Beam-search decode; returns the best sequence per source row.
+
+        SERD's inference prefers sampling (diverse candidates, Section VI),
+        but beam search is the standard decoding for seq2seq quality checks
+        and is exposed for library completeness.  Scores are length-
+        normalized by ``len ** length_penalty``.
+        """
+        if beam_width < 1:
+            raise ValueError(f"beam width must be >= 1, got {beam_width}")
+        limit = max_new_tokens or (self.config.max_length - 1)
+        was_training = self.training
+        self.eval()
+        outputs: list[list[int]] = []
+        try:
+            with no_grad():
+                for row in np.atleast_2d(source_ids):
+                    memory, memory_mask = self.encode(row[None, :])
+                    # Each beam: (token ids including BOS, total log prob,
+                    # finished flag).
+                    beams: list[tuple[list[int], float, bool]] = [
+                        ([self.BOS], 0.0, False)
+                    ]
+                    for _ in range(limit):
+                        if all(finished for _, _, finished in beams):
+                            break
+                        expansions: list[tuple[list[int], float, bool]] = []
+                        for tokens, score, finished in beams:
+                            if finished:
+                                expansions.append((tokens, score, True))
+                                continue
+                            logits = self.decode(
+                                np.asarray([tokens], dtype=np.int64),
+                                memory, memory_mask,
+                            ).data[0, -1].copy()
+                            # Never emit PAD or BOS mid-sequence.
+                            logits[self.PAD] = -np.inf
+                            logits[self.BOS] = -np.inf
+                            shifted = logits - logits[np.isfinite(logits)].max()
+                            log_probs = shifted - np.log(np.exp(shifted).sum())
+                            top = np.argsort(log_probs)[-beam_width:]
+                            for token in top:
+                                expansions.append((
+                                    tokens + [int(token)],
+                                    score + float(log_probs[token]),
+                                    int(token) == self.EOS,
+                                ))
+                        expansions.sort(
+                            key=lambda b: b[1] / (len(b[0]) ** length_penalty),
+                            reverse=True,
+                        )
+                        beams = expansions[:beam_width]
+                    best_tokens = beams[0][0]
+                    cleaned: list[int] = []
+                    for token in best_tokens[1:]:
+                        if token in (self.EOS, self.PAD):
+                            break
+                        cleaned.append(token)
+                    outputs.append(cleaned)
+        finally:
+            if was_training:
+                self.train()
+        return outputs

@@ -1,0 +1,23 @@
+"""Differential privacy substrate.
+
+- :mod:`repro.privacy.dpsgd` — Algorithm 1 of the paper: per-example gradient
+  clipping + Gaussian noise before the descent step (Abadi et al., DP-SGD).
+- :mod:`repro.privacy.accountant` — an RDP accountant for the subsampled
+  Gaussian mechanism, so the (epsilon, delta) the paper reports (epsilon=1,
+  delta=1e-5 in Table III) can be computed rather than asserted.
+- :mod:`repro.privacy.metrics` — the two empirical privacy metrics of Exp-4:
+  Hitting Rate and Distance to the Closest Record (DCR).
+"""
+
+from repro.privacy.accountant import RDPAccountant, noise_scale_for_epsilon
+from repro.privacy.dpsgd import DPSGDConfig, dp_sgd_step
+from repro.privacy.metrics import distance_to_closest_record, hitting_rate
+
+__all__ = [
+    "DPSGDConfig",
+    "RDPAccountant",
+    "distance_to_closest_record",
+    "dp_sgd_step",
+    "hitting_rate",
+    "noise_scale_for_epsilon",
+]

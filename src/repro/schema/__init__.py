@@ -1,0 +1,32 @@
+"""Data model for entity resolution datasets.
+
+This package defines the vocabulary shared by the whole library:
+
+- :class:`~repro.schema.types.AttributeType` and
+  :class:`~repro.schema.types.Attribute` describe a single column.
+- :class:`~repro.schema.types.Schema` is the aligned schema between the two
+  relations of an ER dataset.
+- :class:`~repro.schema.entity.Entity` is one record;
+  :class:`~repro.schema.entity.Relation` is a table of records.
+- :class:`~repro.schema.dataset.ERDataset` bundles the two relations with the
+  matching set ``M`` and non-matching set ``N`` (paper Section II-A).
+"""
+
+from repro.schema.dataset import ERDataset, MatchSplit, train_test_split
+from repro.schema.entity import Entity, Relation
+from repro.schema.io import load_saved_dataset, save_dataset
+from repro.schema.types import Attribute, AttributeType, Schema, make_schema
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "ERDataset",
+    "Entity",
+    "MatchSplit",
+    "Relation",
+    "Schema",
+    "load_saved_dataset",
+    "make_schema",
+    "save_dataset",
+    "train_test_split",
+]

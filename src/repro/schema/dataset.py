@@ -1,0 +1,241 @@
+"""ER datasets: two relations plus matching / non-matching pair labels.
+
+Paper Section II-A: an ER dataset is ``E = (A, B, M, N)`` where ``M`` and
+``N`` partition ``A x B`` into matching and non-matching pairs.  ``N`` is
+almost always the overwhelming majority, so we store ``M`` explicitly and
+treat every other pair as non-matching; an explicit ``N`` sample can be
+materialized for training matchers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.schema.entity import Entity, Relation
+
+Pair = tuple[str, str]  # (a_id, b_id)
+
+
+@dataclass
+class MatchSplit:
+    """A train/test split over labeled pairs.
+
+    Each side holds positive (matching) and negative (non-matching) pairs as
+    id tuples; entities are resolved against the parent dataset.
+    """
+
+    train_matches: list[Pair]
+    train_non_matches: list[Pair]
+    test_matches: list[Pair]
+    test_non_matches: list[Pair]
+
+    @property
+    def train_pairs(self) -> list[tuple[Pair, bool]]:
+        return [(p, True) for p in self.train_matches] + [
+            (p, False) for p in self.train_non_matches
+        ]
+
+    @property
+    def test_pairs(self) -> list[tuple[Pair, bool]]:
+        return [(p, True) for p in self.test_matches] + [
+            (p, False) for p in self.test_non_matches
+        ]
+
+
+class ERDataset:
+    """``E = (A, B, M, N)`` with ``N`` stored implicitly.
+
+    Parameters
+    ----------
+    table_a, table_b:
+        The two relations; their schemas must be equal (aligned schemas).
+    matches:
+        The matching set ``M`` as (a_id, b_id) pairs.
+    non_matches:
+        Optional explicit non-matching sample.  When omitted, non-matching
+        pairs are drawn on demand from ``A x B \\ M``.
+    name:
+        Dataset name, used in reports.
+    symmetric:
+        True for single-table datasets (the paper's Restaurant case: "we
+        treat this table as both A_real and B_real").  Matching is then
+        order-insensitive and self-pairs ``(x, x)`` are excluded from
+        non-match sampling.
+    """
+
+    def __init__(
+        self,
+        table_a: Relation,
+        table_b: Relation,
+        matches: Iterable[Pair],
+        non_matches: Iterable[Pair] = (),
+        name: str = "er-dataset",
+        symmetric: bool = False,
+    ):
+        if table_a.schema != table_b.schema:
+            raise ValueError("A and B must share an aligned schema")
+        self.name = name
+        self.symmetric = symmetric
+        self.table_a = table_a
+        self.table_b = table_b
+        self.matches: list[Pair] = []
+        self._match_set: set[Pair] = set()
+        for a_id, b_id in matches:
+            self._check_pair(a_id, b_id)
+            if (a_id, b_id) not in self._match_set:
+                self.matches.append((a_id, b_id))
+                self._match_set.add((a_id, b_id))
+        self.non_matches: list[Pair] = []
+        for a_id, b_id in non_matches:
+            self._check_pair(a_id, b_id)
+            if (a_id, b_id) in self._match_set:
+                raise ValueError(f"pair {(a_id, b_id)} is both matching and non-matching")
+            self.non_matches.append((a_id, b_id))
+
+    def _check_pair(self, a_id: str, b_id: str) -> None:
+        if a_id not in self.table_a:
+            raise KeyError(f"unknown A-entity id {a_id!r}")
+        if b_id not in self.table_b:
+            raise KeyError(f"unknown B-entity id {b_id!r}")
+
+    @property
+    def schema(self):
+        return self.table_a.schema
+
+    def __repr__(self) -> str:
+        return (
+            f"ERDataset({self.name!r}, |A|={len(self.table_a)}, "
+            f"|B|={len(self.table_b)}, |M|={len(self.matches)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Pair access
+    # ------------------------------------------------------------------
+    def is_match(self, a_id: str, b_id: str) -> bool:
+        """Whether (a_id, b_id) is in the matching set ``M``.
+
+        For symmetric (single-table) datasets, order does not matter and a
+        self-pair trivially matches.
+        """
+        if (a_id, b_id) in self._match_set:
+            return True
+        if self.symmetric:
+            return a_id == b_id or (b_id, a_id) in self._match_set
+        return False
+
+    def resolve(self, pair: Pair) -> tuple[Entity, Entity]:
+        """The (A-entity, B-entity) objects for an id pair."""
+        return self.table_a[pair[0]], self.table_b[pair[1]]
+
+    def match_pairs(self) -> list[tuple[Entity, Entity]]:
+        """All matching pairs as entity objects."""
+        return [self.resolve(p) for p in self.matches]
+
+    def iter_all_pairs(self) -> Iterator[tuple[Pair, bool]]:
+        """Every pair in ``A x B`` with its label (True = matching).
+
+        Quadratic — intended for small datasets and tests.
+        """
+        for a in self.table_a:
+            for b in self.table_b:
+                pair = (a.entity_id, b.entity_id)
+                yield pair, self.is_match(*pair)
+
+    def sample_non_matches(
+        self, count: int, rng: np.random.Generator, exclude: Iterable[Pair] = ()
+    ) -> list[Pair]:
+        """Draw ``count`` distinct non-matching pairs uniformly from A x B \\ M.
+
+        Rejection-samples against ``M`` and ``exclude``; with the usual
+        match-sparsity this terminates quickly.  Raises ``ValueError`` when
+        more pairs are requested than exist.
+        """
+        n_a, n_b = len(self.table_a), len(self.table_b)
+        total_non = n_a * n_b - len(self._match_set)
+        excluded = set(exclude)
+        available = total_non - sum(1 for p in excluded if p not in self._match_set)
+        if count > available:
+            raise ValueError(f"requested {count} non-matches, only {available} exist")
+        a_ids = [e.entity_id for e in self.table_a]
+        b_ids = [e.entity_id for e in self.table_b]
+        chosen: set[Pair] = set()
+        result: list[Pair] = []
+        # Draw in vectorized batches; rejection is cheap because matches are
+        # a vanishing fraction of all pairs.
+        while len(result) < count:
+            batch = max(64, 2 * (count - len(result)))
+            ai = rng.integers(0, n_a, size=batch)
+            bi = rng.integers(0, n_b, size=batch)
+            for i, j in zip(ai, bi):
+                pair = (a_ids[i], b_ids[j])
+                if self.is_match(*pair) or pair in chosen or pair in excluded:
+                    continue
+                chosen.add(pair)
+                result.append(pair)
+                if len(result) == count:
+                    break
+        return result
+
+    # ------------------------------------------------------------------
+    # Statistics (paper Table II)
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, int]:
+        """The Table II row for this dataset."""
+        return {
+            "|A|": len(self.table_a),
+            "|B|": len(self.table_b),
+            "#-Col": len(self.schema),
+            "|M|": len(self.matches),
+        }
+
+
+def train_test_split(
+    dataset: ERDataset,
+    rng: np.random.Generator,
+    test_fraction: float = 0.25,
+    negative_ratio: float = 3.0,
+) -> MatchSplit:
+    """Split labeled pairs into train and test sets.
+
+    Follows the common ER evaluation protocol (Magellan / Deepmatcher): take
+    all matching pairs, sample ``negative_ratio`` times as many non-matching
+    pairs, then split both stratified by label.
+
+    Parameters
+    ----------
+    dataset:
+        The labeled ER dataset.
+    rng:
+        Randomness source (splits are deterministic given the generator
+        state).
+    test_fraction:
+        Fraction of pairs assigned to the test side.
+    negative_ratio:
+        Non-matching pairs drawn per matching pair.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    matches = list(dataset.matches)
+    rng.shuffle(matches)
+    wanted_neg = int(round(negative_ratio * len(matches)))
+    max_neg = len(dataset.table_a) * len(dataset.table_b) - len(matches)
+    negatives = list(dataset.non_matches)
+    if len(negatives) < wanted_neg:
+        extra = dataset.sample_non_matches(
+            min(wanted_neg, max_neg) - len(negatives), rng, exclude=negatives
+        )
+        negatives.extend(extra)
+    else:
+        negatives = negatives[:wanted_neg]
+    rng.shuffle(negatives)
+
+    def _cut(pairs: Sequence[Pair]) -> tuple[list[Pair], list[Pair]]:
+        n_test = max(1, int(round(test_fraction * len(pairs)))) if pairs else 0
+        return list(pairs[n_test:]), list(pairs[:n_test])
+
+    train_m, test_m = _cut(matches)
+    train_n, test_n = _cut(negatives)
+    return MatchSplit(train_m, train_n, test_m, test_n)

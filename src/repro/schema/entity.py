@@ -1,0 +1,171 @@
+"""Entities and relations (tables).
+
+An :class:`Entity` is a record with one value per schema attribute; a
+:class:`Relation` is an ordered collection of entities with unique ids.
+Entities cache derived artifacts (q-gram profiles) that the similarity
+substrate needs repeatedly when computing all-pairs similarity vectors.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+from repro.schema.types import AttributeType, Schema
+
+Value = Any  # str | float | int | None — per-attribute payload
+
+
+class Entity:
+    """A single record of a relation.
+
+    Values are stored positionally, aligned with the schema.  ``entity[name]``
+    and ``entity[index]`` both work.  Values may be ``None`` (missing).
+    """
+
+    __slots__ = ("entity_id", "schema", "values", "_qgram_cache")
+
+    def __init__(self, entity_id: str, schema: Schema, values: Iterable[Value]):
+        self.entity_id = entity_id
+        self.schema = schema
+        self.values = tuple(values)
+        if len(self.values) != len(schema):
+            raise ValueError(
+                f"entity {entity_id!r} has {len(self.values)} values for a "
+                f"{len(schema)}-attribute schema"
+            )
+        # Maps (attribute index, q) -> frozenset of q-grams; filled lazily by
+        # the similarity substrate.  A plain dict keeps Entity lightweight.
+        self._qgram_cache: dict[tuple[int, int], frozenset[str]] = {}
+
+    def __getitem__(self, key: int | str) -> Value:
+        if isinstance(key, str):
+            return self.values[self.schema.index_of(key)]
+        return self.values[key]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Entity):
+            return NotImplemented
+        return self.entity_id == other.entity_id and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.entity_id, self.values))
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{n}={v!r}" for n, v in zip(self.schema.names, self.values))
+        return f"Entity({self.entity_id!r}, {pairs})"
+
+    def qgrams(self, attr_index: int, q: int) -> frozenset[str]:
+        """Cached q-gram set of the string value at ``attr_index``.
+
+        Missing values yield an empty set.  Non-string values are stringified,
+        matching how string similarity treats them.
+        """
+        key = (attr_index, q)
+        cached = self._qgram_cache.get(key)
+        if cached is None:
+            value = self.values[attr_index]
+            text = "" if value is None else str(value)
+            cached = _qgram_set(text, q)
+            self._qgram_cache[key] = cached
+        return cached
+
+    def replace(self, entity_id: str | None = None, **updates: Value) -> "Entity":
+        """A copy of this entity with some attribute values replaced."""
+        values = list(self.values)
+        for name, value in updates.items():
+            values[self.schema.index_of(name)] = value
+        return Entity(entity_id or self.entity_id, self.schema, values)
+
+    def to_dict(self) -> dict[str, Value]:
+        """``{attribute name: value}`` view, including the id."""
+        record: dict[str, Value] = {"id": self.entity_id}
+        record.update(zip(self.schema.names, self.values))
+        return record
+
+
+def _qgram_set(text: str, q: int) -> frozenset[str]:
+    """The set of character q-grams of ``text`` (lowercased).
+
+    Strings shorter than ``q`` contribute the whole string as a single gram so
+    that short non-empty values still compare as non-disjoint with themselves.
+    """
+    text = text.lower()
+    if not text:
+        return frozenset()
+    if len(text) < q:
+        return frozenset((text,))
+    return frozenset(text[i : i + q] for i in range(len(text) - q + 1))
+
+
+class Relation:
+    """An ordered table of entities sharing one schema."""
+
+    def __init__(self, name: str, schema: Schema, entities: Iterable[Entity] = ()):
+        self.name = name
+        self.schema = schema
+        self._entities: list[Entity] = []
+        self._by_id: dict[str, Entity] = {}
+        for entity in entities:
+            self.add(entity)
+
+    def add(self, entity: Entity) -> None:
+        """Append ``entity``; ids must be unique within the relation."""
+        if entity.schema is not self.schema and entity.schema != self.schema:
+            raise ValueError(f"entity {entity.entity_id!r} has a different schema")
+        if entity.entity_id in self._by_id:
+            raise ValueError(f"duplicate entity id {entity.entity_id!r} in {self.name!r}")
+        self._entities.append(entity)
+        self._by_id[entity.entity_id] = entity
+
+    def __len__(self) -> int:
+        return len(self._entities)
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self._entities)
+
+    def __getitem__(self, key: int | str) -> Entity:
+        if isinstance(key, str):
+            return self._by_id[key]
+        return self._entities[key]
+
+    def __contains__(self, entity_id: str) -> bool:
+        return entity_id in self._by_id
+
+    @property
+    def entities(self) -> tuple[Entity, ...]:
+        return tuple(self._entities)
+
+    def column(self, name: str) -> list[Value]:
+        """All values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [entity.values[index] for entity in self._entities]
+
+    def distinct_values(self, name: str) -> list[Value]:
+        """Distinct non-missing values of one column, in first-seen order."""
+        seen: dict[Value, None] = {}
+        for value in self.column(name):
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def numeric_range(self, name: str) -> tuple[float, float]:
+        """(min, max) of a numeric or date column, ignoring missing values.
+
+        Raises ``ValueError`` when the column has no non-missing values.
+        """
+        attr = self.schema[name]
+        if attr.attr_type not in (AttributeType.NUMERIC, AttributeType.DATE):
+            raise ValueError(f"column {name!r} is {attr.attr_type}, not numeric/date")
+        values = [float(v) for v in self.column(name) if v is not None]
+        if not values:
+            raise ValueError(f"column {name!r} has no non-missing values")
+        return min(values), max(values)
+
+    def subset(self, entity_ids: Iterable[str], name: str | None = None) -> "Relation":
+        """A new relation holding only the given ids (in the given order)."""
+        return Relation(
+            name or self.name,
+            self.schema,
+            (self._by_id[eid] for eid in entity_ids),
+        )

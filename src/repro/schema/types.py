@@ -1,0 +1,127 @@
+"""Attribute types and schemas for ER relations.
+
+The paper (Section IV-B1) distinguishes four column types, each with its own
+value-synthesis strategy: numeric, categorical, date, and string/text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AttributeType(enum.Enum):
+    """Type of a column, driving both similarity and synthesis behaviour."""
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    DATE = "date"
+    TEXT = "text"
+
+    @property
+    def is_string_like(self) -> bool:
+        """Whether values are compared with string similarity functions."""
+        return self in (AttributeType.CATEGORICAL, AttributeType.TEXT)
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One aligned column of an ER schema.
+
+    Parameters
+    ----------
+    name:
+        Canonical column name (the A-side name; the B-side may differ, e.g.
+        ``gender`` vs ``sex`` — alignment is positional).
+    attr_type:
+        The :class:`AttributeType` of the column.
+    b_name:
+        Optional B-side column name when it differs from ``name``.
+    """
+
+    name: str
+    attr_type: AttributeType
+    b_name: str | None = None
+
+    @property
+    def name_b(self) -> str:
+        """The column name used on the B-side relation."""
+        return self.b_name if self.b_name is not None else self.name
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An aligned schema ``{C_1, ..., C_l}`` between two relations.
+
+    The paper assumes a one-to-one attribute correspondence between A-entities
+    and B-entities (Section II-A).  ``id`` columns are implicit and are not
+    part of the schema.
+    """
+
+    attributes: tuple[Attribute, ...]
+    name: str = "schema"
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [attr.name for attr in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+        object.__setattr__(
+            self, "_index", {attr.name: i for i, attr in enumerate(self.attributes)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, str):
+            return self.attributes[self._index[key]]
+        return self.attributes[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute ``name`` within the schema."""
+        return self._index[name]
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self.attributes)
+
+    def attributes_of_type(self, attr_type: AttributeType) -> tuple[Attribute, ...]:
+        """All attributes whose type is ``attr_type``."""
+        return tuple(a for a in self.attributes if a.attr_type == attr_type)
+
+    @property
+    def text_attributes(self) -> tuple[Attribute, ...]:
+        return self.attributes_of_type(AttributeType.TEXT)
+
+    @property
+    def categorical_attributes(self) -> tuple[Attribute, ...]:
+        return self.attributes_of_type(AttributeType.CATEGORICAL)
+
+    @property
+    def numeric_attributes(self) -> tuple[Attribute, ...]:
+        return self.attributes_of_type(AttributeType.NUMERIC)
+
+    @property
+    def date_attributes(self) -> tuple[Attribute, ...]:
+        return self.attributes_of_type(AttributeType.DATE)
+
+
+def make_schema(spec: dict[str, AttributeType | str], name: str = "schema") -> Schema:
+    """Build a :class:`Schema` from a ``{column: type}`` mapping.
+
+    Types may be given as :class:`AttributeType` members or their string
+    values, e.g. ``make_schema({"title": "text", "year": "numeric"})``.
+    """
+    attrs = []
+    for col, attr_type in spec.items():
+        if isinstance(attr_type, str):
+            attr_type = AttributeType(attr_type)
+        attrs.append(Attribute(col, attr_type))
+    return Schema(tuple(attrs), name=name)

@@ -1,0 +1,91 @@
+"""Hard-negative sampling (blocking-style candidate pairs).
+
+Real ER benchmarks label *candidate* pairs that survive blocking, so their
+non-matching examples are biased toward the decision boundary (same brand,
+similar titles).  Uniform negatives make the matching task trivially
+separable; these probe-based hard negatives restore the benchmarks'
+difficulty.  Both the matcher-evaluation protocol and SERD's S1 negative
+sampling use the same mix so the distributions stay commensurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.schema.dataset import ERDataset, Pair
+from repro.similarity.vector import SimilarityModel
+
+
+def sample_hard_non_matches(
+    dataset: ERDataset,
+    similarity_model: SimilarityModel,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    probes: int = 40,
+    exclude: set[Pair] | None = None,
+) -> list[Pair]:
+    """``count`` non-matching pairs biased toward high similarity.
+
+    For each sample: pick a random A-entity, probe ``probes`` random
+    B-entities, and keep the most similar non-matching one (by mean attribute
+    similarity).  Self-pairs and known matches are never returned.
+    """
+    if count <= 0:
+        return []
+    a_entities = list(dataset.table_a)
+    b_entities = list(dataset.table_b)
+    excluded = set(exclude or ())
+    chosen: set[Pair] = set()
+    result: list[Pair] = []
+    attempts = 0
+    max_attempts = 20 * count
+    while len(result) < count and attempts < max_attempts:
+        attempts += 1
+        anchor = a_entities[int(rng.integers(len(a_entities)))]
+        best_pair: Pair | None = None
+        best_score = -1.0
+        probe_count = min(probes, len(b_entities))
+        for index in rng.choice(len(b_entities), size=probe_count, replace=False):
+            other = b_entities[int(index)]
+            pair = (anchor.entity_id, other.entity_id)
+            if (
+                dataset.is_match(*pair)
+                or pair in chosen
+                or pair in excluded
+                or (dataset.symmetric and anchor.entity_id == other.entity_id)
+            ):
+                continue
+            score = float(similarity_model.vector(anchor, other).mean())
+            if score > best_score:
+                best_score = score
+                best_pair = pair
+        if best_pair is not None:
+            chosen.add(best_pair)
+            result.append(best_pair)
+    return result
+
+
+def mixed_non_matches(
+    dataset: ERDataset,
+    similarity_model: SimilarityModel,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    hard_fraction: float = 0.5,
+    probes: int = 40,
+) -> list[Pair]:
+    """``count`` negatives: ``hard_fraction`` blocking-style, rest uniform."""
+    if not 0.0 <= hard_fraction <= 1.0:
+        raise ValueError(f"hard_fraction must be in [0, 1], got {hard_fraction}")
+    n_hard = int(round(hard_fraction * count))
+    hard = sample_hard_non_matches(
+        dataset, similarity_model, n_hard, rng, probes=probes
+    )
+    remaining = count - len(hard)
+    uniform = (
+        dataset.sample_non_matches(remaining, rng, exclude=hard) if remaining else []
+    )
+    combined = hard + uniform
+    rng.shuffle(combined)
+    return combined

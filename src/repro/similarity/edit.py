@@ -1,0 +1,116 @@
+"""Edit-distance based string similarities.
+
+Used by the textgen substrate (target-similarity search), the NP-hardness
+construction of Section III (edit distance over titles), and as an alternate
+similarity function in the registry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def levenshtein_distance(text_a: str, text_b: str, *, max_distance: int | None = None) -> int:
+    """Levenshtein (edit) distance between two strings.
+
+    Classic two-row dynamic program vectorized with numpy along the inner
+    dimension.  With ``max_distance`` set, returns ``max_distance + 1`` as
+    soon as the true distance provably exceeds the bound (early exit).
+
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    >>> levenshtein_distance("", "abc")
+    3
+    """
+    if text_a == text_b:
+        return 0
+    len_a, len_b = len(text_a), len(text_b)
+    if len_a == 0:
+        return len_b
+    if len_b == 0:
+        return len_a
+    if max_distance is not None and abs(len_a - len_b) > max_distance:
+        return max_distance + 1
+    # Keep the shorter string along the numpy axis.
+    if len_a < len_b:
+        text_a, text_b = text_b, text_a
+        len_a, len_b = len_b, len_a
+    b_codes = np.frombuffer(text_b.encode("utf-32-le"), dtype=np.uint32)
+    previous = np.arange(len_b + 1, dtype=np.int64)
+    current = np.empty(len_b + 1, dtype=np.int64)
+    for i, char_a in enumerate(text_a, start=1):
+        code_a = ord(char_a)
+        current[0] = i
+        substitution = previous[:-1] + (b_codes != code_a)
+        deletion = previous[1:] + 1
+        # Insertions depend on current[j-1]; numpy's minimum.accumulate over
+        # a shifted cost handles the sequential dependency in C.
+        np.minimum(substitution, deletion, out=current[1:])
+        # current[j] = min(current[j], current[j-1] + 1) left-to-right:
+        current[1:] = np.minimum.accumulate(
+            current[1:] - np.arange(1, len_b + 1)
+        ) + np.arange(1, len_b + 1)
+        current[1:] = np.minimum(current[1:], current[0] + np.arange(1, len_b + 1))
+        if max_distance is not None and current.min() > max_distance:
+            return max_distance + 1
+        previous, current = current, previous
+    return int(previous[-1])
+
+
+def normalized_edit_similarity(text_a: str, text_b: str) -> float:
+    """``1 - lev(a, b) / max(|a|, |b|)``; 1.0 for two empty strings.
+
+    >>> normalized_edit_similarity("data", "date")
+    0.75
+    """
+    longest = max(len(text_a), len(text_b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(text_a, text_b) / longest
+
+
+def jaro_similarity(text_a: str, text_b: str) -> float:
+    """Jaro similarity, the base of Jaro-Winkler.
+
+    >>> jaro_similarity("martha", "marhta") > 0.9
+    True
+    """
+    if text_a == text_b:
+        return 1.0
+    len_a, len_b = len(text_a), len(text_b)
+    if len_a == 0 or len_b == 0:
+        return 0.0
+    window = max(len_a, len_b) // 2 - 1
+    window = max(window, 0)
+    matched_b = [False] * len_b
+    matches_a: list[str] = []
+    for i, char in enumerate(text_a):
+        lo, hi = max(0, i - window), min(len_b, i + window + 1)
+        for j in range(lo, hi):
+            if not matched_b[j] and text_b[j] == char:
+                matched_b[j] = True
+                matches_a.append(char)
+                break
+    if not matches_a:
+        return 0.0
+    matches_b = [text_b[j] for j in range(len_b) if matched_b[j]]
+    transpositions = sum(ca != cb for ca, cb in zip(matches_a, matches_b)) // 2
+    m = len(matches_a)
+    return (m / len_a + m / len_b + (m - transpositions) / m) / 3.0
+
+
+def jaro_winkler_similarity(text_a: str, text_b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by common prefix length (<= 4).
+
+    >>> jaro_winkler_similarity("prefix", "prefixes") > jaro_similarity("prefix", "prefixes")
+    True
+    """
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError(f"prefix_weight must be in [0, 0.25], got {prefix_weight}")
+    jaro = jaro_similarity(text_a, text_b)
+    prefix = 0
+    for char_a, char_b in zip(text_a[:4], text_b[:4]):
+        if char_a != char_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)

@@ -1,0 +1,49 @@
+"""Registry of string similarity functions.
+
+Column configurations reference similarity functions by name so that dataset
+descriptions stay serializable.  All registered functions map two strings to
+a similarity in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.similarity.edit import jaro_winkler_similarity, normalized_edit_similarity
+from repro.similarity.ngram import qgram_jaccard
+
+SimilarityFunction = Callable[[str, str], float]
+
+_REGISTRY: dict[str, SimilarityFunction] = {}
+
+
+def register_similarity_function(name: str, func: SimilarityFunction) -> None:
+    """Register ``func`` under ``name``; overwriting is an error."""
+    if name in _REGISTRY:
+        raise ValueError(f"similarity function {name!r} already registered")
+    _REGISTRY[name] = func
+
+
+def get_similarity_function(name: str) -> SimilarityFunction:
+    """Look up a registered similarity function by name.
+
+    >>> f = get_similarity_function("3gram_jaccard")
+    >>> f("abc", "abc")
+    1.0
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown similarity function {name!r}; known: {known}") from None
+
+
+def available_similarity_functions() -> tuple[str, ...]:
+    """Names of all registered similarity functions."""
+    return tuple(sorted(_REGISTRY))
+
+
+register_similarity_function("3gram_jaccard", lambda a, b: qgram_jaccard(a, b, q=3))
+register_similarity_function("2gram_jaccard", lambda a, b: qgram_jaccard(a, b, q=2))
+register_similarity_function("edit", normalized_edit_similarity)
+register_similarity_function("jaro_winkler", jaro_winkler_similarity)

@@ -1,0 +1,70 @@
+"""Numeric and date similarities.
+
+The paper's setting (Section VII): for a numeric column ``C``,
+``sim(c1, c2) = 1 - |c1 - c2| / (max(C) - min(C))``.  Dates are handled the
+same way after conversion to a numeric timeline (we store dates as ordinal
+numbers / years).
+"""
+
+from __future__ import annotations
+
+
+def numeric_similarity(
+    value_a: float, value_b: float, value_range: tuple[float, float]
+) -> float:
+    """Range-normalized similarity ``1 - |a - b| / (max - min)``.
+
+    The result is clamped to ``[0, 1]`` so out-of-range values (possible for
+    synthesized data) never produce negative similarities.  A degenerate
+    range (max == min) makes every pair either identical (1.0) or maximally
+    different (0.0).
+
+    >>> numeric_similarity(2001, 2001, (1995, 2005))
+    1.0
+    >>> numeric_similarity(1999, 2001, (1995, 2005))
+    0.8
+    """
+    low, high = value_range
+    if high < low:
+        raise ValueError(f"invalid range ({low}, {high})")
+    span = high - low
+    if span == 0:
+        return 1.0 if value_a == value_b else 0.0
+    similarity = 1.0 - abs(float(value_a) - float(value_b)) / span
+    return min(1.0, max(0.0, similarity))
+
+
+def date_similarity(
+    ordinal_a: float, ordinal_b: float, value_range: tuple[float, float]
+) -> float:
+    """Similarity of two dates given as ordinals; same formula as numeric.
+
+    Kept as a distinct function because the paper treats Date as its own
+    column type ("Date type has a similar synthesizing process with the
+    numerical type", Section IV-B1) and synthesis rounds differently.
+    """
+    return numeric_similarity(ordinal_a, ordinal_b, value_range)
+
+
+def invert_numeric_similarity(
+    anchor: float,
+    similarity: float,
+    value_range: tuple[float, float],
+    *,
+    direction: int = 1,
+) -> float:
+    """Solve ``sim(anchor, x) = similarity`` for ``x``.
+
+    This is the numeric synthesis step of Section IV-B1: given
+    ``e[C] = 2008`` and target ``x[i] = 0.8`` over a range of width 10, the
+    answers are ``2008 +/- 2``; ``direction`` (+1 or -1) picks which.  The
+    result is clamped into the column range.
+    """
+    if direction not in (1, -1):
+        raise ValueError(f"direction must be +1 or -1, got {direction}")
+    if not 0.0 <= similarity <= 1.0:
+        raise ValueError(f"similarity must be in [0, 1], got {similarity}")
+    low, high = value_range
+    span = high - low
+    candidate = float(anchor) + direction * (1.0 - similarity) * span
+    return min(high, max(low, candidate))

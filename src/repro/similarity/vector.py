@@ -1,0 +1,148 @@
+"""Similarity-vector computation over an aligned schema.
+
+:class:`SimilarityModel` binds a schema to concrete similarity functions and
+column ranges, and turns entity pairs into similarity vectors — the ``x``
+objects everything downstream (GMMs, matchers, SERD itself) consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.schema.entity import Entity, Relation
+from repro.schema.types import AttributeType, Schema
+from repro.similarity.ngram import jaccard
+from repro.similarity.numeric import numeric_similarity
+
+
+class SimilarityModel:
+    """Schema-bound similarity-vector computer.
+
+    Parameters
+    ----------
+    schema:
+        The aligned schema ``{C_1, ..., C_l}``.
+    ranges:
+        ``{column: (min, max)}`` for every numeric/date column.  Ranges are
+        fixed at construction (from the real dataset) so real and synthetic
+        pairs are measured identically, as the paper's formula requires.
+    qgram:
+        q for string columns' q-gram Jaccard (paper default: 3).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        ranges: dict[str, tuple[float, float]] | None = None,
+        qgram: int = 3,
+    ):
+        self.schema = schema
+        self.qgram = qgram
+        self.ranges: dict[str, tuple[float, float]] = dict(ranges or {})
+        for attr in schema:
+            if attr.attr_type in (AttributeType.NUMERIC, AttributeType.DATE):
+                if attr.name not in self.ranges:
+                    raise ValueError(
+                        f"numeric/date column {attr.name!r} needs a (min, max) range"
+                    )
+
+    @classmethod
+    def from_relations(
+        cls, table_a: Relation, table_b: Relation, qgram: int = 3
+    ) -> "SimilarityModel":
+        """Build a model whose ranges span both relations' observed values."""
+        schema = table_a.schema
+        ranges: dict[str, tuple[float, float]] = {}
+        for attr in schema:
+            if attr.attr_type not in (AttributeType.NUMERIC, AttributeType.DATE):
+                continue
+            lows, highs = [], []
+            for table in (table_a, table_b):
+                values = [float(v) for v in table.column(attr.name) if v is not None]
+                if values:
+                    lows.append(min(values))
+                    highs.append(max(values))
+            if not lows:
+                raise ValueError(f"column {attr.name!r} is empty in both relations")
+            ranges[attr.name] = (min(lows), max(highs))
+        return cls(schema, ranges, qgram=qgram)
+
+    # ------------------------------------------------------------------
+    # Per-column and per-pair similarity
+    # ------------------------------------------------------------------
+    def column_similarity(self, attr_index: int, entity_a: Entity, entity_b: Entity) -> float:
+        """Similarity of one aligned column of an entity pair."""
+        attr = self.schema[attr_index]
+        value_a = entity_a.values[attr_index]
+        value_b = entity_b.values[attr_index]
+        if attr.attr_type.is_string_like:
+            return jaccard(
+                entity_a.qgrams(attr_index, self.qgram),
+                entity_b.qgrams(attr_index, self.qgram),
+            )
+        if value_a is None and value_b is None:
+            return 1.0
+        if value_a is None or value_b is None:
+            return 0.0
+        return numeric_similarity(float(value_a), float(value_b), self.ranges[attr.name])
+
+    def vector(self, entity_a: Entity, entity_b: Entity) -> np.ndarray:
+        """The similarity vector ``x_(a,b)`` (shape ``(l,)``, dtype float64)."""
+        return np.array(
+            [self.column_similarity(i, entity_a, entity_b) for i in range(len(self.schema))],
+            dtype=np.float64,
+        )
+
+    def value_similarity(self, attr_name: str, value_a, value_b) -> float:
+        """Similarity of two raw values under a column's function.
+
+        Convenience for synthesis code that probes candidate values before an
+        Entity exists.
+        """
+        attr = self.schema[attr_name]
+        if attr.attr_type.is_string_like:
+            from repro.similarity.ngram import qgram_jaccard
+
+            return qgram_jaccard(
+                "" if value_a is None else str(value_a),
+                "" if value_b is None else str(value_b),
+                q=self.qgram,
+            )
+        if value_a is None and value_b is None:
+            return 1.0
+        if value_a is None or value_b is None:
+            return 0.0
+        return numeric_similarity(float(value_a), float(value_b), self.ranges[attr.name])
+
+    # ------------------------------------------------------------------
+    # Batch computation
+    # ------------------------------------------------------------------
+    def vectors(self, pairs: Iterable[tuple[Entity, Entity]]) -> np.ndarray:
+        """Similarity vectors for many pairs, stacked into ``(n, l)``."""
+        rows = [self.vector(a, b) for a, b in pairs]
+        if not rows:
+            return np.empty((0, len(self.schema)), dtype=np.float64)
+        return np.vstack(rows)
+
+    def one_vs_many(self, entity: Entity, others: Sequence[Entity]) -> np.ndarray:
+        """Similarity vectors of ``entity`` against each of ``others``.
+
+        Used by SERD's rejection step to compute ``Delta X_syn`` (the vectors
+        between a candidate entity and the opposite table).
+        """
+        return self.vectors((entity, other) for other in others)
+
+
+def pair_vectors(
+    model: SimilarityModel,
+    table_a: Relation,
+    table_b: Relation,
+    matches: Iterable[tuple[str, str]],
+    non_matches: Iterable[tuple[str, str]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute ``(X+, X-)`` for explicit pair-id lists (paper Fig. 1(c))."""
+    x_pos = model.vectors((table_a[a], table_b[b]) for a, b in matches)
+    x_neg = model.vectors((table_a[a], table_b[b]) for a, b in non_matches)
+    return x_pos, x_neg

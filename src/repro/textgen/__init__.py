@@ -1,0 +1,38 @@
+"""Textual value synthesis (paper Section VI).
+
+Given a string ``s``, a similarity function ``f`` and a target score ``sim``,
+synthesize ``s'`` with ``f(s, s') ~= sim`` that still reads like a real value
+of the column.  The paper trains one DP transformer per similarity bucket on
+*background data* string pairs and, at inference, samples several candidate
+outputs and keeps the one closest to the target similarity.
+
+Two interchangeable backends implement the
+:class:`~repro.textgen.backend.TextSynthesizer` protocol:
+
+- :class:`~repro.textgen.transformer_backend.TransformerTextSynthesizer` —
+  the paper-faithful bucket-of-transformers approach, trainable with DP-SGD
+  (Algorithm 1).
+- :class:`~repro.textgen.rules.RuleTextSynthesizer` — bucket-conditioned edit
+  rules over the background vocabulary; fast enough to drive full-dataset
+  experiments on CPU (see DESIGN.md substitution table).
+"""
+
+from repro.textgen.backend import SynthesisResult, TextSynthesizer
+from repro.textgen.buckets import SimilarityBuckets, build_bucket_training_pairs
+from repro.textgen.rules import RuleTextSynthesizer
+from repro.textgen.transformer_backend import (
+    TransformerTextSynthesizer,
+    TransformerTextSynthesizerConfig,
+)
+from repro.textgen.vocab import CharVocab
+
+__all__ = [
+    "CharVocab",
+    "RuleTextSynthesizer",
+    "SimilarityBuckets",
+    "SynthesisResult",
+    "TextSynthesizer",
+    "TransformerTextSynthesizer",
+    "TransformerTextSynthesizerConfig",
+    "build_bucket_training_pairs",
+]

@@ -1,0 +1,32 @@
+"""The text-synthesis backend protocol shared by SERD and the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """One synthesized string with its achieved similarity.
+
+    ``text`` is the synthesized ``s'``; ``similarity`` is ``f(s, s')`` under
+    the backend's similarity function — the ``sim'`` column of paper Table I.
+    """
+
+    text: str
+    similarity: float
+
+
+@runtime_checkable
+class TextSynthesizer(Protocol):
+    """Anything that can solve ``given s, sim -> s' with f(s, s') ~= sim``."""
+
+    def synthesize(
+        self, source: str, target_similarity: float, rng: np.random.Generator
+    ) -> SynthesisResult:
+        """Synthesize one string whose similarity to ``source`` approximates
+        ``target_similarity``."""
+        ...

@@ -1,0 +1,89 @@
+"""Similarity buckets and bucketized training-pair construction.
+
+Paper Section VI: the interval ``[0, 1]`` is split into ``k`` disjoint
+successive intervals ``I_1 .. I_k``; one transformer is trained per bucket on
+the background-data string pairs whose similarity falls in that bucket.  The
+paper uses k = 10.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SimilarityBuckets:
+    """Equal-width partition of [0, 1] into ``k`` intervals."""
+
+    k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+
+    def index_of(self, similarity: float) -> int:
+        """Bucket index for a similarity score; 1.0 lands in the last bucket."""
+        if not 0.0 <= similarity <= 1.0:
+            raise ValueError(f"similarity must be in [0, 1], got {similarity}")
+        return min(self.k - 1, int(similarity * self.k))
+
+    def interval(self, index: int) -> tuple[float, float]:
+        """The ``[low, high)`` interval of bucket ``index``."""
+        if not 0 <= index < self.k:
+            raise IndexError(f"bucket index {index} out of range for k={self.k}")
+        return index / self.k, (index + 1) / self.k
+
+    def midpoint(self, index: int) -> float:
+        low, high = self.interval(index)
+        return 0.5 * (low + high)
+
+
+def build_bucket_training_pairs(
+    strings: Sequence[str],
+    similarity: Callable[[str, str], float],
+    buckets: SimilarityBuckets,
+    rng: np.random.Generator,
+    *,
+    pairs_per_bucket: int = 200,
+    max_probes: int | None = None,
+) -> list[list[tuple[str, str]]]:
+    """Sample background string pairs grouped by similarity bucket.
+
+    "We enumerate the strings in pairs, calculate the similarities of these
+    string pairs, and divide them into buckets" (Section VI, Training).  Full
+    enumeration is quadratic, so we probe random pairs until every bucket has
+    ``pairs_per_bucket`` pairs or the probe budget runs out — high-similarity
+    buckets are rare under random pairing, so identity-ish pairs are
+    additionally manufactured by pairing each string with itself (bucket k-1
+    always has data).
+
+    Returns ``k`` lists of ``(s, s')`` pairs.
+    """
+    if len(strings) < 2:
+        raise ValueError("need at least two background strings")
+    per_bucket: list[list[tuple[str, str]]] = [[] for _ in range(buckets.k)]
+    # Guarantee data for the top bucket: identical strings have similarity 1.
+    top = buckets.k - 1
+    for text in strings:
+        if len(per_bucket[top]) >= pairs_per_bucket:
+            break
+        per_bucket[top].append((text, text))
+
+    budget = max_probes if max_probes is not None else 50 * pairs_per_bucket * buckets.k
+    n = len(strings)
+    for _ in range(budget):
+        if all(len(bucket) >= pairs_per_bucket for bucket in per_bucket):
+            break
+        i = int(rng.integers(n))
+        j = int(rng.integers(n))
+        if i == j:
+            continue
+        s, s_prime = strings[i], strings[j]
+        score = similarity(s, s_prime)
+        index = buckets.index_of(min(1.0, max(0.0, score)))
+        if len(per_bucket[index]) < pairs_per_bucket:
+            per_bucket[index].append((s, s_prime))
+    return per_bucket

@@ -1,0 +1,206 @@
+"""Rule-based text synthesis backend.
+
+The paper motivates its bucket-of-transformers design with the observation
+that "two strings can usually be converted to each other by some underlying
+rules (e.g., exchange the name order of authors)", with different rules for
+different similarity levels.  This backend applies those rules *directly*:
+starting from the source string (for high targets) or a background string
+(for low targets), it greedily applies word-level edit operations — insert /
+delete / substitute words drawn from the background vocabulary, reorderings,
+abbreviations — choosing at each step the edit whose resulting similarity is
+closest to the target.
+
+Because every word comes from the source or the in-domain background corpus,
+outputs stay semantically plausible while the similarity contract
+``f(s, s') ~= sim`` is met; and because only background data is consulted, the
+privacy argument of the paper (Fig. 2) is preserved.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.similarity.ngram import qgram_jaccard
+from repro.textgen.backend import SynthesisResult
+
+
+class RuleTextSynthesizer:
+    """Greedy edit-rule synthesizer over a background vocabulary.
+
+    Parameters
+    ----------
+    background:
+        In-domain background strings (paper's ``A'``/``B'`` data).  Never the
+        real active-domain values.
+    similarity:
+        String similarity to target; defaults to 3-gram Jaccard (the paper's
+        experimental setting).
+    tolerance:
+        Accept once ``|f(s, s') - sim| <= tolerance``.
+    max_steps:
+        Edit-search budget per synthesis call.
+    candidates_per_step:
+        Edits proposed per greedy step.
+    """
+
+    def __init__(
+        self,
+        background: Sequence[str],
+        similarity: Callable[[str, str], float] | None = None,
+        *,
+        tolerance: float = 0.03,
+        max_steps: int = 40,
+        candidates_per_step: int = 8,
+    ):
+        cleaned = [text for text in background if text and text.strip()]
+        if not cleaned:
+            raise ValueError("background corpus must contain non-empty strings")
+        self.background = list(cleaned)
+        self.similarity = similarity or qgram_jaccard
+        self.tolerance = tolerance
+        self.max_steps = max_steps
+        self.candidates_per_step = candidates_per_step
+        words: set[str] = set()
+        for text in self.background:
+            words.update(text.split())
+        self._word_bank = sorted(words)
+
+    # ------------------------------------------------------------------
+    # Edit proposals
+    # ------------------------------------------------------------------
+    def _random_word(self, rng: np.random.Generator) -> str:
+        return self._word_bank[int(rng.integers(len(self._word_bank)))]
+
+    def _propose(
+        self,
+        words: list[str],
+        source_words: list[str],
+        increase: bool,
+        rng: np.random.Generator,
+    ) -> list[str]:
+        """One mutated copy of ``words``.
+
+        ``increase`` picks rules that pull the string toward the source
+        (copying source words back in); otherwise rules push it away
+        (substituting/inserting background words, dropping source words).
+        """
+        words = list(words)
+        if increase and source_words:
+            move = rng.integers(3)
+            if move == 0 or not words:
+                # Copy a source word in, preferring ones not already present.
+                fresh = [w for w in source_words if w not in words]
+                pool = fresh or source_words
+                word = pool[int(rng.integers(len(pool)))]
+                position = int(rng.integers(len(words) + 1))
+                words.insert(position, word)
+            elif move == 1:
+                # Replace a word with the aligned source word.
+                position = int(rng.integers(len(words)))
+                aligned = source_words[min(position, len(source_words) - 1)]
+                words[position] = aligned
+            else:
+                # Delete a word that is not in the source.
+                foreign = [i for i, w in enumerate(words) if w not in source_words]
+                if foreign:
+                    del words[int(rng.choice(foreign))]
+                elif words:
+                    del words[int(rng.integers(len(words)))]
+        else:
+            move = rng.integers(4)
+            if move == 0 and len(words) > 1:
+                del words[int(rng.integers(len(words)))]
+            elif move == 1 and words:
+                words[int(rng.integers(len(words)))] = self._random_word(rng)
+            elif move == 2:
+                position = int(rng.integers(len(words) + 1))
+                words.insert(position, self._random_word(rng))
+            else:
+                # Abbreviate: keep the first letter of a word ("Meikel" -> "M.").
+                if words:
+                    position = int(rng.integers(len(words)))
+                    word = words[position]
+                    if len(word) > 2:
+                        words[position] = word[0] + "."
+                    else:
+                        words[position] = self._random_word(rng)
+        if not words:
+            words = [self._random_word(rng)]
+        return words
+
+    def _reorder(self, words: list[str], rng: np.random.Generator) -> list[str]:
+        """Swap two words — the paper's "exchange the name order" rule."""
+        if len(words) < 2:
+            return list(words)
+        i, j = rng.choice(len(words), size=2, replace=False)
+        swapped = list(words)
+        swapped[i], swapped[j] = swapped[j], swapped[i]
+        return swapped
+
+    # ------------------------------------------------------------------
+    # Synthesis
+    # ------------------------------------------------------------------
+    def _initial(self, source: str, target: float, rng: np.random.Generator) -> list[str]:
+        if target >= 0.5:
+            words = source.split() or [self._random_word(rng)]
+            # Start from a reordering so even sim~1 outputs differ from the
+            # source (indistinguishability without duplication).
+            return self._reorder(words, rng)
+        # Low targets: seed with the background string closest to the target.
+        probes = min(12, len(self.background))
+        indices = rng.choice(len(self.background), size=probes, replace=False)
+        best, best_gap = None, np.inf
+        for index in indices:
+            candidate = self.background[int(index)]
+            gap = abs(self.similarity(source, candidate) - target)
+            if gap < best_gap:
+                best, best_gap = candidate, gap
+        assert best is not None
+        return best.split()
+
+    def synthesize(
+        self, source: str, target_similarity: float, rng: np.random.Generator
+    ) -> SynthesisResult:
+        """Synthesize ``s'`` with ``similarity(source, s') ~= target``.
+
+        Greedy local search: at each step propose ``candidates_per_step``
+        edits and keep the one closest to the target similarity; stop at
+        ``tolerance`` or after ``max_steps``.
+        """
+        target = float(np.clip(target_similarity, 0.0, 1.0))
+        if not source:
+            choice = self.background[int(rng.integers(len(self.background)))]
+            return SynthesisResult(choice, self.similarity(source, choice))
+        source_words = source.split()
+        words = self._initial(source, target, rng)
+
+        def _cost(candidate: list[str]) -> float:
+            text = " ".join(candidate)
+            gap = abs(self.similarity(source, text) - target)
+            # Penalize repeated words lightly: "merry merry anchor" reads
+            # fake, and the penalty steers search toward natural phrasing
+            # without overriding the similarity contract.
+            duplicates = len(candidate) - len(set(candidate))
+            return gap + 0.01 * duplicates
+
+        best_words = list(words)
+        best_cost = _cost(best_words)
+        for _ in range(self.max_steps):
+            if best_cost <= self.tolerance:
+                break
+            current_sim = self.similarity(source, " ".join(best_words))
+            increase = current_sim < target
+            candidates = [
+                self._propose(best_words, source_words, increase, rng)
+                for _ in range(self.candidates_per_step)
+            ]
+            candidates.append(self._reorder(best_words, rng))
+            for candidate in candidates:
+                cost = _cost(candidate)
+                if cost < best_cost:
+                    best_cost = cost
+                    best_words = candidate
+        text = " ".join(best_words)
+        return SynthesisResult(text, self.similarity(source, text))

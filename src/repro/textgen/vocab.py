@@ -1,0 +1,76 @@
+"""Character vocabulary for the seq2seq transformer.
+
+"The token of the transformer is character.  The input dimension is the size
+of the vocabulary (i.e., the distinct number of characters)" — paper
+Section VII, Settings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class CharVocab:
+    """Bidirectional character/id mapping with PAD/BOS/EOS/UNK specials."""
+
+    PAD, BOS, EOS, UNK = 0, 1, 2, 3
+    _SPECIALS = ("<pad>", "<bos>", "<eos>", "<unk>")
+
+    def __init__(self, characters: Iterable[str]):
+        unique = sorted({c for c in characters if len(c) == 1})
+        self._id_to_char: list[str] = list(self._SPECIALS) + unique
+        self._char_to_id: dict[str, int] = {
+            char: i for i, char in enumerate(self._id_to_char)
+        }
+
+    @classmethod
+    def from_corpus(cls, strings: Iterable[str]) -> "CharVocab":
+        """Collect every distinct character appearing in ``strings``."""
+        chars: set[str] = set()
+        for text in strings:
+            chars.update(text.lower())
+        return cls(chars)
+
+    def __len__(self) -> int:
+        return len(self._id_to_char)
+
+    def __contains__(self, char: str) -> bool:
+        return char in self._char_to_id
+
+    def encode(self, text: str, *, add_bos: bool = False, add_eos: bool = True) -> list[int]:
+        """Text to token ids; unknown characters map to UNK."""
+        ids = [self._char_to_id.get(c, self.UNK) for c in text.lower()]
+        if add_bos:
+            ids.insert(0, self.BOS)
+        if add_eos:
+            ids.append(self.EOS)
+        return ids
+
+    def decode(self, token_ids: Iterable[int]) -> str:
+        """Token ids back to text, dropping specials."""
+        chars = []
+        for token in token_ids:
+            if token in (self.PAD, self.BOS):
+                continue
+            if token == self.EOS:
+                break
+            if token == self.UNK:
+                chars.append("?")
+                continue
+            chars.append(self._id_to_char[token])
+        return "".join(chars)
+
+    def pad_batch(
+        self, sequences: list[list[int]], max_length: int | None = None
+    ):
+        """Right-pad id sequences into a rectangular int array."""
+        import numpy as np
+
+        width = max(len(s) for s in sequences)
+        if max_length is not None:
+            width = min(width, max_length)
+        batch = np.full((len(sequences), width), self.PAD, dtype=np.int64)
+        for row, seq in enumerate(sequences):
+            clipped = seq[:width]
+            batch[row, : len(clipped)] = clipped
+        return batch

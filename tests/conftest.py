@@ -1,0 +1,86 @@
+"""Shared fixtures: small deterministic datasets and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.schema import Entity, Relation, make_schema
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_schema():
+    """The DBLP-ACM schema of paper Fig. 1."""
+    return make_schema(
+        {
+            "title": "text",
+            "authors": "text",
+            "venue": "categorical",
+            "year": "numeric",
+        }
+    )
+
+
+@pytest.fixture
+def paper_tables(paper_schema):
+    """The Fig. 1 example tables (3 DBLP rows, 3 ACM rows)."""
+    table_a = Relation(
+        "dblp",
+        paper_schema,
+        [
+            Entity("a1", paper_schema, [
+                "Adaptable Query Optimization and Evaluation in Temporal Middleware",
+                "Christian S. Jensen, Richard T. Snodgrass, Giedrius Slivinskas",
+                "SIGMOD Conference", 2001,
+            ]),
+            Entity("a2", paper_schema, [
+                "Generalised Hash Teams for Join and Group-by",
+                "Donald Kossmann, Alfons Kemper, Christian Wiesner",
+                "VLDB", 1999,
+            ]),
+            Entity("a3", paper_schema, [
+                "A simple algorithm for finding frequent elements in streams and bags",
+                "Richard M. Karp, Scott Shenker",
+                "ACM Trans. Database Syst.", 2003,
+            ]),
+        ],
+    )
+    table_b = Relation(
+        "acm",
+        paper_schema,
+        [
+            Entity("b1", paper_schema, [
+                "Adaptable query optimization and evaluation in temporal middleware",
+                "Giedrius Slivinskas, Christian S. Jensen, Richard Thomas Snodgrass",
+                "International Conference on Management of Data", 2001,
+            ]),
+            Entity("b2", paper_schema, [
+                "Generalised Hash Teams for Join and Group-by",
+                "Alfons Kemper, Donald Kossmann, Christian Wiesner",
+                "Very Large Data Bases", 1999,
+            ]),
+            Entity("b3", paper_schema, [
+                "Parameterized complexity for the database theorist",
+                "Martin Grohe",
+                "ACM SIGMOD Record", 2002,
+            ]),
+        ],
+    )
+    return table_a, table_b
+
+
+@pytest.fixture
+def tiny_restaurant():
+    """A small but non-trivial generated restaurant dataset."""
+    return load_dataset("restaurant", scale=0.08, seed=11)
+
+
+@pytest.fixture
+def tiny_dblp():
+    return load_dataset("dblp_acm", scale=0.03, seed=11)

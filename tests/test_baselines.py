@@ -1,0 +1,85 @@
+"""Tests for the EMBench and per-table-GAN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EMBenchConfig, EMBenchSynthesizer, IndependentGANSynthesizer
+from repro.gan import TabularGANConfig
+from repro.similarity import SimilarityModel
+
+
+class TestEMBench:
+    @pytest.fixture(scope="class")
+    def synthesized(self, request):
+        from repro.datasets import load_dataset
+
+        real = load_dataset("dblp_acm", scale=0.03, seed=11)
+        return real, EMBenchSynthesizer(EMBenchConfig(seed=2)).synthesize(real)
+
+    def test_sizes_preserved(self, synthesized):
+        real, fake = synthesized
+        assert len(fake.table_a) == len(real.table_a)
+        assert len(fake.table_b) == len(real.table_b)
+        assert len(fake.matches) == len(real.matches)
+
+    def test_labels_carry_over(self, synthesized):
+        real, fake = synthesized
+        # The i-th match of fake corresponds to the i-th match of real.
+        assert fake.matches[0] == ("ea0", "eb0")
+
+    def test_entities_are_modified_not_copied(self, synthesized):
+        real, fake = synthesized
+        changed = 0
+        for real_entity, fake_entity in zip(real.table_a, fake.table_a):
+            if real_entity.values != fake_entity.values:
+                changed += 1
+        assert changed > len(real.table_a) * 0.8
+
+    def test_entities_stay_similar_to_originals(self, synthesized):
+        """The privacy weakness the paper measures: EMBench output is close
+        to the real entities."""
+        real, fake = synthesized
+        model = SimilarityModel.from_relations(real.table_a, real.table_b)
+        sims = []
+        for real_entity, fake_entity in zip(
+            list(real.table_a)[:20], list(fake.table_a)[:20]
+        ):
+            sims.append(model.vector(real_entity, fake_entity).mean())
+        assert np.mean(sims) > 0.7
+
+    def test_numeric_values_stay_in_range(self, synthesized):
+        real, fake = synthesized
+        low, high = real.table_a.numeric_range("year")
+        for value in fake.table_a.column("year"):
+            assert low <= value <= high
+
+    def test_symmetric_dataset_stays_symmetric(self):
+        from repro.datasets import load_dataset
+
+        real = load_dataset("restaurant", scale=0.05, seed=3)
+        fake = EMBenchSynthesizer(EMBenchConfig(seed=1)).synthesize(real)
+        assert fake.symmetric
+        assert fake.table_a is fake.table_b
+
+
+class TestIndependentGAN:
+    def test_generates_both_tables_and_labels(self):
+        from repro.core import SERDConfig, SERDSynthesizer
+        from repro.datasets import load_dataset
+
+        real = load_dataset("restaurant", scale=0.06, seed=13)
+        serd = SERDSynthesizer(
+            SERDConfig(seed=13, gan=TabularGANConfig(iterations=10))
+        )
+        serd.fit(real)
+        baseline = IndependentGANSynthesizer(
+            TabularGANConfig(iterations=20), seed=13
+        )
+        fake = baseline.synthesize(
+            real, serd.o_labeling, serd.similarity_model,
+            background=serd._background, n_a=10, n_b=10,
+        )
+        assert len(fake.table_a) == 10
+        assert len(fake.table_b) == 10
+        # Labels exist (possibly empty match list) and ids are disjoint.
+        assert all(a.startswith("ga") for a, _ in fake.matches) or not fake.matches

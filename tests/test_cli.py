@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        from repro.version import __version__
+
+        assert __version__ in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "dblp_acm" in out
+
+    def test_synthesize_writes_release(self, tmp_path, capsys):
+        code = main([
+            "synthesize", "--dataset", "restaurant", "--scale", "0.05",
+            "--seed", "3", "--out", str(tmp_path / "release"),
+        ])
+        assert code == 0
+        assert (tmp_path / "release" / "schema.json").exists()
+        assert (tmp_path / "release" / "table_a.csv").exists()
+        assert (tmp_path / "release" / "matches.csv").exists()
+        out = capsys.readouterr().out
+        assert "Synthesized" in out
+
+    def test_synthesize_no_rejection(self, tmp_path, capsys):
+        code = main([
+            "synthesize", "--dataset", "restaurant", "--scale", "0.04",
+            "--seed", "3", "--out", str(tmp_path / "minus"), "--no-rejection",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'distribution': 0" in out
+
+    def test_roundtrip_of_released_dataset(self, tmp_path):
+        from repro.schema import load_saved_dataset
+
+        main([
+            "synthesize", "--dataset", "restaurant", "--scale", "0.05",
+            "--seed", "4", "--out", str(tmp_path / "again"),
+        ])
+        loaded = load_saved_dataset(tmp_path / "again")
+        assert len(loaded.table_a) > 0
+        assert loaded.name == "restaurant_syn"

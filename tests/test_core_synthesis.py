@@ -1,0 +1,152 @@
+"""Tests for per-column value synthesis (EntityFactory, S2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.synthesis import EntityFactory
+from repro.schema import Entity, make_schema
+from repro.similarity import SimilarityModel
+from repro.textgen import RuleTextSynthesizer
+
+BACKGROUND = [
+    "golden dragon cafe", "quiet willow tavern", "copper kettle diner",
+    "harbor lights grill", "maple corner bistro", "stone bridge eatery",
+    "amber falcon kitchen", "silver birch cantina",
+]
+
+
+@pytest.fixture
+def schema():
+    return make_schema({
+        "name": "text",
+        "city": "categorical",
+        "year": "numeric",
+        "opened": "date",
+    })
+
+
+@pytest.fixture
+def factory(schema):
+    model = SimilarityModel(
+        schema, ranges={"year": (1990.0, 2010.0), "opened": (1.0, 365.0)}
+    )
+    categorical = {
+        "a": {"city": ["austin", "boston", "seattle", "denver"]},
+        "b": {"city": ["austin tx", "boston ma", "seattle wa", "denver co"]},
+    }
+    backends = {"name": RuleTextSynthesizer(BACKGROUND, tolerance=0.04, max_steps=60)}
+    return EntityFactory(model, categorical, backends)
+
+
+@pytest.fixture
+def anchor(schema):
+    return Entity("e0", schema, ["golden dragon cafe", "austin", 2000, 100])
+
+
+class TestValidation:
+    def test_missing_categorical_pool(self, schema):
+        model = SimilarityModel(
+            schema, ranges={"year": (0, 1), "opened": (0, 1)}
+        )
+        with pytest.raises(ValueError, match="categorical"):
+            EntityFactory(model, {"a": {}, "b": {}}, {"name": None})
+
+    def test_missing_text_backend(self, schema):
+        model = SimilarityModel(
+            schema, ranges={"year": (0, 1), "opened": (0, 1)}
+        )
+        pools = {
+            "a": {"city": ["x"]},
+            "b": {"city": ["x"]},
+        }
+        with pytest.raises(ValueError, match="text backend"):
+            EntityFactory(model, pools, {})
+
+    def test_missing_side(self, schema):
+        model = SimilarityModel(
+            schema, ranges={"year": (0, 1), "opened": (0, 1)}
+        )
+        with pytest.raises(ValueError, match="side"):
+            EntityFactory(model, {"a": {"city": ["x"]}}, {"name": None})
+
+    def test_bad_vector_shape(self, factory, anchor, rng):
+        with pytest.raises(ValueError, match="similarity vector"):
+            factory.synthesize_entity(anchor, np.array([0.5]), "new", rng)
+
+    def test_bad_side(self, factory, anchor, rng):
+        with pytest.raises(ValueError, match="side"):
+            factory.synthesize_entity(
+                anchor, np.full(4, 0.5), "new", rng, side="c"
+            )
+
+
+class TestNumericSynthesis:
+    def test_achieves_target(self, factory, anchor, rng):
+        for target in (0.7, 0.9, 1.0):
+            value = factory.synthesize_value("year", 2000, target, rng)
+            achieved = factory.similarity_model.value_similarity("year", 2000, value)
+            assert achieved == pytest.approx(target, abs=0.01)
+
+    def test_date_is_integral(self, factory, rng):
+        value = factory.synthesize_value("opened", 100, 0.8, rng)
+        assert isinstance(value, int)
+
+    def test_clamp_falls_back_to_other_direction(self, factory, rng):
+        # Anchor near the upper bound: only the downward direction can reach
+        # a low similarity.
+        value = factory.synthesize_value("year", 2009, 0.2, rng)
+        achieved = factory.similarity_model.value_similarity("year", 2009, value)
+        assert achieved == pytest.approx(0.2, abs=0.05)
+
+    def test_both_directions_used(self, factory, rng):
+        values = {
+            factory.synthesize_value("year", 2000, 0.9, rng) for _ in range(30)
+        }
+        assert len(values) == 2  # 1998 and 2002
+
+
+class TestCategoricalSynthesis:
+    def test_exact_target_one_returns_anchor_value(self, factory, anchor, rng):
+        value = factory.synthesize_value("city", "austin", 1.0, rng)
+        assert value == "austin"
+
+    def test_side_pools_respected(self, factory, rng):
+        value = factory.synthesize_value("city", "austin", 0.0, rng, side="b")
+        assert value in ("boston ma", "seattle wa", "denver co", "austin tx")
+
+    def test_tie_breaking_uniform(self, factory, rng):
+        # Low target: several cities tie at similarity ~0; sampling should
+        # hit more than one of them.
+        values = {
+            factory.synthesize_value("city", "austin", 0.0, rng) for _ in range(40)
+        }
+        assert len(values) >= 2
+
+
+class TestTextSynthesis:
+    def test_text_similarity_close_to_target(self, factory, anchor, rng):
+        value = factory.synthesize_value("name", "golden dragon cafe", 0.5, rng)
+        achieved = factory.similarity_model.value_similarity(
+            "name", "golden dragon cafe", value
+        )
+        assert abs(achieved - 0.5) < 0.15
+
+    def test_none_anchor_handled(self, factory, rng):
+        value = factory.synthesize_value("name", None, 0.3, rng)
+        assert isinstance(value, str) and value
+
+
+class TestEntitySynthesis:
+    def test_achieved_vector_close_to_target(self, factory, anchor, rng):
+        target = np.array([0.6, 1.0, 0.9, 0.8])
+        entity = factory.synthesize_entity(anchor, target, "new-1", rng)
+        achieved = factory.achieved_vector(anchor, entity)
+        np.testing.assert_allclose(achieved, target, atol=0.2)
+        assert entity.entity_id == "new-1"
+
+    def test_target_clipped_into_unit_interval(self, factory, anchor, rng):
+        entity = factory.synthesize_entity(
+            anchor, np.array([1.4, -0.2, 0.5, 0.5]), "new-2", rng
+        )
+        achieved = factory.achieved_vector(anchor, entity)
+        assert np.all(achieved >= 0.0) and np.all(achieved <= 1.0)

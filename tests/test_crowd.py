@@ -1,0 +1,133 @@
+"""Tests for the simulated crowdsourcing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.crowd import (
+    CrowdWorker,
+    WorkerPool,
+    run_user_study_s1,
+    run_user_study_s2,
+)
+from repro.crowd.study import _majority
+from repro.schema import Entity, make_schema
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"name": "text"})
+
+
+def _entities(schema, count):
+    return [Entity(f"e{i}", schema, [f"value {i}"]) for i in range(count)]
+
+
+class TestCrowdWorker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrowdWorker(reliability=0.0)
+        with pytest.raises(ValueError):
+            CrowdWorker(reliability=0.9, match_threshold=1.0)
+
+    def test_reliable_worker_judges_realism(self, rng):
+        worker = CrowdWorker(reliability=1.0)
+        agrees = sum(worker.answer_realism(0.95, rng) == "agree" for _ in range(50))
+        disagrees = sum(
+            worker.answer_realism(0.05, rng) == "disagree" for _ in range(50)
+        )
+        assert agrees >= 45
+        assert disagrees >= 45
+
+    def test_neutral_band(self, rng):
+        worker = CrowdWorker(reliability=1.0)
+        answers = {worker.answer_realism(0.45, rng) for _ in range(80)}
+        assert "neutral" in answers
+
+    def test_unreliable_worker_random(self, rng):
+        worker = CrowdWorker(reliability=0.01)
+        answers = [worker.answer_realism(1.0, rng) for _ in range(300)]
+        assert answers.count("agree") < 200  # far from unanimous
+
+    def test_matching_judgement(self, rng):
+        worker = CrowdWorker(reliability=0.99, match_threshold=0.5)
+        high = sum(worker.answer_matching(0.95, rng) for _ in range(50))
+        low = sum(worker.answer_matching(0.05, rng) for _ in range(50))
+        assert high >= 45
+        assert low <= 5
+
+
+class TestWorkerPool:
+    def test_size_and_reliability_filter(self):
+        pool = WorkerPool(size=50, seed=1, reliability_range=(0.9, 0.99))
+        assert len(pool) == 50
+        assert all(0.9 <= w.reliability <= 0.99 for w in pool.workers)
+
+    def test_sample_distinct(self, rng):
+        pool = WorkerPool(size=20, seed=1)
+        workers = pool.sample(5, rng)
+        assert len(workers) == 5
+        assert len({id(w) for w in workers}) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(size=0)
+        with pytest.raises(ValueError):
+            WorkerPool(reliability_range=(0.9, 0.5))
+
+
+class TestMajority:
+    def test_simple_majority(self):
+        assert _majority(["agree", "agree", "neutral"]) == "agree"
+
+    def test_tie_breaks_neutral(self):
+        assert _majority(["agree", "disagree"]) == "neutral"
+
+
+class TestStudies:
+    def test_s1_realistic_entities_get_agree(self, schema, rng):
+        pool = WorkerPool(size=40, seed=2)
+        result = run_user_study_s1(
+            _entities(schema, 60), lambda e: 0.9, pool, rng
+        )
+        assert result.agree > 0.8
+        assert result.agree + result.neutral + result.disagree == pytest.approx(1.0)
+        assert result.n_questions == 60
+
+    def test_s1_fake_entities_get_disagree(self, schema, rng):
+        pool = WorkerPool(size=40, seed=2)
+        result = run_user_study_s1(
+            _entities(schema, 60), lambda e: 0.05, pool, rng
+        )
+        assert result.disagree > 0.8
+
+    def test_s1_empty_rejected(self, schema, rng):
+        pool = WorkerPool(size=5, seed=0)
+        with pytest.raises(ValueError):
+            run_user_study_s1([], lambda e: 0.5, pool, rng)
+
+    def test_s2_agreement_matrix(self, schema, rng):
+        pool = WorkerPool(size=40, seed=3)
+        matches = [(e, e) for e in _entities(schema, 40)]
+        non_matches = [
+            (a, b)
+            for a, b in zip(_entities(schema, 40), reversed(_entities(schema, 40)))
+        ]
+        result = run_user_study_s2(
+            matches, non_matches,
+            lambda a, b: 0.95 if a.entity_id == b.entity_id else 0.05,
+            pool, rng,
+        )
+        assert result.match_agreement > 0.85
+        assert result.non_match_agreement > 0.85
+        matrix = result.matrix()
+        assert matrix["matching"]["matching"] == pytest.approx(
+            result.match_agreement
+        )
+        assert matrix["non-matching"]["non-matching"] == pytest.approx(
+            result.non_match_agreement
+        )
+
+    def test_s2_requires_both_sides(self, schema, rng):
+        pool = WorkerPool(size=5, seed=0)
+        with pytest.raises(ValueError):
+            run_user_study_s2([], [(None, None)], lambda a, b: 0.5, pool, rng)

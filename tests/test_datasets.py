@@ -1,0 +1,170 @@
+"""Tests for the benchmark-like dataset generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    dataset_info,
+    load_background,
+    load_dataset,
+)
+from repro.datasets.builder import Perturber, scaled
+from repro.similarity import SimilarityModel
+
+
+class TestRegistry:
+    def test_all_four_benchmarks_present(self):
+        assert set(DATASET_NAMES) == {
+            "dblp_acm", "restaurant", "walmart_amazon", "itunes_amazon"
+        }
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown"):
+            load_dataset("nope")
+
+    def test_dataset_info(self):
+        info = dataset_info("dblp_acm")
+        assert info.domain == "scholar"
+        assert info.paper_sizes["|M|"] == 2224
+        assert info.text_columns == ("title", "authors")
+
+    def test_paper_sizes_table2(self):
+        """The registry reproduces every Table II row."""
+        expected = {
+            "dblp_acm": (2616, 2294, 4, 2224),
+            "restaurant": (864, 864, 4, 112),
+            "walmart_amazon": (2554, 22074, 5, 1154),
+            "itunes_amazon": (6907, 55922, 8, 132),
+        }
+        for name, (a, b, cols, m) in expected.items():
+            sizes = dataset_info(name).paper_sizes
+            assert (sizes["|A|"], sizes["|B|"], sizes["#-Col"], sizes["|M|"]) == (
+                a, b, cols, m
+            )
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestGenerators:
+    def test_scaled_sizes(self, name):
+        ds = load_dataset(name, scale=0.05, seed=1)
+        paper = dataset_info(name).paper_sizes
+        stats = ds.statistics()
+        assert stats["#-Col"] == paper["#-Col"]
+        assert stats["|A|"] == pytest.approx(paper["|A|"] * 0.05, rel=0.1, abs=10)
+        assert stats["|M|"] <= stats["|A|"]
+
+    def test_deterministic(self, name):
+        a = load_dataset(name, scale=0.02, seed=9)
+        b = load_dataset(name, scale=0.02, seed=9)
+        assert [e.values for e in a.table_a] == [e.values for e in b.table_a]
+        assert a.matches == b.matches
+
+    def test_seed_changes_content(self, name):
+        a = load_dataset(name, scale=0.02, seed=1)
+        b = load_dataset(name, scale=0.02, seed=2)
+        assert [e.values for e in a.table_a] != [e.values for e in b.table_a]
+
+    def test_matches_are_similar_pairs(self, name):
+        ds = load_dataset(name, scale=0.05, seed=4)
+        model = SimilarityModel.from_relations(ds.table_a, ds.table_b)
+        rng = np.random.default_rng(0)
+        match_vectors = model.vectors(ds.match_pairs()[:30])
+        negatives = ds.sample_non_matches(30, rng)
+        non_vectors = model.vectors(ds.resolve(p) for p in negatives)
+        assert match_vectors.mean() > non_vectors.mean() + 0.2
+
+    def test_no_missing_values(self, name):
+        ds = load_dataset(name, scale=0.02, seed=3)
+        for entity in ds.table_a:
+            assert all(v is not None for v in entity.values)
+
+    def test_background_covers_all_text_columns(self, name):
+        info = dataset_info(name)
+        corpora = load_background(name, size=25, seed=2)
+        assert set(corpora) == set(info.text_columns)
+        for strings in corpora.values():
+            assert len(strings) == 25
+            assert all(s.strip() for s in strings)
+
+    def test_background_disjoint_from_active_domain(self, name):
+        """Background strings never appear in the generated dataset."""
+        ds = load_dataset(name, scale=0.05, seed=5)
+        info = dataset_info(name)
+        for column in info.text_columns:
+            active = set(ds.table_a.column(column)) | set(ds.table_b.column(column))
+            background = set(load_background(name, column, size=60, seed=6))
+            overlap = active & background
+            assert len(overlap) <= 1  # allow a rare structural collision
+
+    def test_unknown_background_column(self, name):
+        with pytest.raises(KeyError):
+            load_background(name, "no_such_column")
+
+
+class TestRestaurantSymmetry:
+    def test_single_table_semantics(self):
+        ds = load_dataset("restaurant", scale=0.05, seed=1)
+        assert ds.symmetric
+        assert ds.table_a is ds.table_b
+        a_id, b_id = ds.matches[0]
+        assert ds.is_match(b_id, a_id)
+
+
+class TestBuilderUtilities:
+    def test_scaled(self):
+        assert scaled(100, 0.5) == 50
+        assert scaled(10, 0.01, minimum=3) == 3
+        with pytest.raises(ValueError):
+            scaled(10, 0.0)
+
+    def test_typo_changes_one_character_neighbourhood(self, rng):
+        perturber = Perturber(rng)
+        text = "entity resolution"
+        for _ in range(10):
+            out = perturber.typo(text)
+            assert abs(len(out) - len(text)) <= 1
+
+    def test_typo_short_string_unchanged(self, rng):
+        assert Perturber(rng).typo("a") == "a"
+
+    def test_reorder_preserves_tokens(self, rng):
+        perturber = Perturber(rng)
+        out = perturber.reorder_tokens("alpha beta gamma")
+        assert sorted(out.split()) == ["alpha", "beta", "gamma"]
+
+    def test_abbreviate(self, rng):
+        perturber = Perturber(rng)
+        out = perturber.abbreviate_token("Jonathan Smith")
+        assert "." in out
+
+    def test_drop_token(self, rng):
+        perturber = Perturber(rng)
+        out = perturber.drop_token("one two three")
+        assert len(out.split()) == 2
+
+    def test_perturb_name_list_keeps_people_count(self, rng):
+        perturber = Perturber(rng)
+        out = perturber.perturb_name_list("Alice Smith, Bob Jones, Carol White")
+        assert len(out.split(",")) == 3
+
+    def test_jitter_within_bounds(self, rng):
+        perturber = Perturber(rng)
+        for _ in range(20):
+            value = perturber.jitter_number(
+                5.0, spread=100.0, bounds=(0.0, 10.0), jitter_probability=1.0
+            )
+            assert 0.0 <= value <= 10.0
+
+    def test_jitter_integral(self, rng):
+        perturber = Perturber(rng)
+        value = perturber.jitter_number(
+            5, spread=2.0, bounds=(0, 10), integral=True, jitter_probability=1.0
+        )
+        assert isinstance(value, int)
+
+    def test_pick_distinct(self, rng):
+        perturber = Perturber(rng)
+        picks = perturber.pick_distinct(["a", "b", "c"], 3)
+        assert sorted(picks) == ["a", "b", "c"]
+        assert len(perturber.pick_distinct(["a"], 5)) == 1

@@ -1,0 +1,102 @@
+"""Tests for Monte-Carlo KL / JSD estimation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    PairDistribution,
+    jensen_shannon_divergence,
+    kl_divergence_monte_carlo,
+)
+from repro.distributions.divergence import pair_distribution_jsd
+
+
+def _gaussian_logpdf(mean, std):
+    def log_pdf(points):
+        points = np.atleast_2d(points)
+        return (
+            -0.5 * np.sum(((points - mean) / std) ** 2, axis=1)
+            - points.shape[1] * np.log(std * np.sqrt(2 * np.pi))
+        )
+
+    return log_pdf
+
+
+def _gaussian_sampler(mean, std):
+    def sample(n, rng):
+        return rng.normal(mean, std, size=(n, 1))
+
+    return sample
+
+
+class TestKL:
+    def test_identical_distributions_near_zero(self, rng):
+        log_p = _gaussian_logpdf(0.0, 1.0)
+        value = kl_divergence_monte_carlo(
+            log_p, log_p, _gaussian_sampler(0.0, 1.0), rng, 2000
+        )
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_gaussian_kl(self, rng):
+        # KL(N(0,1) || N(1,1)) = 0.5
+        value = kl_divergence_monte_carlo(
+            _gaussian_logpdf(0.0, 1.0),
+            _gaussian_logpdf(1.0, 1.0),
+            _gaussian_sampler(0.0, 1.0),
+            rng,
+            20000,
+        )
+        assert value == pytest.approx(0.5, abs=0.05)
+
+    def test_non_negative(self, rng):
+        value = kl_divergence_monte_carlo(
+            _gaussian_logpdf(0.0, 1.0),
+            _gaussian_logpdf(0.01, 1.0),
+            _gaussian_sampler(0.0, 1.0),
+            rng,
+            500,
+        )
+        assert value >= 0.0
+
+
+class TestJSD:
+    def test_identical_near_zero(self, rng):
+        log_p = _gaussian_logpdf(0.0, 1.0)
+        sampler = _gaussian_sampler(0.0, 1.0)
+        value = jensen_shannon_divergence(log_p, log_p, sampler, sampler, rng, 2000)
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_bounded_by_log2(self, rng):
+        value = jensen_shannon_divergence(
+            _gaussian_logpdf(0.0, 0.1),
+            _gaussian_logpdf(100.0, 0.1),
+            _gaussian_sampler(0.0, 0.1),
+            _gaussian_sampler(100.0, 0.1),
+            rng,
+            2000,
+        )
+        assert value == pytest.approx(np.log(2.0), abs=1e-6)
+
+    def test_monotone_in_separation(self, rng):
+        def jsd_at(offset):
+            return jensen_shannon_divergence(
+                _gaussian_logpdf(0.0, 1.0),
+                _gaussian_logpdf(offset, 1.0),
+                _gaussian_sampler(0.0, 1.0),
+                _gaussian_sampler(offset, 1.0),
+                np.random.default_rng(0),
+                4000,
+            )
+
+        assert jsd_at(0.5) < jsd_at(2.0) < jsd_at(6.0)
+
+
+class TestPairDistributionJSD:
+    def test_self_jsd_small_and_deterministic(self, rng):
+        x_match = rng.normal([0.9], 0.05, size=(100, 1)).clip(0, 1)
+        x_non = rng.normal([0.1], 0.05, size=(300, 1)).clip(0, 1)
+        dist = PairDistribution.fit(x_match, x_non, rng, max_components=1)
+        first = pair_distribution_jsd(dist, dist, seed=3)
+        second = pair_distribution_jsd(dist, dist, seed=3)
+        assert first == second
+        assert first < 0.01

@@ -1,0 +1,79 @@
+"""Tests for the incremental GMM update (paper Eqs. 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import IncrementalGMM, fit_gmm
+
+
+@pytest.fixture
+def cluster_data(rng):
+    return np.vstack([
+        rng.normal([0, 0], 0.3, size=(120, 2)),
+        rng.normal([4, 4], 0.3, size=(120, 2)),
+    ])
+
+
+class TestIncrementalGMM:
+    def test_from_fit_preserves_density(self, cluster_data, rng):
+        mixture = fit_gmm(cluster_data, 2, rng)
+        incremental = IncrementalGMM.from_fit(mixture, cluster_data)
+        points = rng.normal(size=(20, 2)) * 2
+        np.testing.assert_allclose(
+            incremental.mixture.log_pdf(points), mixture.log_pdf(points)
+        )
+        assert incremental.count == len(cluster_data)
+
+    def test_update_is_pure(self, cluster_data, rng):
+        mixture = fit_gmm(cluster_data, 2, rng)
+        incremental = IncrementalGMM.from_fit(mixture, cluster_data)
+        before = incremental.mixture.means.copy()
+        updated = incremental.update(rng.normal([4, 4], 0.3, size=(40, 2)))
+        np.testing.assert_allclose(incremental.mixture.means, before)
+        assert updated is not incremental
+        assert updated.count == incremental.count + 40
+
+    def test_empty_update_returns_self(self, cluster_data, rng):
+        mixture = fit_gmm(cluster_data, 2, rng)
+        incremental = IncrementalGMM.from_fit(mixture, cluster_data)
+        assert incremental.update(np.empty((0, 2))) is incremental
+
+    def test_dimension_mismatch_rejected(self, cluster_data, rng):
+        mixture = fit_gmm(cluster_data, 2, rng)
+        incremental = IncrementalGMM.from_fit(mixture, cluster_data)
+        with pytest.raises(ValueError):
+            incremental.update(np.zeros((3, 5)))
+
+    def test_update_moves_mean_toward_new_points(self, cluster_data, rng):
+        mixture = fit_gmm(cluster_data, 2, rng)
+        incremental = IncrementalGMM.from_fit(mixture, cluster_data)
+        # Add points shifted from the (4, 4) cluster.
+        updated = incremental.update(rng.normal([5, 5], 0.2, size=(200, 2)))
+        top_mean_before = incremental.mixture.means.max(axis=0)
+        top_mean_after = updated.mixture.means.max(axis=0)
+        assert np.all(top_mean_after > top_mean_before)
+
+    def test_matches_batch_moment_computation(self, rng):
+        """Incremental statistics equal the closed-form moments (Eq. 9)."""
+        base = rng.normal(0.0, 1.0, size=(100, 2))
+        extra = rng.normal(0.5, 1.0, size=(50, 2))
+        mixture = fit_gmm(base, 1, rng)
+        incremental = IncrementalGMM.from_fit(mixture, base).update(extra)
+        combined = np.vstack([base, extra])
+        # With one component, gamma == 1, so mu is the plain mean.
+        np.testing.assert_allclose(
+            incremental.mixture.means[0], combined.mean(axis=0), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            incremental.mixture.components[0].covariance,
+            np.cov(combined.T, bias=True) + np.eye(2) * 1e-6,
+            atol=1e-5,
+        )
+
+    def test_weights_shift_with_responsibility_mass(self, cluster_data, rng):
+        mixture = fit_gmm(cluster_data, 2, rng)
+        incremental = IncrementalGMM.from_fit(mixture, cluster_data)
+        # Add lots of points at one cluster only.
+        updated = incremental.update(rng.normal([4, 4], 0.2, size=(240, 2)))
+        heavy = np.argmax([m[0] for m in updated.mixture.means])
+        assert updated.mixture.weights[heavy] > 0.6

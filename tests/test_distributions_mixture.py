@@ -1,0 +1,108 @@
+"""Tests for PairDistribution (the O-distribution)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import PairDistribution
+
+
+@pytest.fixture
+def labeled_vectors(rng):
+    x_match = rng.normal([0.9, 0.85], 0.05, size=(150, 2)).clip(0, 1)
+    x_non = rng.normal([0.1, 0.15], 0.08, size=(450, 2)).clip(0, 1)
+    return x_match, x_non
+
+
+@pytest.fixture
+def fitted(labeled_vectors, rng):
+    x_match, x_non = labeled_vectors
+    return PairDistribution.fit(x_match, x_non, rng, max_components=2)
+
+
+class TestFit:
+    def test_pi_is_match_fraction(self, fitted):
+        assert fitted.match_probability == pytest.approx(0.25, abs=1e-6)
+
+    def test_requires_both_sides(self, rng):
+        with pytest.raises(ValueError):
+            PairDistribution.fit(np.empty((0, 2)), np.ones((5, 2)), rng)
+
+    def test_invalid_pi_rejected(self, fitted):
+        with pytest.raises(ValueError):
+            PairDistribution(
+                0.0, fitted.match_distribution, fitted.non_match_distribution
+            )
+
+    def test_dim_mismatch_rejected(self, fitted, rng):
+        other = PairDistribution.fit(
+            rng.random((20, 3)), rng.random((20, 3)) * 0.2, rng, max_components=1
+        )
+        with pytest.raises(ValueError):
+            PairDistribution(
+                0.5, fitted.match_distribution, other.non_match_distribution
+            )
+
+
+class TestPosterior:
+    def test_match_region_posterior_high(self, fitted):
+        assert fitted.posterior_match(np.array([[0.9, 0.85]]))[0] > 0.99
+
+    def test_non_match_region_posterior_low(self, fitted):
+        assert fitted.posterior_match(np.array([[0.1, 0.15]]))[0] < 0.01
+
+    def test_classify_consistent_with_posterior(self, fitted, rng):
+        points = rng.random((50, 2))
+        posterior = fitted.posterior_match(points)
+        np.testing.assert_array_equal(fitted.classify(points), posterior >= 0.5)
+
+    def test_plausibility_gap_vectors_score_low(self, fitted):
+        plausible = fitted.plausibility(np.array([[0.9, 0.85], [0.1, 0.15]]))
+        implausible = fitted.plausibility(np.array([[0.5, 0.5]]))
+        assert implausible[0] < plausible.min()
+
+    def test_pdf_is_mixture(self, fitted, rng):
+        points = rng.random((20, 2))
+        expected = fitted.match_probability * np.exp(
+            fitted.match_distribution.log_pdf(points)
+        ) + (1 - fitted.match_probability) * np.exp(
+            fitted.non_match_distribution.log_pdf(points)
+        )
+        np.testing.assert_allclose(fitted.pdf(points), expected, rtol=1e-8)
+
+
+class TestSampling:
+    def test_label_rate_matches_pi(self, fitted, rng):
+        _, labels = fitted.sample(4000, rng)
+        assert labels.mean() == pytest.approx(0.25, abs=0.03)
+
+    def test_samples_clipped_to_unit_cube(self, fitted, rng):
+        vectors, _ = fitted.sample(500, rng)
+        assert vectors.min() >= 0.0 and vectors.max() <= 1.0
+
+    def test_unclipped_sampling(self, fitted, rng):
+        vectors, _ = fitted.sample(2000, rng, clip=False)
+        # Gaussian tails go outside [0, 1] with high probability.
+        assert vectors.min() < 0.0 or vectors.max() > 1.0
+
+    def test_sample_one(self, fitted, rng):
+        vector, label = fitted.sample_one(rng)
+        assert vector.shape == (2,)
+        assert isinstance(label, bool)
+
+    def test_labels_match_source_distribution(self, fitted, rng):
+        vectors, labels = fitted.sample(800, rng)
+        assert vectors[labels].mean(axis=0)[0] > 0.7
+        assert vectors[~labels].mean(axis=0)[0] < 0.3
+
+
+class TestSerialization:
+    def test_roundtrip(self, fitted, rng):
+        clone = PairDistribution.from_dict(fitted.to_dict())
+        points = rng.random((25, 2))
+        # from_dict re-applies the covariance ridge, which shifts deep-tail
+        # log densities slightly; 0.05 nats of slack is far below anything
+        # the library acts on.
+        np.testing.assert_allclose(
+            clone.log_pdf(points), fitted.log_pdf(points), atol=0.05
+        )
+        assert clone.match_probability == fitted.match_probability

@@ -1,0 +1,138 @@
+"""Smoke tests for the experiment harnesses (tiny scales)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SERDConfig
+from repro.experiments import ExperimentContext, ExperimentScales
+from repro.experiments import (
+    exp1_user_study,
+    exp2_model_eval,
+    exp3_data_eval,
+    exp4_privacy,
+    exp5_efficiency,
+    table1_strings,
+    table2_datasets,
+)
+from repro.experiments.reporting import format_table, percent
+from repro.gan import TabularGANConfig
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        scales=ExperimentScales(restaurant=0.08),
+        seed=31,
+        serd_config=SERDConfig(seed=31, gan=TabularGANConfig(iterations=30)),
+        datasets=("restaurant",),
+    )
+
+
+class TestContext:
+    def test_real_cached(self, context):
+        assert context.real("restaurant") is context.real("restaurant")
+
+    def test_serd_cached(self, context):
+        assert context.serd("restaurant") is context.serd("restaurant")
+
+    def test_synthetic_dispatch(self, context):
+        assert context.synthetic("restaurant", "SERD") is context.serd(
+            "restaurant"
+        ).dataset
+        with pytest.raises(KeyError):
+            context.synthetic("restaurant", "Nope")
+
+    def test_split_deterministic(self, context):
+        split = context.split("restaurant")
+        assert split.train_matches
+        assert split.test_non_matches
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 0.333333]], title="T")
+        assert "T" in text
+        assert "0.333" in text
+        assert text.count("\n") == 4
+
+    def test_percent(self):
+        assert percent(0.0423) == "4.2%"
+
+
+class TestTable1:
+    def test_examples_cover_all_domains(self):
+        examples = table1_strings.synthesize_examples(seed=3)
+        assert len(examples) == len(table1_strings.TABLE1_CASES)
+        for example in examples:
+            assert example.gap < 0.25
+        report = table1_strings.report(examples)
+        assert "sim'" in report
+
+
+class TestTable2:
+    def test_full_scale_matches_paper(self):
+        rows = table2_datasets.dataset_statistics(scale=1.0, seed=1,
+                                                  names=("restaurant",))
+        row = rows[0]
+        assert row.generated["|A|"] == row.paper["|A|"]
+        assert row.generated["|M|"] == row.paper["|M|"]
+        assert "paper" in table2_datasets.report(rows)
+
+
+class TestExperimentRuns:
+    def test_exp1(self, context):
+        rows = exp1_user_study.run_all(context, n_entities=40, n_pairs=10)
+        row = rows[0]
+        total = row.s1.agree + row.s1.neutral + row.s1.disagree
+        assert total == pytest.approx(1.0)
+        assert 0.0 <= row.s2.match_agreement <= 1.0
+        assert "Fig. 5" in exp1_user_study.report(rows)
+
+    def test_exp2(self, context):
+        rows = exp2_model_eval.run_model_evaluation(
+            context, "magellan", repetitions=1
+        )
+        trained_on = {r.trained_on for r in rows}
+        assert trained_on == {"Real", "SERD", "SERD-", "EMBench"}
+        averages = exp2_model_eval.average_differences(rows)
+        assert set(averages) == {"SERD", "SERD-", "EMBench"}
+        assert "Fig. 6" in exp2_model_eval.report(rows, "magellan")
+
+    def test_exp3(self, context):
+        rows = exp3_data_eval.run_data_evaluation(
+            context, "magellan", repetitions=1
+        )
+        assert {r.tested_on for r in rows} == {"Real", "SERD", "SERD-", "EMBench"}
+        assert "Fig. 8" in exp3_data_eval.report(rows, "magellan")
+
+    def test_exp4(self, context):
+        rows = exp4_privacy.run_privacy_evaluation(context, max_entities=60)
+        by_method = {r.method: r for r in rows}
+        # The paper's headline: EMBench leaks, SERD does not.
+        assert by_method["EMBench"].dcr <= by_method["SERD"].dcr
+        assert by_method["SERD"].hitting_rate <= by_method["EMBench"].hitting_rate + 1e-9
+        assert "Table III" in exp4_privacy.report(rows)
+
+    def test_exp5(self, context):
+        rows = exp5_efficiency.run_efficiency_evaluation(context)
+        assert rows[0].offline_seconds > 0
+        assert rows[0].online_seconds > 0
+        assert "Table IV" in exp5_efficiency.report(rows)
+
+
+class TestProtocol:
+    def test_make_matcher_rejects_unknown(self):
+        from repro.experiments.protocol import make_matcher
+
+        with pytest.raises(KeyError):
+            make_matcher("bert")
+
+    def test_labeled_pairs_have_both_classes(self, context):
+        from repro.experiments.protocol import labeled_pairs_from_dataset
+
+        pairs = labeled_pairs_from_dataset(
+            context.real("restaurant"), context.rng(1),
+            similarity_model=context.synthesizer("restaurant").similarity_model,
+        )
+        labels = [label for _, label in pairs]
+        assert any(labels) and not all(labels)

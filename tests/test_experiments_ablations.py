@@ -1,0 +1,79 @@
+"""Unit tests for the ablation harnesses (miniature parameterizations)."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestRejectionAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_rejection_ablation(
+            alphas=(1.0, float("inf")),
+            betas=(0.0,),
+            dataset="restaurant",
+            scale=0.05,
+            seed=5,
+        )
+
+    def test_grid_covered(self, rows):
+        assert {(r.alpha, r.beta) for r in rows} == {
+            (1.0, 0.0), (float("inf"), 0.0)
+        }
+
+    def test_infinite_alpha_never_rejects_by_distribution(self, rows):
+        by_alpha = {r.alpha: r for r in rows}
+        assert by_alpha[float("inf")].rejected_distribution == 0
+
+    def test_beta_zero_never_rejects_by_discriminator(self, rows):
+        for row in rows:
+            assert row.rejected_discriminator == 0
+
+    def test_report_renders(self, rows):
+        text = ablations.report_rejection(rows)
+        assert "alpha" in text and "rej(dist)" in text
+
+
+class TestTextgenAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_textgen_ablation(
+            dataset="restaurant", column="name", seed=5, n_trials=8
+        )
+
+    def test_both_backends_present(self, rows):
+        backends = {r.backend for r in rows}
+        assert backends == {"rule", "transformer"}
+
+    def test_gaps_bounded(self, rows):
+        for row in rows:
+            assert 0.0 <= row.mean_gap <= 1.0
+
+    def test_report_renders(self, rows):
+        assert "sim'" in ablations.report_textgen(rows)
+
+
+class TestPrivacyAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.run_privacy_ablation(
+            noise_scales=(0.5, 2.0), dataset="restaurant", column="name", seed=5
+        )
+
+    def test_epsilon_monotone_in_noise(self, rows):
+        ordered = sorted(rows, key=lambda r: r.noise_scale)
+        assert ordered[0].epsilon > ordered[1].epsilon
+
+    def test_report_renders(self, rows):
+        assert "epsilon" in ablations.report_privacy(rows)
+
+
+class TestDeltaSampleAblation:
+    def test_runs_and_reports(self):
+        rows = ablations.run_delta_sample_ablation(
+            sample_sizes=(2, 8), dataset="restaurant", scale=0.04, seed=5
+        )
+        assert [r.delta_sample_size for r in rows] == [2, 8]
+        for row in rows:
+            assert row.online_seconds > 0
+        assert "Remark 1" in ablations.report_delta_sample(rows)

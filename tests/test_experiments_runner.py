@@ -1,0 +1,42 @@
+"""End-to-end smoke test of the full experiment runner (one tiny dataset)."""
+
+import pytest
+
+from repro.core import SERDConfig
+from repro.experiments import ExperimentContext, ExperimentScales
+from repro.experiments.runner import run_all
+from repro.gan import TabularGANConfig
+
+
+@pytest.fixture(scope="module")
+def reports():
+    context = ExperimentContext(
+        scales=ExperimentScales(restaurant=0.08),
+        seed=17,
+        serd_config=SERDConfig(seed=17, gan=TabularGANConfig(iterations=25)),
+        datasets=("restaurant",),
+    )
+    return run_all(context)
+
+
+EXPECTED_KEYS = (
+    "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "table3", "table4",
+)
+
+
+def test_every_artifact_produced(reports):
+    assert set(reports) == set(EXPECTED_KEYS)
+
+
+@pytest.mark.parametrize("key", EXPECTED_KEYS)
+def test_reports_are_nonempty_text(reports, key):
+    assert isinstance(reports[key], str)
+    assert len(reports[key].splitlines()) >= 3
+
+
+def test_reports_name_their_artifacts(reports):
+    assert "Table I " in reports["table1"] or "Table I —" in reports["table1"]
+    assert "Fig. 6" in reports["fig6"]
+    assert "Fig. 9" in reports["fig9"]
+    assert "Table IV" in reports["table4"]

@@ -1,0 +1,140 @@
+"""Tests for the tabular GAN (encoding + adversarial training)."""
+
+import numpy as np
+import pytest
+
+from repro.gan import EntityEncoder, TabularGAN, TabularGANConfig
+from repro.gan.encoding import text_profile
+from repro.schema import Entity, Relation, make_schema
+
+TITLES = [
+    "deep learning for joins",
+    "query planning revisited",
+    "hash index tuning",
+    "stream processing engines",
+    "graph analytics at scale",
+    "vectorized execution",
+]
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"title": "text", "venue": "categorical", "year": "numeric"})
+
+
+@pytest.fixture
+def relation(schema):
+    return Relation("A", schema, [
+        Entity(
+            f"a{i}", schema,
+            [TITLES[i % 6] + f" part {i}", ["vldb", "sigmod"][i % 2], 2000 + i % 10],
+        )
+        for i in range(24)
+    ])
+
+
+@pytest.fixture
+def encoder(schema, relation):
+    return EntityEncoder(schema, text_profile_dim=12).fit(
+        [relation], text_pools={"title": TITLES}
+    )
+
+
+class TestTextProfile:
+    def test_unit_norm(self):
+        profile = text_profile("hello world", 16)
+        assert np.linalg.norm(profile) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert np.allclose(text_profile("", 16), 0.0)
+
+    def test_similar_strings_close(self):
+        a = text_profile("query planning revisited", 32)
+        b = text_profile("query planning revisited!", 32)
+        c = text_profile("zzzz xxxx yyyy", 32)
+        assert a @ b > a @ c
+
+
+class TestEntityEncoder:
+    def test_dim(self, encoder):
+        # text 12 + categorical 2 + numeric 1
+        assert encoder.dim == 15
+
+    def test_encode_range(self, encoder, relation):
+        vector = encoder.encode(relation[0])
+        assert vector.shape == (15,)
+        assert vector.min() >= 0.0 and vector.max() <= 1.0
+
+    def test_decode_roundtrip_categorical_numeric(self, encoder, relation):
+        entity = relation[3]
+        decoded = encoder.decode(encoder.encode(entity), "copy")
+        assert decoded["venue"] == entity["venue"]
+        assert decoded["year"] == entity["year"]
+
+    def test_decode_text_from_pool(self, encoder, relation):
+        decoded = encoder.decode(encoder.encode(relation[0]), "copy")
+        assert decoded["title"] in TITLES
+
+    def test_unfitted_encoder_rejected(self, schema):
+        with pytest.raises(RuntimeError):
+            EntityEncoder(schema).encode(None)
+
+    def test_decode_shape_check(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.decode(np.zeros(3))
+
+    def test_integral_numeric_preserved(self, encoder):
+        # 'year' values are all ints at fit time -> decode returns ints.
+        decoded = encoder.decode(np.random.default_rng(0).random(encoder.dim))
+        assert isinstance(decoded["year"], int)
+
+
+class TestTabularGAN:
+    @pytest.fixture
+    def gan(self, encoder, relation):
+        gan = TabularGAN(
+            encoder, TabularGANConfig(iterations=60, batch_size=12), seed=3
+        )
+        return gan.fit(relation)
+
+    def test_generates_valid_entities(self, gan, relation):
+        entity = gan.generate_entity()
+        assert entity["venue"] in ("vldb", "sigmod")
+        assert 2000 <= entity["year"] <= 2009
+        assert entity["title"] in TITLES
+
+    def test_entity_ids_unique(self, gan):
+        ids = {gan.generate_entity().entity_id for _ in range(5)}
+        assert len(ids) == 5
+
+    def test_discriminator_scores_in_unit_interval(self, gan, relation):
+        score = gan.discriminator_score(relation[0])
+        assert 0.0 <= score <= 1.0
+
+    def test_real_scores_higher_than_random_noise_entities(self, gan, relation, schema):
+        garbage = Entity("g", schema, ["qqqq zzzz", "vldb", 2000])
+        real_scores = [gan.discriminator_score(e) for e in list(relation)[:8]]
+        assert np.mean(real_scores) > 0.3  # discriminator not collapsed
+
+    def test_history_recorded(self, gan):
+        assert len(gan.history) == 60
+        d_loss, g_loss = gan.history[-1]
+        assert np.isfinite(d_loss) and np.isfinite(g_loss)
+
+    def test_unfitted_raises(self, encoder):
+        gan = TabularGAN(encoder, TabularGANConfig(iterations=1))
+        with pytest.raises(RuntimeError):
+            gan.generate_entity()
+        with pytest.raises(RuntimeError):
+            gan.discriminator_score(None)
+
+    def test_needs_two_entities(self, encoder, schema):
+        gan = TabularGAN(encoder, TabularGANConfig(iterations=1))
+        single = Relation("S", schema, [Entity("x", schema, ["a", "vldb", 2001])])
+        with pytest.raises(ValueError):
+            gan.fit(single)
+
+    def test_deterministic_generation_given_rng(self, gan):
+        a = gan.generate_entity(rng=np.random.default_rng(42))
+        b = gan.generate_entity(rng=np.random.default_rng(42))
+        assert a.values == b.values

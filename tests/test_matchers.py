@@ -1,0 +1,212 @@
+"""Tests for all matcher implementations and evaluation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matchers import (
+    DecisionTreeMatcher,
+    DeepMatcher,
+    DeepMatcherConfig,
+    KNNMatcher,
+    LinearSVMMatcher,
+    LogisticMatcher,
+    MagellanMatcher,
+    MatcherScores,
+    PairFeaturizer,
+    RandomForestMatcher,
+    evaluate_matcher,
+    precision_recall_f1,
+    train_and_evaluate,
+)
+from repro.similarity import SimilarityModel
+
+
+@pytest.fixture
+def separable(rng):
+    """A well-separated binary problem in similarity-feature space."""
+    pos = rng.normal([0.9, 0.85, 0.95], 0.06, size=(80, 3))
+    neg = rng.normal([0.15, 0.2, 0.5], 0.1, size=(240, 3))
+    features = np.vstack([pos, neg]).clip(0, 1)
+    labels = np.r_[np.ones(80), np.zeros(240)]
+    order = rng.permutation(320)
+    return features[order], labels[order]
+
+
+ALL_MATCHERS = [
+    ("tree", lambda: DecisionTreeMatcher(max_depth=6)),
+    ("forest", lambda: RandomForestMatcher(n_trees=8)),
+    ("magellan", lambda: MagellanMatcher(n_trees=8)),
+    ("logistic", lambda: LogisticMatcher(iterations=200)),
+    ("svm", lambda: LinearSVMMatcher(epochs=15)),
+    ("knn", lambda: KNNMatcher(k=3)),
+    ("deep", lambda: DeepMatcher(DeepMatcherConfig(epochs=15))),
+]
+
+
+class TestAllMatchers:
+    @pytest.mark.parametrize("name, factory", ALL_MATCHERS)
+    def test_separable_problem_high_f1(self, name, factory, separable):
+        features, labels = separable
+        matcher = factory()
+        scores = train_and_evaluate(
+            matcher, features[:240], labels[:240], features[240:], labels[240:]
+        )
+        assert scores.f1 > 0.85, f"{name} underperformed: {scores}"
+
+    @pytest.mark.parametrize("name, factory", ALL_MATCHERS)
+    def test_predict_proba_in_unit_interval(self, name, factory, separable):
+        features, labels = separable
+        matcher = factory()
+        matcher.fit(features, labels)
+        probs = matcher.predict_proba(features[:20])
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    @pytest.mark.parametrize("name, factory", ALL_MATCHERS)
+    def test_unfitted_raises(self, name, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict_proba(np.zeros((2, 3)))
+
+    def test_label_validation(self, separable):
+        features, _ = separable
+        with pytest.raises(ValueError):
+            DecisionTreeMatcher().fit(features, np.full(len(features), 2.0))
+
+    def test_length_mismatch(self, separable):
+        features, labels = separable
+        with pytest.raises(ValueError):
+            DecisionTreeMatcher().fit(features, labels[:-5])
+
+
+class TestDecisionTree:
+    def test_pure_leaf_short_circuits(self, rng):
+        features = rng.random((30, 2))
+        labels = np.ones(30)
+        tree = DecisionTreeMatcher().fit(features, labels)
+        assert tree.depth() == 0
+        np.testing.assert_allclose(tree.predict_proba(features), 1.0)
+
+    def test_max_depth_respected(self, rng):
+        features = rng.random((200, 4))
+        labels = (features.sum(axis=1) > 2.0).astype(float)
+        tree = DecisionTreeMatcher(max_depth=2).fit(features, labels)
+        assert tree.depth() <= 2
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeMatcher(max_depth=0)
+
+    def test_xor_needs_depth(self, rng):
+        """Depth-1 can't solve XOR; depth-3 can."""
+        features = rng.integers(0, 2, size=(400, 2)).astype(float)
+        features += rng.normal(0, 0.05, size=features.shape)
+        labels = (features.round(0).astype(int).sum(axis=1) == 1).astype(float)
+        shallow = DecisionTreeMatcher(max_depth=1).fit(features, labels)
+        deep = DecisionTreeMatcher(max_depth=4).fit(features, labels)
+        acc_shallow = np.mean(shallow.predict(features) == labels.astype(bool))
+        acc_deep = np.mean(deep.predict(features) == labels.astype(bool))
+        assert acc_deep > 0.95 > acc_shallow
+
+
+class TestForest:
+    def test_more_trees_at_least_as_good(self, separable):
+        features, labels = separable
+        small = RandomForestMatcher(n_trees=1, seed=0)
+        big = RandomForestMatcher(n_trees=20, seed=0)
+        s_small = train_and_evaluate(
+            small, features[:200], labels[:200], features[200:], labels[200:]
+        )
+        s_big = train_and_evaluate(
+            big, features[:200], labels[:200], features[200:], labels[200:]
+        )
+        assert s_big.f1 >= s_small.f1 - 0.05
+
+    def test_deterministic_given_seed(self, separable):
+        features, labels = separable
+        a = RandomForestMatcher(n_trees=5, seed=3).fit(features, labels)
+        b = RandomForestMatcher(n_trees=5, seed=3).fit(features, labels)
+        np.testing.assert_allclose(
+            a.predict_proba(features), b.predict_proba(features)
+        )
+
+    def test_invalid_tree_count(self):
+        with pytest.raises(ValueError):
+            RandomForestMatcher(n_trees=0)
+
+
+class TestScores:
+    def test_paper_metric_definitions(self):
+        predicted = np.array([True, True, False, False, True])
+        actual = np.array([True, False, True, False, True])
+        scores = precision_recall_f1(predicted, actual)
+        assert scores.precision == pytest.approx(2 / 3)
+        assert scores.recall == pytest.approx(2 / 3)
+        assert scores.f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_cases(self):
+        none_predicted = precision_recall_f1(
+            np.zeros(4, bool), np.array([True, False, False, False])
+        )
+        assert none_predicted.precision == 0.0
+        assert none_predicted.f1 == 0.0
+        all_correct = precision_recall_f1(np.ones(3, bool), np.ones(3, bool))
+        assert all_correct.f1 == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1(np.ones(3, bool), np.ones(4, bool))
+
+    def test_difference_and_mean(self):
+        a = MatcherScores(1.0, 0.8, 0.888)
+        b = MatcherScores(0.9, 0.9, 0.9)
+        diff = a.difference(b)
+        assert diff.precision == pytest.approx(0.1)
+        mean = MatcherScores.mean([a, b])
+        assert mean.recall == pytest.approx(0.85)
+        with pytest.raises(ValueError):
+            MatcherScores.mean([])
+
+    @given(
+        predicted=st.lists(st.booleans(), min_size=1, max_size=30),
+    )
+    @settings(max_examples=40)
+    def test_f1_bounds(self, predicted):
+        actual = [True] * len(predicted)
+        scores = precision_recall_f1(np.array(predicted), np.array(actual))
+        assert 0.0 <= scores.f1 <= 1.0
+        assert 0.0 <= scores.precision <= 1.0
+
+
+class TestPairFeaturizer:
+    def test_feature_layout(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        featurizer = PairFeaturizer(model)
+        row = featurizer.features(table_a["a1"], table_b["b1"])
+        assert row.shape == (12,)  # 4 sims + 4 exact + 4 missing
+        assert featurizer.n_features == 12
+        # Year is identical -> exact flag set.
+        assert row[4 + 3] == 1.0
+        # No missing values.
+        np.testing.assert_allclose(row[8:], 0.0)
+
+    def test_plain_mode(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        featurizer = PairFeaturizer(model, extended=False)
+        assert featurizer.n_features == 4
+        row = featurizer.features(table_a["a1"], table_b["b1"])
+        np.testing.assert_allclose(row, model.vector(table_a["a1"], table_b["b1"]))
+
+    def test_empty_batch(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        featurizer = PairFeaturizer(model)
+        assert featurizer.features_many([]).shape == (0, 12)
+
+    def test_evaluate_matcher_wrapper(self, separable):
+        features, labels = separable
+        matcher = LogisticMatcher(iterations=100).fit(features, labels)
+        scores = evaluate_matcher(matcher, features, labels)
+        assert scores.f1 > 0.9

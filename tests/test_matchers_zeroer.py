@@ -1,0 +1,84 @@
+"""Tests for the ZeroER-style unsupervised matcher."""
+
+import numpy as np
+import pytest
+
+from repro.matchers import ZeroERMatcher, precision_recall_f1
+from repro.similarity import SimilarityModel
+
+
+@pytest.fixture
+def separable(rng):
+    pos = rng.normal([0.9, 0.85, 0.95], 0.05, size=(60, 3)).clip(0, 1)
+    neg = rng.normal([0.1, 0.2, 0.4], 0.08, size=(240, 3)).clip(0, 1)
+    features = np.vstack([pos, neg])
+    labels = np.r_[np.ones(60), np.zeros(240)]
+    order = rng.permutation(300)
+    return features[order], labels[order]
+
+
+class TestZeroER:
+    def test_unsupervised_separation(self, separable):
+        features, labels = separable
+        matcher = ZeroERMatcher().fit(features)  # no labels!
+        scores = precision_recall_f1(matcher.predict(features), labels)
+        assert scores.f1 > 0.9
+
+    def test_match_side_is_high_similarity(self, separable):
+        features, _ = separable
+        matcher = ZeroERMatcher().fit(features)
+        assert (
+            matcher.match_distribution.means.mean()
+            > matcher.non_match_distribution.means.mean()
+        )
+
+    def test_prior_approximates_match_fraction(self, separable):
+        features, labels = separable
+        matcher = ZeroERMatcher().fit(features)
+        assert matcher.match_prior_ == pytest.approx(labels.mean(), abs=0.1)
+
+    def test_labels_argument_ignored(self, separable):
+        features, labels = separable
+        with_labels = ZeroERMatcher(seed=1).fit(features, labels)
+        without = ZeroERMatcher(seed=1).fit(features)
+        np.testing.assert_allclose(
+            with_labels.predict_proba(features), without.predict_proba(features)
+        )
+
+    def test_probabilities_bounded(self, separable):
+        features, _ = separable
+        matcher = ZeroERMatcher().fit(features)
+        probs = matcher.predict_proba(features)
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            ZeroERMatcher().predict_proba(np.zeros((2, 3)))
+
+    def test_too_few_vectors_rejected(self):
+        with pytest.raises(ValueError):
+            ZeroERMatcher().fit(np.zeros((3, 2)))
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            ZeroERMatcher(components_per_class=0)
+
+    def test_constant_data_does_not_crash(self):
+        features = np.full((20, 3), 0.5)
+        matcher = ZeroERMatcher().fit(features)
+        probs = matcher.predict_proba(features)
+        assert np.isfinite(probs).all()
+
+    def test_on_generated_er_dataset(self, tiny_dblp, rng):
+        """End-to-end: ZeroER finds the matches of a benchmark with no labels."""
+        model = SimilarityModel.from_relations(tiny_dblp.table_a, tiny_dblp.table_b)
+        match_vectors = model.vectors(tiny_dblp.match_pairs())
+        negatives = tiny_dblp.sample_non_matches(3 * len(match_vectors), rng)
+        non_vectors = model.vectors(tiny_dblp.resolve(p) for p in negatives)
+        features = np.vstack([match_vectors, non_vectors])
+        labels = np.r_[
+            np.ones(len(match_vectors)), np.zeros(len(non_vectors))
+        ]
+        matcher = ZeroERMatcher().fit(features)
+        scores = precision_recall_f1(matcher.predict(features), labels)
+        assert scores.f1 > 0.85

@@ -1,0 +1,111 @@
+"""Hypothesis property tests on core cross-module invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.synthesis import EntityFactory
+from repro.distributions import PairDistribution
+from repro.schema import Entity, make_schema
+from repro.similarity import SimilarityModel
+from repro.textgen import RuleTextSynthesizer
+
+CORPUS = [
+    "golden dragon cafe", "quiet willow tavern", "copper kettle diner",
+    "harbor lights grill", "maple corner bistro", "stone bridge eatery",
+]
+
+
+@pytest.fixture(scope="module")
+def factory():
+    schema = make_schema({"name": "text", "city": "categorical", "year": "numeric"})
+    model = SimilarityModel(schema, ranges={"year": (1980.0, 2020.0)})
+    pools = {
+        "a": {"city": ["austin", "boston", "seattle"]},
+        "b": {"city": ["austin", "boston", "seattle"]},
+    }
+    backends = {"name": RuleTextSynthesizer(CORPUS, max_steps=25)}
+    return EntityFactory(model, pools, backends)
+
+
+class TestSynthesisInvariants:
+    @given(
+        target=st.floats(0.0, 1.0, allow_nan=False),
+        anchor_year=st.integers(1980, 2020),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_numeric_synthesis_in_range_and_near_target(
+        self, factory, target, anchor_year, seed
+    ):
+        rng = np.random.default_rng(seed)
+        value = factory.synthesize_value("year", anchor_year, target, rng)
+        assert 1980.0 <= value <= 2020.0
+        achieved = factory.similarity_model.value_similarity(
+            "year", anchor_year, value
+        )
+        # Reachable targets are hit exactly; clamped ones as close as the
+        # range allows (monotone in target).
+        best_reachable = max(
+            target,
+            1.0 - max(anchor_year - 1980, 2020 - anchor_year) / 40.0,
+        )
+        assert achieved == pytest.approx(best_reachable, abs=0.02)
+
+    @given(
+        target=st.floats(0.0, 1.0, allow_nan=False),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_categorical_synthesis_from_pool(self, factory, target, seed):
+        rng = np.random.default_rng(seed)
+        value = factory.synthesize_value("city", "austin", target, rng)
+        assert value in ("austin", "boston", "seattle")
+
+    @given(
+        vector=st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=3, max_size=3
+        ),
+        seed=st.integers(0, 1_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_entity_synthesis_total(self, factory, vector, seed):
+        """Synthesis never fails and always yields a full entity."""
+        rng = np.random.default_rng(seed)
+        anchor = Entity(
+            "anchor", factory.schema, ["golden dragon cafe", "austin", 2000]
+        )
+        entity = factory.synthesize_entity(
+            anchor, np.array(vector), "child", rng
+        )
+        assert all(v is not None for v in entity.values)
+        achieved = factory.achieved_vector(anchor, entity)
+        assert np.all(achieved >= 0.0) and np.all(achieved <= 1.0)
+
+
+class TestDistributionInvariants:
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_posteriors_complement(self, seed):
+        rng = np.random.default_rng(seed)
+        x_match = rng.normal(0.85, 0.05, size=(40, 2)).clip(0, 1)
+        x_non = rng.normal(0.15, 0.05, size=(120, 2)).clip(0, 1)
+        dist = PairDistribution.fit(x_match, x_non, rng, max_components=1)
+        points = rng.random((30, 2))
+        posterior = dist.posterior_match(points)
+        assert np.all(posterior >= 0.0) and np.all(posterior <= 1.0)
+        # log pdf of mixture >= min of components' weighted log pdfs.
+        assert np.isfinite(dist.log_pdf(points)).all()
+
+    @given(seed=st.integers(0, 500), count=st.integers(1, 64))
+    @settings(max_examples=15, deadline=None)
+    def test_sampling_respects_unit_cube(self, seed, count):
+        rng = np.random.default_rng(seed)
+        x_match = rng.normal(0.9, 0.08, size=(30, 3)).clip(0, 1)
+        x_non = rng.normal(0.1, 0.08, size=(90, 3)).clip(0, 1)
+        dist = PairDistribution.fit(x_match, x_non, rng, max_components=1)
+        vectors, labels = dist.sample(count, rng)
+        assert vectors.shape == (count, 3)
+        assert labels.shape == (count,)
+        assert vectors.min() >= 0.0 and vectors.max() <= 1.0

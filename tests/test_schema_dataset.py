@@ -1,0 +1,140 @@
+"""Tests for repro.schema.dataset (ERDataset, splits)."""
+
+import numpy as np
+import pytest
+
+from repro.schema import ERDataset, Entity, Relation, make_schema, train_test_split
+
+
+@pytest.fixture
+def schema():
+    return make_schema({"name": "text"})
+
+
+def _relation(name, schema, ids):
+    return Relation(name, schema, [Entity(i, schema, [f"value {i}"]) for i in ids])
+
+
+@pytest.fixture
+def dataset(schema):
+    table_a = _relation("A", schema, [f"a{i}" for i in range(6)])
+    table_b = _relation("B", schema, [f"b{i}" for i in range(8)])
+    return ERDataset(table_a, table_b, [("a0", "b0"), ("a1", "b1")], name="toy")
+
+
+class TestERDataset:
+    def test_statistics(self, dataset):
+        assert dataset.statistics() == {"|A|": 6, "|B|": 8, "#-Col": 1, "|M|": 2}
+
+    def test_is_match(self, dataset):
+        assert dataset.is_match("a0", "b0")
+        assert not dataset.is_match("b0", "a0")  # asymmetric by default
+        assert not dataset.is_match("a0", "b1")
+
+    def test_unknown_pair_id_rejected(self, schema):
+        table_a = _relation("A", schema, ["a0"])
+        table_b = _relation("B", schema, ["b0"])
+        with pytest.raises(KeyError):
+            ERDataset(table_a, table_b, [("a0", "zzz")])
+
+    def test_conflicting_labels_rejected(self, schema):
+        table_a = _relation("A", schema, ["a0"])
+        table_b = _relation("B", schema, ["b0"])
+        with pytest.raises(ValueError, match="both"):
+            ERDataset(table_a, table_b, [("a0", "b0")], non_matches=[("a0", "b0")])
+
+    def test_duplicate_matches_deduplicated(self, schema):
+        table_a = _relation("A", schema, ["a0"])
+        table_b = _relation("B", schema, ["b0"])
+        ds = ERDataset(table_a, table_b, [("a0", "b0"), ("a0", "b0")])
+        assert len(ds.matches) == 1
+
+    def test_resolve(self, dataset):
+        a, b = dataset.resolve(("a0", "b0"))
+        assert a.entity_id == "a0"
+        assert b.entity_id == "b0"
+
+    def test_iter_all_pairs_counts(self, dataset):
+        pairs = list(dataset.iter_all_pairs())
+        assert len(pairs) == 6 * 8
+        assert sum(label for _, label in pairs) == 2
+
+    def test_sample_non_matches_excludes_matches(self, dataset, rng):
+        negatives = dataset.sample_non_matches(20, rng)
+        assert len(negatives) == 20
+        assert len(set(negatives)) == 20
+        for pair in negatives:
+            assert not dataset.is_match(*pair)
+
+    def test_sample_non_matches_capacity_check(self, schema, rng):
+        table_a = _relation("A", schema, ["a0"])
+        table_b = _relation("B", schema, ["b0", "b1"])
+        ds = ERDataset(table_a, table_b, [("a0", "b0")])
+        with pytest.raises(ValueError, match="only"):
+            ds.sample_non_matches(5, rng)
+
+    def test_sample_non_matches_respects_exclude(self, dataset, rng):
+        exclude = [("a2", "b2")]
+        for _ in range(5):
+            negatives = dataset.sample_non_matches(30, rng, exclude=exclude)
+            assert ("a2", "b2") not in negatives
+
+
+class TestSymmetricDataset:
+    def test_symmetric_matching(self, schema):
+        table = _relation("T", schema, ["r0", "r1", "r2", "r3"])
+        ds = ERDataset(table, table, [("r0", "r1")], symmetric=True)
+        assert ds.is_match("r0", "r1")
+        assert ds.is_match("r1", "r0")  # order-insensitive
+        assert ds.is_match("r2", "r2")  # self-pairs trivially match
+        assert not ds.is_match("r0", "r2")
+
+    def test_symmetric_negative_sampling_avoids_self_pairs(self, schema, rng):
+        table = _relation("T", schema, [f"r{i}" for i in range(10)])
+        ds = ERDataset(table, table, [("r0", "r1")], symmetric=True)
+        negatives = ds.sample_non_matches(30, rng)
+        for a, b in negatives:
+            assert a != b
+            assert not ds.is_match(a, b)
+
+
+class TestTrainTestSplit:
+    def test_split_sizes_and_disjointness(self, rng):
+        schema = make_schema({"name": "text"})
+        table_a = _relation("A", schema, [f"a{i}" for i in range(30)])
+        table_b = _relation("B", schema, [f"b{i}" for i in range(30)])
+        matches = [(f"a{i}", f"b{i}") for i in range(12)]
+        ds = ERDataset(table_a, table_b, matches)
+        split = train_test_split(ds, rng, test_fraction=0.25, negative_ratio=2.0)
+        assert len(split.test_matches) == 3
+        assert len(split.train_matches) == 9
+        assert len(split.train_non_matches) + len(split.test_non_matches) == 24
+        train_set = set(split.train_matches)
+        test_set = set(split.test_matches)
+        assert not train_set & test_set
+
+    def test_split_pair_views(self, rng):
+        schema = make_schema({"name": "text"})
+        table_a = _relation("A", schema, [f"a{i}" for i in range(10)])
+        table_b = _relation("B", schema, [f"b{i}" for i in range(10)])
+        ds = ERDataset(table_a, table_b, [(f"a{i}", f"b{i}") for i in range(4)])
+        split = train_test_split(ds, rng)
+        labels = [label for _, label in split.train_pairs]
+        assert any(labels) and not all(labels)
+
+    def test_invalid_fraction_rejected(self, rng):
+        schema = make_schema({"name": "text"})
+        table = _relation("A", schema, ["a0", "a1"])
+        ds = ERDataset(table, _relation("B", schema, ["b0"]), [("a0", "b0")])
+        with pytest.raises(ValueError):
+            train_test_split(ds, rng, test_fraction=1.5)
+
+    def test_deterministic_given_seed(self):
+        schema = make_schema({"name": "text"})
+        table_a = _relation("A", schema, [f"a{i}" for i in range(20)])
+        table_b = _relation("B", schema, [f"b{i}" for i in range(20)])
+        ds = ERDataset(table_a, table_b, [(f"a{i}", f"b{i}") for i in range(8)])
+        s1 = train_test_split(ds, np.random.default_rng(5))
+        s2 = train_test_split(ds, np.random.default_rng(5))
+        assert s1.train_matches == s2.train_matches
+        assert s1.test_non_matches == s2.test_non_matches

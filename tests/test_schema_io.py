@@ -1,0 +1,68 @@
+"""Tests for CSV dataset persistence."""
+
+import pytest
+
+from repro.schema import ERDataset, load_saved_dataset, save_dataset
+
+
+class TestRoundtrip:
+    def test_two_table_roundtrip(self, tiny_dblp, tmp_path):
+        save_dataset(tiny_dblp, tmp_path / "release")
+        loaded = load_saved_dataset(tmp_path / "release")
+        assert loaded.name == tiny_dblp.name
+        assert loaded.statistics() == tiny_dblp.statistics()
+        assert loaded.matches == tiny_dblp.matches
+        for original, restored in zip(tiny_dblp.table_a, loaded.table_a):
+            assert original.entity_id == restored.entity_id
+            assert list(original.values) == list(restored.values)
+
+    def test_symmetric_roundtrip(self, tiny_restaurant, tmp_path):
+        save_dataset(tiny_restaurant, tmp_path / "release")
+        loaded = load_saved_dataset(tmp_path / "release")
+        assert loaded.symmetric
+        assert loaded.table_a is loaded.table_b
+        assert loaded.statistics() == tiny_restaurant.statistics()
+        assert not (tmp_path / "release" / "table_b.csv").exists()
+
+    def test_non_matches_roundtrip(self, tiny_dblp, tmp_path, rng):
+        negatives = tiny_dblp.sample_non_matches(5, rng)
+        with_negatives = ERDataset(
+            tiny_dblp.table_a, tiny_dblp.table_b, tiny_dblp.matches,
+            non_matches=negatives, name=tiny_dblp.name,
+        )
+        save_dataset(with_negatives, tmp_path / "release")
+        loaded = load_saved_dataset(tmp_path / "release")
+        assert loaded.non_matches == negatives
+
+    def test_missing_values_roundtrip(self, tmp_path):
+        from repro.schema import Entity, Relation, make_schema
+
+        schema = make_schema({"name": "text", "year": "numeric"})
+        table_a = Relation("A", schema, [Entity("a0", schema, [None, None])])
+        table_b = Relation("B", schema, [Entity("b0", schema, ["x", 5])])
+        dataset = ERDataset(table_a, table_b, [], name="gaps")
+        save_dataset(dataset, tmp_path / "gaps")
+        loaded = load_saved_dataset(tmp_path / "gaps")
+        assert loaded.table_a["a0"]["name"] is None
+        assert loaded.table_a["a0"]["year"] is None
+        assert loaded.table_b["b0"]["year"] == 5
+
+    def test_numeric_types_preserved(self, tmp_path):
+        from repro.schema import Entity, Relation, make_schema
+
+        schema = make_schema({"price": "numeric", "released": "date"})
+        table = Relation("A", schema, [Entity("a0", schema, [12.5, 1999])])
+        dataset = ERDataset(table, table, [], name="nums", symmetric=True)
+        save_dataset(dataset, tmp_path / "nums")
+        loaded = load_saved_dataset(tmp_path / "nums")
+        assert loaded.table_a["a0"]["price"] == 12.5
+        assert loaded.table_a["a0"]["released"] == 1999
+
+    def test_header_mismatch_rejected(self, tiny_dblp, tmp_path):
+        save_dataset(tiny_dblp, tmp_path / "release")
+        csv_path = tmp_path / "release" / "table_a.csv"
+        content = csv_path.read_text().splitlines()
+        content[0] = "id,wrong,header,names"
+        csv_path.write_text("\n".join(content))
+        with pytest.raises(ValueError, match="header"):
+            load_saved_dataset(tmp_path / "release")

@@ -1,0 +1,70 @@
+"""Tests for repro.schema.types."""
+
+import pytest
+
+from repro.schema.types import Attribute, AttributeType, Schema, make_schema
+
+
+class TestAttributeType:
+    def test_string_like_types(self):
+        assert AttributeType.TEXT.is_string_like
+        assert AttributeType.CATEGORICAL.is_string_like
+        assert not AttributeType.NUMERIC.is_string_like
+        assert not AttributeType.DATE.is_string_like
+
+    def test_from_string_value(self):
+        assert AttributeType("numeric") is AttributeType.NUMERIC
+        with pytest.raises(ValueError):
+            AttributeType("nope")
+
+
+class TestAttribute:
+    def test_b_name_defaults_to_name(self):
+        attr = Attribute("gender", AttributeType.CATEGORICAL)
+        assert attr.name_b == "gender"
+
+    def test_b_name_override(self):
+        attr = Attribute("gender", AttributeType.CATEGORICAL, b_name="sex")
+        assert attr.name_b == "sex"
+        assert attr.name == "gender"
+
+
+class TestSchema:
+    def test_make_schema_with_strings(self):
+        schema = make_schema({"title": "text", "year": "numeric"})
+        assert len(schema) == 2
+        assert schema["title"].attr_type is AttributeType.TEXT
+        assert schema[1].name == "year"
+
+    def test_duplicate_names_rejected(self):
+        attrs = (
+            Attribute("x", AttributeType.TEXT),
+            Attribute("x", AttributeType.NUMERIC),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema(attrs)
+
+    def test_index_of_and_contains(self):
+        schema = make_schema({"a": "text", "b": "numeric", "c": "date"})
+        assert schema.index_of("b") == 1
+        assert "c" in schema
+        assert "z" not in schema
+
+    def test_iteration_order(self):
+        schema = make_schema({"a": "text", "b": "numeric"})
+        assert [attr.name for attr in schema] == ["a", "b"]
+        assert schema.names == ("a", "b")
+
+    def test_attributes_of_type(self):
+        schema = make_schema(
+            {"t1": "text", "n1": "numeric", "t2": "text", "c1": "categorical"}
+        )
+        assert [a.name for a in schema.text_attributes] == ["t1", "t2"]
+        assert [a.name for a in schema.numeric_attributes] == ["n1"]
+        assert [a.name for a in schema.categorical_attributes] == ["c1"]
+        assert schema.date_attributes == ()
+
+    def test_unknown_key_raises(self):
+        schema = make_schema({"a": "text"})
+        with pytest.raises(KeyError):
+            schema.index_of("missing")

@@ -1,0 +1,66 @@
+"""Tests for blocking-style hard-negative sampling."""
+
+import numpy as np
+
+from repro.similarity import SimilarityModel
+from repro.similarity.blocking import mixed_non_matches, sample_hard_non_matches
+
+
+def test_hard_negatives_are_non_matching(tiny_dblp, rng):
+    model = SimilarityModel.from_relations(tiny_dblp.table_a, tiny_dblp.table_b)
+    pairs = sample_hard_non_matches(tiny_dblp, model, 15, rng)
+    assert len(pairs) == 15
+    for pair in pairs:
+        assert not tiny_dblp.is_match(*pair)
+
+
+def test_hard_negatives_more_similar_than_uniform(tiny_dblp, rng):
+    model = SimilarityModel.from_relations(tiny_dblp.table_a, tiny_dblp.table_b)
+    hard = sample_hard_non_matches(tiny_dblp, model, 20, rng)
+    uniform = tiny_dblp.sample_non_matches(20, rng)
+
+    def mean_sim(pairs):
+        return np.mean(
+            [model.vector(*tiny_dblp.resolve(p)).mean() for p in pairs]
+        )
+
+    assert mean_sim(hard) > mean_sim(uniform)
+
+
+def test_hard_negatives_distinct(tiny_dblp, rng):
+    model = SimilarityModel.from_relations(tiny_dblp.table_a, tiny_dblp.table_b)
+    pairs = sample_hard_non_matches(tiny_dblp, model, 25, rng)
+    assert len(set(pairs)) == len(pairs)
+
+
+def test_zero_count(tiny_dblp, rng):
+    model = SimilarityModel.from_relations(tiny_dblp.table_a, tiny_dblp.table_b)
+    assert sample_hard_non_matches(tiny_dblp, model, 0, rng) == []
+
+
+def test_symmetric_dataset_avoids_self_pairs(tiny_restaurant, rng):
+    model = SimilarityModel.from_relations(
+        tiny_restaurant.table_a, tiny_restaurant.table_b
+    )
+    pairs = sample_hard_non_matches(tiny_restaurant, model, 15, rng)
+    for a, b in pairs:
+        assert a != b
+        assert not tiny_restaurant.is_match(a, b)
+
+
+def test_mixed_non_matches_count_and_labels(tiny_dblp, rng):
+    model = SimilarityModel.from_relations(tiny_dblp.table_a, tiny_dblp.table_b)
+    pairs = mixed_non_matches(tiny_dblp, model, 30, rng, hard_fraction=0.5)
+    assert len(pairs) == 30
+    assert len(set(pairs)) == 30
+    for pair in pairs:
+        assert not tiny_dblp.is_match(*pair)
+
+
+def test_mixed_invalid_fraction(tiny_dblp, rng):
+    model = SimilarityModel.from_relations(tiny_dblp.table_a, tiny_dblp.table_b)
+    try:
+        mixed_non_matches(tiny_dblp, model, 10, rng, hard_fraction=1.5)
+        raise AssertionError("expected ValueError")
+    except ValueError:
+        pass

@@ -1,0 +1,110 @@
+"""Tests for edit-distance based similarities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import (
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    normalized_edit_similarity,
+)
+
+short_texts = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), max_size=12
+)
+
+
+def _reference_levenshtein(a: str, b: str) -> int:
+    """Plain-Python DP oracle."""
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, 1):
+        current = [i]
+        for j, cb in enumerate(b, 1):
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + (ca != cb))
+            )
+        previous = current
+    return previous[-1]
+
+
+class TestLevenshtein:
+    @pytest.mark.parametrize(
+        "a, b, expected",
+        [
+            ("kitten", "sitting", 3),
+            ("", "", 0),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("flaw", "lawn", 2),
+            ("identical", "identical", 0),
+            ("a", "b", 1),
+        ],
+    )
+    def test_known_values(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    @given(a=short_texts, b=short_texts)
+    @settings(max_examples=80)
+    def test_matches_reference_implementation(self, a, b):
+        assert levenshtein_distance(a, b) == _reference_levenshtein(a, b)
+
+    @given(a=short_texts, b=short_texts)
+    @settings(max_examples=50)
+    def test_symmetry(self, a, b):
+        assert levenshtein_distance(a, b) == levenshtein_distance(b, a)
+
+    @given(a=short_texts, b=short_texts, c=short_texts)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    def test_max_distance_early_exit(self):
+        assert levenshtein_distance("aaaa", "bbbbbbbb", max_distance=2) == 3
+
+    def test_max_distance_exact_when_within(self):
+        assert levenshtein_distance("kitten", "sitting", max_distance=5) == 3
+
+
+class TestNormalizedEditSimilarity:
+    def test_known_value(self):
+        assert normalized_edit_similarity("data", "date") == 0.75
+
+    def test_empty_strings_identical(self):
+        assert normalized_edit_similarity("", "") == 1.0
+
+    @given(a=short_texts, b=short_texts)
+    @settings(max_examples=50)
+    def test_bounds(self, a, b):
+        assert 0.0 <= normalized_edit_similarity(a, b) <= 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("abc", "abc") == 1.0
+
+    def test_disjoint(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_classic_martha(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_prefix_boost(self):
+        plain = jaro_similarity("prefixes", "prefixed")
+        boosted = jaro_winkler_similarity("prefixes", "prefixed")
+        assert boosted > plain
+
+    def test_winkler_invalid_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.5)
+
+    @given(a=short_texts, b=short_texts)
+    @settings(max_examples=50)
+    def test_winkler_bounds(self, a, b):
+        assert 0.0 <= jaro_winkler_similarity(a, b) <= 1.0

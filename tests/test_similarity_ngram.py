@@ -1,0 +1,71 @@
+"""Tests for q-gram Jaccard similarity, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import jaccard, qgram_jaccard, qgrams
+
+texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40
+)
+
+
+class TestQgrams:
+    def test_basic(self):
+        assert qgrams("abcd", 3) == frozenset({"abc", "bcd"})
+
+    def test_case_insensitive(self):
+        assert qgrams("AbC", 3) == qgrams("abc", 3)
+
+    def test_short_string_is_own_gram(self):
+        assert qgrams("ab", 3) == frozenset({"ab"})
+
+    def test_empty(self):
+        assert qgrams("", 3) == frozenset()
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty_is_one(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard({"a"}, set()) == 0.0
+
+    def test_half_overlap(self):
+        assert jaccard({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+
+
+class TestQgramJaccard:
+    def test_paper_example_venue(self):
+        # Paper Example 2 reports 0.16; tokenization details shift it slightly.
+        value = qgram_jaccard(
+            "SIGMOD Conference",
+            "International Conference on Management of Data",
+        )
+        assert 0.1 < value < 0.25
+
+    def test_identical_strings(self):
+        assert qgram_jaccard("Generalised Hash Teams", "generalised hash teams") == 1.0
+
+    @given(a=texts, b=texts)
+    @settings(max_examples=60)
+    def test_bounds_and_symmetry(self, a, b):
+        value = qgram_jaccard(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == qgram_jaccard(b, a)
+
+    @given(a=texts)
+    @settings(max_examples=40)
+    def test_self_similarity_is_one(self, a):
+        assert qgram_jaccard(a, a) == 1.0

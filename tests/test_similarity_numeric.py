@@ -1,0 +1,85 @@
+"""Tests for numeric/date similarity and its inversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import date_similarity, numeric_similarity
+from repro.similarity.numeric import invert_numeric_similarity
+
+
+class TestNumericSimilarity:
+    def test_paper_example(self):
+        # Paper Example 2: years 2001 vs 2001 over a range of width 10 -> 1.0
+        assert numeric_similarity(2001, 2001, (1995, 2005)) == 1.0
+        assert numeric_similarity(1999, 2001, (1995, 2005)) == pytest.approx(0.8)
+
+    def test_clamped_to_zero(self):
+        assert numeric_similarity(0, 100, (0, 10)) == 0.0
+
+    def test_degenerate_range(self):
+        assert numeric_similarity(5, 5, (5, 5)) == 1.0
+        assert numeric_similarity(5, 6, (5, 5)) == 0.0
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            numeric_similarity(1, 2, (10, 0))
+
+    def test_date_same_formula(self):
+        assert date_similarity(10, 20, (0, 100)) == numeric_similarity(10, 20, (0, 100))
+
+    @given(
+        a=st.floats(0, 100, allow_nan=False),
+        b=st.floats(0, 100, allow_nan=False),
+    )
+    @settings(max_examples=60)
+    def test_bounds_and_symmetry(self, a, b):
+        value = numeric_similarity(a, b, (0, 100))
+        assert 0.0 <= value <= 1.0
+        assert value == numeric_similarity(b, a, (0, 100))
+
+
+class TestInversion:
+    def test_paper_example(self):
+        # e[C]=2008, target 0.8, span 10 -> 2006 or 2010.
+        up = invert_numeric_similarity(2008, 0.8, (2000, 2010), direction=1)
+        down = invert_numeric_similarity(2008, 0.8, (2000, 2010), direction=-1)
+        assert up == 2010.0
+        assert down == 2006.0
+
+    def test_roundtrip(self):
+        # Anchor 20 over (0, 50): targets down to 0.6 are reachable downward.
+        bounds = (0.0, 50.0)
+        for target in (0.6, 0.75, 0.9, 1.0):
+            value = invert_numeric_similarity(20.0, target, bounds, direction=-1)
+            assert numeric_similarity(20.0, value, bounds) == pytest.approx(
+                target, abs=1e-9
+            )
+
+    def test_unreachable_target_clamps(self):
+        # From anchor 20 over (0, 50) no value is farther than 30 away, so a
+        # 0.1 target clamps to the closest boundary.
+        value = invert_numeric_similarity(20.0, 0.1, (0.0, 50.0), direction=-1)
+        assert value == 0.0
+
+    def test_clamped_into_range(self):
+        value = invert_numeric_similarity(9.0, 0.0, (0.0, 10.0), direction=1)
+        assert value == 10.0  # 9 + 10 clamps to the range max
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            invert_numeric_similarity(1.0, 0.5, (0, 10), direction=0)
+
+    def test_invalid_similarity(self):
+        with pytest.raises(ValueError):
+            invert_numeric_similarity(1.0, 1.5, (0, 10))
+
+    @given(
+        anchor=st.floats(0, 100, allow_nan=False),
+        target=st.floats(0, 1, allow_nan=False),
+        direction=st.sampled_from([1, -1]),
+    )
+    @settings(max_examples=60)
+    def test_result_always_in_range(self, anchor, target, direction):
+        value = invert_numeric_similarity(anchor, target, (0, 100), direction=direction)
+        assert 0.0 <= value <= 100.0

@@ -1,0 +1,111 @@
+"""Tests for SimilarityModel (similarity-vector computation)."""
+
+import numpy as np
+import pytest
+
+from repro.schema import Entity, make_schema
+from repro.similarity import SimilarityModel, pair_vectors
+from repro.similarity.functions import (
+    available_similarity_functions,
+    get_similarity_function,
+    register_similarity_function,
+)
+
+
+class TestSimilarityModel:
+    def test_from_relations_computes_ranges(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        assert model.ranges["year"] == (1999.0, 2003.0)
+
+    def test_missing_range_rejected(self, paper_schema):
+        with pytest.raises(ValueError, match="range"):
+            SimilarityModel(paper_schema, ranges={})
+
+    def test_paper_fig1_vectors(self, paper_tables):
+        """The Fig. 1(c) similarity vectors, up to tokenization details."""
+        table_a, table_b = paper_tables
+        model = SimilarityModel(
+            table_a.schema, ranges={"year": (1995.0, 2005.0)}
+        )
+        x1_plus = model.vector(table_a["a1"], table_b["b1"])
+        assert x1_plus[0] == 1.0  # identical titles (case-insensitive)
+        assert 0.5 < x1_plus[1] < 0.95  # authors reordered
+        assert x1_plus[2] < 0.3  # venue naming differs
+        assert x1_plus[3] == 1.0  # same year
+
+        x2_plus = model.vector(table_a["a2"], table_b["b2"])
+        assert x2_plus[0] == 1.0
+        assert x2_plus[3] == 1.0
+
+        x1_minus = model.vector(table_a["a1"], table_b["b2"])
+        assert x1_minus[0] < 0.2
+        assert x1_minus[3] == pytest.approx(0.8)
+
+    def test_missing_values(self, paper_schema):
+        model = SimilarityModel(paper_schema, ranges={"year": (1990, 2000)})
+        a = Entity("a", paper_schema, [None, "x", "v", None])
+        b = Entity("b", paper_schema, [None, "y", "v", 1995])
+        vector = model.vector(a, b)
+        assert vector[0] == 1.0  # both missing -> identical
+        assert vector[3] == 0.0  # one missing -> dissimilar
+
+    def test_value_similarity_matches_vector(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        a, b = table_a["a1"], table_b["b1"]
+        for i, attr in enumerate(model.schema):
+            assert model.value_similarity(
+                attr.name, a[attr.name], b[attr.name]
+            ) == pytest.approx(model.column_similarity(i, a, b))
+
+    def test_vectors_batch_shape(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        pairs = [(a, b) for a in table_a for b in table_b]
+        vectors = model.vectors(pairs)
+        assert vectors.shape == (9, 4)
+        assert np.all(vectors >= 0.0) and np.all(vectors <= 1.0)
+
+    def test_vectors_empty(self, paper_tables):
+        table_a, _ = paper_tables
+        model = SimilarityModel(table_a.schema, ranges={"year": (0, 1)})
+        assert model.vectors([]).shape == (0, 4)
+
+    def test_one_vs_many(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        vectors = model.one_vs_many(table_a["a1"], list(table_b))
+        assert vectors.shape == (3, 4)
+
+    def test_pair_vectors_helper(self, paper_tables):
+        table_a, table_b = paper_tables
+        model = SimilarityModel.from_relations(table_a, table_b)
+        x_pos, x_neg = pair_vectors(
+            model, table_a, table_b,
+            matches=[("a1", "b1"), ("a2", "b2")],
+            non_matches=[("a1", "b2"), ("a1", "b3")],
+        )
+        assert x_pos.shape == (2, 4)
+        assert x_neg.shape == (2, 4)
+        assert x_pos[:, 0].min() > x_neg[:, 0].max()
+
+
+class TestFunctionRegistry:
+    def test_lookup(self):
+        f = get_similarity_function("3gram_jaccard")
+        assert f("abc", "abc") == 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown"):
+            get_similarity_function("nope")
+
+    def test_available_contains_builtins(self):
+        names = available_similarity_functions()
+        assert "3gram_jaccard" in names
+        assert "edit" in names
+        assert "jaro_winkler" in names
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_similarity_function("3gram_jaccard", lambda a, b: 1.0)

@@ -1,0 +1,152 @@
+"""Tests for the rule and transformer text-synthesis backends."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import DPSGDConfig
+from repro.similarity import qgram_jaccard
+from repro.textgen import (
+    RuleTextSynthesizer,
+    SynthesisResult,
+    TextSynthesizer,
+    TransformerTextSynthesizer,
+    TransformerTextSynthesizerConfig,
+)
+
+CORPUS = [
+    "adaptive query processing in stream systems",
+    "efficient join algorithms for large databases",
+    "learning index structures for key value stores",
+    "scalable transaction management in the cloud",
+    "privacy preserving data publishing methods",
+    "a survey of entity resolution techniques",
+    "distributed graph processing frameworks",
+    "approximate query answering with samples",
+    "column store architectures for analytics",
+    "adaptive indexing in main memory databases",
+]
+
+
+class TestRuleBackend:
+    @pytest.fixture
+    def backend(self):
+        return RuleTextSynthesizer(CORPUS, tolerance=0.04, max_steps=50)
+
+    def test_protocol_conformance(self, backend):
+        assert isinstance(backend, TextSynthesizer)
+
+    @pytest.mark.parametrize("target", [0.1, 0.3, 0.5, 0.7, 0.9])
+    def test_hits_similarity_targets(self, backend, target, rng):
+        source = "adaptive query optimization in temporal middleware"
+        result = backend.synthesize(source, target, rng)
+        assert isinstance(result, SynthesisResult)
+        assert abs(result.similarity - target) < 0.12
+        assert result.similarity == pytest.approx(
+            qgram_jaccard(source, result.text)
+        )
+
+    def test_high_target_not_verbatim_copy(self, rng):
+        backend = RuleTextSynthesizer(CORPUS)
+        source = "adaptive query processing in stream systems"
+        hits = sum(
+            backend.synthesize(source, 0.97, rng).text == source for _ in range(5)
+        )
+        assert hits < 5  # reordering keeps outputs from being exact copies
+
+    def test_words_come_from_domain(self, backend, rng):
+        bank = set()
+        for text in CORPUS:
+            bank.update(text.split())
+        source = "adaptive query processing"
+        bank.update(source.split())
+        result = backend.synthesize(source, 0.4, rng)
+        assert all(w in bank for w in result.text.split())
+
+    def test_empty_source_returns_background(self, backend, rng):
+        result = backend.synthesize("", 0.5, rng)
+        assert result.text in CORPUS
+
+    def test_target_clipped(self, backend, rng):
+        result = backend.synthesize("adaptive query", 1.7, rng)
+        assert 0.0 <= result.similarity <= 1.0
+
+    def test_empty_background_rejected(self):
+        with pytest.raises(ValueError):
+            RuleTextSynthesizer(["", "   "])
+
+    def test_custom_similarity_function(self, rng):
+        from repro.similarity import normalized_edit_similarity
+
+        backend = RuleTextSynthesizer(CORPUS, similarity=normalized_edit_similarity)
+        result = backend.synthesize("adaptive query processing", 0.5, rng)
+        assert result.similarity == pytest.approx(
+            normalized_edit_similarity("adaptive query processing", result.text)
+        )
+
+
+class TestTransformerBackend:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        config = TransformerTextSynthesizerConfig(
+            n_buckets=3, n_candidates=4, pairs_per_bucket=12,
+            training_iterations=6, batch_size=4, max_length=24,
+            d_model=16, n_heads=2, d_feedforward=32,
+        )
+        backend = TransformerTextSynthesizer(config)
+        backend.fit(CORPUS, np.random.default_rng(5))
+        return backend
+
+    def test_protocol_conformance(self, fitted):
+        assert isinstance(fitted, TextSynthesizer)
+
+    def test_is_fitted(self, fitted):
+        assert fitted.is_fitted
+
+    def test_synthesize_returns_result(self, fitted, rng):
+        result = fitted.synthesize("adaptive query processing", 0.8, rng)
+        assert isinstance(result, SynthesisResult)
+        assert 0.0 <= result.similarity <= 1.0
+        assert result.text  # non-empty
+
+    def test_unfitted_raises(self, rng):
+        backend = TransformerTextSynthesizer(
+            TransformerTextSynthesizerConfig(n_buckets=2)
+        )
+        with pytest.raises(RuntimeError):
+            backend.synthesize("x", 0.5, rng)
+
+    def test_requires_corpus(self, rng):
+        backend = TransformerTextSynthesizer(
+            TransformerTextSynthesizerConfig(n_buckets=2)
+        )
+        with pytest.raises(ValueError):
+            backend.fit(["one"], rng)
+
+    def test_non_private_has_no_epsilon(self, fitted):
+        assert fitted.epsilon() is None
+
+    def test_dp_training_tracks_epsilon(self):
+        config = TransformerTextSynthesizerConfig(
+            n_buckets=2, n_candidates=2, pairs_per_bucket=8,
+            training_iterations=3, batch_size=2, max_length=16,
+            d_model=16, n_heads=2, d_feedforward=32,
+            dp=DPSGDConfig(noise_scale=1.0, clip_norm=0.5, learning_rate=0.05),
+        )
+        backend = TransformerTextSynthesizer(config)
+        backend.fit(CORPUS, np.random.default_rng(7))
+        epsilon = backend.epsilon(1e-5)
+        assert epsilon is not None and 0.0 < epsilon < 100.0
+
+    def test_training_reduces_loss(self):
+        config = TransformerTextSynthesizerConfig(
+            n_buckets=1, n_candidates=2, pairs_per_bucket=16,
+            training_iterations=30, batch_size=8, max_length=24,
+            d_model=24, n_heads=2, d_feedforward=48, dropout=0.0,
+        )
+        backend = TransformerTextSynthesizer(config)
+        backend.fit(CORPUS, np.random.default_rng(9))
+        record = backend._models[0]
+        assert record is not None
+        early = np.mean(record.losses[:5])
+        late = np.mean(record.losses[-5:])
+        assert late < early

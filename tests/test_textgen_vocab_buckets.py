@@ -1,0 +1,120 @@
+"""Tests for the character vocabulary and similarity buckets."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity import qgram_jaccard
+from repro.textgen import CharVocab, SimilarityBuckets, build_bucket_training_pairs
+
+
+class TestCharVocab:
+    def test_roundtrip(self):
+        vocab = CharVocab.from_corpus(["hello world", "abc"])
+        ids = vocab.encode("hello")
+        assert vocab.decode(ids) == "hello"
+
+    def test_specials_layout(self):
+        vocab = CharVocab.from_corpus(["ab"])
+        assert vocab.PAD == 0 and vocab.BOS == 1 and vocab.EOS == 2 and vocab.UNK == 3
+
+    def test_unknown_char_maps_to_unk(self):
+        vocab = CharVocab.from_corpus(["abc"])
+        ids = vocab.encode("axz", add_eos=False)
+        assert ids[1] == vocab.UNK
+        assert vocab.decode(ids) == "a??"
+
+    def test_bos_eos_flags(self):
+        vocab = CharVocab.from_corpus(["ab"])
+        ids = vocab.encode("ab", add_bos=True, add_eos=True)
+        assert ids[0] == vocab.BOS and ids[-1] == vocab.EOS
+
+    def test_case_folding(self):
+        vocab = CharVocab.from_corpus(["AbC"])
+        assert vocab.encode("ABC") == vocab.encode("abc")
+
+    def test_pad_batch(self):
+        vocab = CharVocab.from_corpus(["abcdef"])
+        batch = vocab.pad_batch([[5, 6], [5, 6, 7, 8]])
+        assert batch.shape == (2, 4)
+        assert batch[0, 2] == vocab.PAD
+
+    def test_pad_batch_truncates(self):
+        vocab = CharVocab.from_corpus(["abc"])
+        batch = vocab.pad_batch([[4, 5, 6, 7]], max_length=2)
+        assert batch.shape == (1, 2)
+
+    @given(st.text(alphabet="abcdefgh ", max_size=20))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, text):
+        vocab = CharVocab.from_corpus(["abcdefgh "])
+        assert vocab.decode(vocab.encode(text)) == text.lower()
+
+
+class TestSimilarityBuckets:
+    def test_index_of(self):
+        buckets = SimilarityBuckets(10)
+        assert buckets.index_of(0.0) == 0
+        assert buckets.index_of(0.05) == 0
+        assert buckets.index_of(0.95) == 9
+        assert buckets.index_of(1.0) == 9  # top bucket absorbs 1.0
+
+    def test_interval_and_midpoint(self):
+        buckets = SimilarityBuckets(4)
+        assert buckets.interval(1) == (0.25, 0.5)
+        assert buckets.midpoint(0) == 0.125
+
+    def test_out_of_range(self):
+        buckets = SimilarityBuckets(5)
+        with pytest.raises(ValueError):
+            buckets.index_of(1.5)
+        with pytest.raises(IndexError):
+            buckets.interval(5)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SimilarityBuckets(0)
+
+    @given(sim=st.floats(0, 1, allow_nan=False), k=st.integers(1, 20))
+    @settings(max_examples=50)
+    def test_index_consistent_with_interval(self, sim, k):
+        buckets = SimilarityBuckets(k)
+        index = buckets.index_of(sim)
+        low, high = buckets.interval(index)
+        assert low <= sim <= 1.0
+        if index < k - 1:
+            assert sim < high
+
+
+class TestBucketTrainingPairs:
+    def test_pairs_land_in_their_buckets(self, rng):
+        corpus = [f"database topic {i} systems research" for i in range(30)]
+        buckets = SimilarityBuckets(5)
+        per_bucket = build_bucket_training_pairs(
+            corpus, qgram_jaccard, buckets, rng, pairs_per_bucket=10,
+            max_probes=3000,
+        )
+        assert len(per_bucket) == 5
+        for index, pairs in enumerate(per_bucket):
+            low, high = buckets.interval(index)
+            for s, s_prime in pairs:
+                score = qgram_jaccard(s, s_prime)
+                if index == buckets.k - 1:
+                    assert score >= low
+                else:
+                    assert low <= score < high
+
+    def test_top_bucket_always_has_identity_pairs(self, rng):
+        corpus = ["alpha beta", "gamma delta", "epsilon zeta"]
+        per_bucket = build_bucket_training_pairs(
+            corpus, qgram_jaccard, SimilarityBuckets(3), rng,
+            pairs_per_bucket=3, max_probes=50,
+        )
+        assert len(per_bucket[-1]) >= 3
+
+    def test_needs_two_strings(self, rng):
+        with pytest.raises(ValueError):
+            build_bucket_training_pairs(
+                ["only-one"], qgram_jaccard, SimilarityBuckets(2), rng
+            )
