@@ -84,6 +84,11 @@ class SERDConfig:
         token cannot reach a match-grade posterior), turning the quadratic
         labeling pass into a near-linear one for large syntheses.  Requires
         at least one string-like column.
+    use_similarity_kernels:
+        Route batch similarity computation (S1 extraction, S2 ``Delta
+        X_syn``, S3 labeling) through the vectorized kernel layer
+        (:mod:`repro.similarity.kernels`).  ``False`` uses the scalar
+        reference path; results are bit-identical either way.
     one_to_one_matches:
         Prefer match-free anchors when sampling a matching similarity
         vector.  Real ER benchmarks are (near) one-to-one; without this,
@@ -124,6 +129,7 @@ class SERDConfig:
     hard_negative_fraction: float = 0.5
     label_all_pairs: bool = True
     use_blocking_for_labeling: bool = False
+    use_similarity_kernels: bool = True
     one_to_one_matches: bool = True
     dp: DPSGDConfig | None = None
     gan: TabularGANConfig = field(default_factory=TabularGANConfig)

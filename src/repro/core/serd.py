@@ -114,12 +114,19 @@ class SERDSynthesizer:
         """
         started = time.perf_counter()
         self._real = real
-        self.similarity_model = SimilarityModel.from_relations(real.table_a, real.table_b)
+        self.similarity_model = SimilarityModel.from_relations(
+            real.table_a, real.table_b,
+            use_kernels=self.config.use_similarity_kernels,
+        )
         self._background = self._resolve_background(real, background)
         self._categorical_values = self._collect_categorical_values(real)
 
-        # S1: learn the M- and N-distributions from labeled real pairs.
-        x_match = self.similarity_model.vectors(real.match_pairs())
+        # S1: learn the M- and N-distributions from labeled real pairs.  The
+        # kernel layer profiles each relation once (cached on the relation),
+        # so labeled-pair extraction is a batched row gather.
+        x_match = self.similarity_model.pairs_for_ids(
+            real.table_a, real.table_b, real.matches
+        )
         wanted_neg = int(round(self.config.negative_ratio * max(1, len(real.matches))))
         from repro.similarity.blocking import mixed_non_matches
 
@@ -128,8 +135,8 @@ class SERDSynthesizer:
             min(wanted_neg, 20 * max(1, len(real.matches))), self.rng,
             hard_fraction=self.config.hard_negative_fraction,
         )
-        x_non_match = self.similarity_model.vectors(
-            real.resolve(pair) for pair in negatives
+        x_non_match = self.similarity_model.pairs_for_ids(
+            real.table_a, real.table_b, negatives
         )
         self.o_real = PairDistribution.fit(
             x_match, x_non_match, self.rng,

@@ -106,6 +106,9 @@ class Relation:
         self.schema = schema
         self._entities: list[Entity] = []
         self._by_id: dict[str, Entity] = {}
+        # Derived artifacts (similarity-kernel column profiles) cached per
+        # consumer key; any mutation of the relation invalidates them.
+        self._profile_cache: dict = {}
         for entity in entities:
             self.add(entity)
 
@@ -117,6 +120,17 @@ class Relation:
             raise ValueError(f"duplicate entity id {entity.entity_id!r} in {self.name!r}")
         self._entities.append(entity)
         self._by_id[entity.entity_id] = entity
+        self._profile_cache.clear()
+
+    @property
+    def profile_cache(self) -> dict:
+        """Mutable cache for derived per-relation artifacts.
+
+        :meth:`repro.similarity.vector.SimilarityModel.profile` stores its
+        column profiles here; :meth:`add` clears the cache so stale profiles
+        can never be served after a mutation.
+        """
+        return self._profile_cache
 
     def __len__(self) -> int:
         return len(self._entities)

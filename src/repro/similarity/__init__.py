@@ -8,6 +8,7 @@ columns; we also provide edit-distance and Jaro-Winkler similarities for the
 textgen substrate and the NP-hardness example.
 """
 
+from repro.similarity import kernels
 from repro.similarity.candidates import QGramBlocker, TokenBlocker
 from repro.similarity.edit import (
     jaro_similarity,
@@ -30,6 +31,7 @@ __all__ = [
     "jaccard",
     "jaro_similarity",
     "jaro_winkler_similarity",
+    "kernels",
     "levenshtein_distance",
     "normalized_edit_similarity",
     "numeric_similarity",

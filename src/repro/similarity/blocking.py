@@ -43,9 +43,9 @@ def sample_hard_non_matches(
     while len(result) < count and attempts < max_attempts:
         attempts += 1
         anchor = a_entities[int(rng.integers(len(a_entities)))]
-        best_pair: Pair | None = None
-        best_score = -1.0
         probe_count = min(probes, len(b_entities))
+        eligible: list[Pair] = []
+        partners = []
         for index in rng.choice(len(b_entities), size=probe_count, replace=False):
             other = b_entities[int(index)]
             pair = (anchor.entity_id, other.entity_id)
@@ -56,13 +56,17 @@ def sample_hard_non_matches(
                 or (dataset.symmetric and anchor.entity_id == other.entity_id)
             ):
                 continue
-            score = float(similarity_model.vector(anchor, other).mean())
-            if score > best_score:
-                best_score = score
-                best_pair = pair
-        if best_pair is not None:
-            chosen.add(best_pair)
-            result.append(best_pair)
+            eligible.append(pair)
+            partners.append(other)
+        if not eligible:
+            continue
+        # One batched anchor-vs-probes kernel call instead of a scalar
+        # vector per probe; argmax keeps the first maximum, matching the
+        # strict-greater scan it replaces.
+        scores = similarity_model.one_vs_many(anchor, partners).mean(axis=1)
+        best_pair = eligible[int(np.argmax(scores))]
+        chosen.add(best_pair)
+        result.append(best_pair)
     return result
 
 

@@ -15,7 +15,6 @@ from collections.abc import Iterable
 
 from repro.schema.entity import Entity, Relation
 from repro.schema.types import Schema
-from repro.similarity.ngram import qgrams
 
 
 class TokenBlocker:
@@ -129,8 +128,10 @@ class QGramBlocker(TokenBlocker):
     def keys_of(self, entity: Entity) -> set[str]:
         keys: set[str] = set()
         for index in self._string_indices:
-            value = entity.values[index]
-            if value is None:
+            if entity.values[index] is None:
                 continue
-            keys.update(qgrams(str(value), self.q))
+            # Entity.qgrams memoizes per (attr_index, q) and lowercases/
+            # stringifies exactly like ngram.qgrams, so blocking shares the
+            # same cached gram sets as the similarity substrate.
+            keys.update(entity.qgrams(index, self.q))
         return keys
