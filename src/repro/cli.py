@@ -3,13 +3,18 @@
 Usage::
 
     python -m repro synthesize --dataset restaurant --scale 0.2 --out ./release
+    python -m repro synthesize --dataset restaurant --out ./release \
+        --checkpoint ./ckpt          # stage checkpoints; safe to interrupt
+    python -m repro resume --checkpoint ./ckpt --dataset restaurant \
+        --out ./release              # continue an interrupted run
     python -m repro evaluate   --dataset restaurant --scale 0.2
     python -m repro stats      [--scale 1.0]
     python -m repro experiments
 
 ``synthesize`` fits SERD on a generated benchmark and writes the surrogate
-as a CSV bundle; ``evaluate`` runs the Exp-2/Exp-3 protocol on one dataset;
-``stats`` prints Table II; ``experiments`` runs the full harness.
+as a CSV bundle; ``resume`` picks up an interrupted checkpointed run without
+redoing committed stages; ``evaluate`` runs the Exp-2/Exp-3 protocol on one
+dataset; ``stats`` prints Table II; ``experiments`` runs the full harness.
 """
 
 from __future__ import annotations
@@ -41,6 +46,28 @@ def _build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument(
         "--text-backend", choices=("rule", "transformer"), default="rule"
     )
+    synthesize.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="commit durable stage checkpoints to DIR; an interrupted run "
+        "can be continued with 'repro resume --checkpoint DIR'",
+    )
+
+    resume = commands.add_parser(
+        "resume", help="continue an interrupted checkpointed synthesize run"
+    )
+    resume.add_argument(
+        "--checkpoint", required=True, metavar="DIR",
+        help="checkpoint directory of the interrupted run",
+    )
+    resume.add_argument(
+        "--dataset", required=True,
+        help="registry name (must match the checkpointed run)",
+    )
+    resume.add_argument("--scale", type=float, default=0.1)
+    resume.add_argument("--seed", type=int, default=7)
+    resume.add_argument("--out", required=True, help="output directory")
 
     evaluate = commands.add_parser(
         "evaluate", help="Exp-2/Exp-3 matcher evaluation on one dataset"
@@ -63,7 +90,6 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_synthesize(args) -> int:
     from repro.core import SERDConfig, SERDSynthesizer
     from repro.datasets import load_dataset
-    from repro.schema import save_dataset
 
     real = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     print(f"Fitting SERD on {real} ...")
@@ -71,15 +97,34 @@ def _cmd_synthesize(args) -> int:
     if args.no_rejection:
         config = config.without_rejection()
     synthesizer = SERDSynthesizer(config)
-    synthesizer.fit(real)
-    output = synthesizer.synthesize()
-    path = save_dataset(output.dataset, args.out)
+    synthesizer.fit(real, checkpoint_dir=args.checkpoint)
+    output = synthesizer.synthesize(checkpoint_dir=args.checkpoint)
+    return _report_synthesis(synthesizer, output, args.out)
+
+
+def _report_synthesis(synthesizer, output, out_dir) -> int:
+    from repro.schema import save_dataset
+
+    path = save_dataset(output.dataset, out_dir)
     print(f"Synthesized {output.dataset} -> {path}")
     print(f"Rejections: {output.rejection_stats}")
     print(
         f"Offline {output.offline_seconds:.1f}s, online {output.online_seconds:.1f}s"
     )
+    print("Stage health:")
+    print(synthesizer.health.summary())
     return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.core import SERDSynthesizer
+    from repro.datasets import load_dataset
+
+    real = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    print(f"Resuming SERD from {args.checkpoint} on {real} ...")
+    synthesizer = SERDSynthesizer.resume(args.checkpoint, real)
+    output = synthesizer.synthesize(checkpoint_dir=args.checkpoint)
+    return _report_synthesis(synthesizer, output, args.out)
 
 
 def _cmd_evaluate(args) -> int:
@@ -119,6 +164,7 @@ def _cmd_experiments(_args) -> int:
 
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
+    "resume": _cmd_resume,
     "evaluate": _cmd_evaluate,
     "stats": _cmd_stats,
     "experiments": _cmd_experiments,

@@ -94,6 +94,26 @@ class SERDConfig:
         vector.  Real ER benchmarks are (near) one-to-one; without this,
         match edges chain into transitive clusters whose cross products
         inflate M_syn far beyond the real match density.
+    fallback_warn_threshold, fallback_warn_min:
+        Rejection-livelock telemetry: when at least ``fallback_warn_min``
+        synthesis slots have completed and more than
+        ``fallback_warn_threshold`` of them were retry-exhausted fallbacks
+        (the slot accepted its least-drifting candidate because every retry
+        was rejected), ``synthesize`` emits one ``RuntimeWarning`` for the
+        run — the sign that alpha/beta are too strict for the data and the
+        synthetic entities are silently drifting.
+    degrade_text_on_divergence:
+        When transformer text training diverges past its numeric guard's
+        retry budget, fall back to :class:`RuleTextSynthesizer` for that
+        column (recorded in the stage health report) instead of failing the
+        whole offline phase.  ``False`` re-raises.
+    degrade_gan_on_divergence:
+        Same ladder for the GAN stage: on repeated divergence run without a
+        GAN (cold start falls back to per-column sampling, rejection Case 1
+        is skipped) instead of failing.  ``False`` re-raises.
+    checkpoint_every:
+        Accepted entities between S2 progress checkpoints when
+        ``synthesize`` is given a checkpoint directory.
     dp:
         DP-SGD settings for transformer training; ``None`` trains the
         transformer non-privately (the rule backend is unaffected — it never
@@ -131,6 +151,11 @@ class SERDConfig:
     use_blocking_for_labeling: bool = False
     use_similarity_kernels: bool = True
     one_to_one_matches: bool = True
+    fallback_warn_threshold: float = 0.5
+    fallback_warn_min: int = 20
+    degrade_text_on_divergence: bool = True
+    degrade_gan_on_divergence: bool = True
+    checkpoint_every: int = 50
     dp: DPSGDConfig | None = None
     gan: TabularGANConfig = field(default_factory=TabularGANConfig)
     transformer: TransformerTextSynthesizerConfig = field(
@@ -151,9 +176,37 @@ class SERDConfig:
             raise ValueError("max_rejection_retries must be >= 1")
         if self.delta_sample_size < 1:
             raise ValueError("delta_sample_size must be >= 1")
+        if not 0.0 < self.fallback_warn_threshold <= 1.0:
+            raise ValueError(
+                "fallback_warn_threshold must be in (0, 1], got "
+                f"{self.fallback_warn_threshold}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
 
     def without_rejection(self) -> "SERDConfig":
         """The SERD- ablation: same settings, rejection disabled."""
         import dataclasses
 
         return dataclasses.replace(self, reject_entities=False)
+
+    # ------------------------------------------------------------------
+    # Serialization (checkpoint manifests embed the config so ``resume``
+    # can rebuild the exact synthesizer that started the run)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SERDConfig":
+        payload = dict(payload)
+        if payload.get("dp") is not None:
+            payload["dp"] = DPSGDConfig(**payload["dp"])
+        payload["gan"] = TabularGANConfig(**payload["gan"])
+        transformer = dict(payload["transformer"])
+        if transformer.get("dp") is not None:
+            transformer["dp"] = DPSGDConfig(**transformer["dp"])
+        payload["transformer"] = TransformerTextSynthesizerConfig(**transformer)
+        return cls(**payload)

@@ -131,6 +131,42 @@ class DistributionTracker:
             cand_pos, cand_neg, self.n_pos + len(pos), self.n_neg + len(neg)
         )
 
+    # ------------------------------------------------------------------
+    # Persistence (S2 progress checkpoints)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable dump of buffers, counts and the live mixtures."""
+        return {
+            "buffer_pos": [v.tolist() for v in self._buffer_pos],
+            "buffer_neg": [v.tolist() for v in self._buffer_neg],
+            "pos": self._pos.to_dict() if self._pos is not None else None,
+            "neg": self._neg.to_dict() if self._neg is not None else None,
+            "n_pos": self.n_pos,
+            "n_neg": self.n_neg,
+        }
+
+    def restore(self, payload: dict) -> "DistributionTracker":
+        """Rehydrate state saved with :meth:`to_dict` (in place)."""
+        self._buffer_pos = [
+            np.asarray(v, dtype=np.float64) for v in payload["buffer_pos"]
+        ]
+        self._buffer_neg = [
+            np.asarray(v, dtype=np.float64) for v in payload["buffer_neg"]
+        ]
+        self._pos = (
+            IncrementalGMM.from_dict(payload["pos"])
+            if payload["pos"] is not None
+            else None
+        )
+        self._neg = (
+            IncrementalGMM.from_dict(payload["neg"])
+            if payload["neg"] is not None
+            else None
+        )
+        self.n_pos = int(payload["n_pos"])
+        self.n_neg = int(payload["n_neg"])
+        return self
+
 
 @dataclass
 class RejectionDecision:
@@ -159,8 +195,28 @@ class RejectionPolicy:
         self.gan = gan
         self.jsd_seed = jsd_seed
         self.plausibility_floor = plausibility_floor
-        self.stats = {"accepted": 0, "discriminator": 0, "distribution": 0}
+        self.stats = {
+            "accepted": 0,
+            "discriminator": 0,
+            "distribution": 0,
+            # Slots whose retry budget ran out and accepted the least-bad
+            # candidate anyway — the rejection-livelock telemetry.  Always
+            # present so downstream consumers can rely on the key.
+            "fallback_accepted": 0,
+        }
         self._cached_jsd_current: float | None = None
+
+    def record_fallback(self) -> None:
+        """Count one slot that exhausted its retries (livelock telemetry)."""
+        self.stats["fallback_accepted"] += 1
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of accepted slots that were retry-exhausted fallbacks."""
+        slots = self.stats["accepted"] + self.stats["fallback_accepted"]
+        if slots == 0:
+            return 0.0
+        return self.stats["fallback_accepted"] / slots
 
     def evaluate(
         self,

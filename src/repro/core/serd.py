@@ -6,11 +6,20 @@ Usage::
     synthesizer.fit(real_dataset)            # S1 + model training (offline)
     output = synthesizer.synthesize()        # S2 + S3 (online)
     output.dataset                           # the synthetic ERDataset
+
+The offline phase runs as named, checkpointable stages (``s1`` →
+``text`` → ``gan``) under the resilient runtime (:mod:`repro.runtime`):
+pass ``checkpoint_dir`` to :meth:`SERDSynthesizer.fit` /
+:meth:`SERDSynthesizer.synthesize` and an interrupted run can be resumed
+with :meth:`SERDSynthesizer.resume`, skipping every stage that already
+committed.  Checkpoints capture the master RNG stream position, so a
+resumed run is bit-identical to an uninterrupted one with the same seed.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -24,6 +33,18 @@ from repro.distributions.divergence import pair_distribution_jsd
 from repro.distributions.mixture import PairDistribution
 from repro.gan.encoding import EntityEncoder
 from repro.gan.training import TabularGAN
+from repro.runtime import faults
+from repro.runtime.checkpoint import StageCheckpointer, restore_rng, rng_state
+from repro.runtime.guards import DivergenceError
+from repro.runtime.health import (
+    COMPLETED,
+    DEGRADED,
+    RESUMED,
+    RUNNING,
+    HealthReport,
+    StageHealth,
+)
+from repro.runtime.io import atomic_write_json, read_json
 from repro.schema.dataset import ERDataset, Pair
 from repro.schema.entity import Entity, Relation
 from repro.schema.types import AttributeType
@@ -48,6 +69,19 @@ class SynthesisOutput:
     online_seconds: float
     epsilon: float | None = None
     extras: dict = field(default_factory=dict)
+    # Per-stage health report (repro.runtime.health.HealthReport.to_dict()):
+    # retries, NaN rollbacks, EM reseeds, rejection fallbacks, degradations.
+    health: dict = field(default_factory=dict)
+
+
+_EXPORT_KEYS = (
+    "o_real",
+    "o_labeling_match_probability",
+    "match_edge_rate",
+    "plausibility_floor",
+    "ranges",
+    "schema",
+)
 
 
 def load_exported_distributions(path) -> dict:
@@ -56,12 +90,25 @@ def load_exported_distributions(path) -> dict:
     Returns a dict with ``o_real`` (a :class:`PairDistribution`),
     ``o_labeling_match_probability``, ``match_edge_rate``,
     ``plausibility_floor``, ``ranges`` and ``schema``.
-    """
-    import json
-    import pathlib
 
-    payload = json.loads(pathlib.Path(path).read_text())
-    payload["o_real"] = PairDistribution.from_dict(payload["o_real"])
+    Raises a descriptive :class:`ValueError` (naming the offending key or
+    the decode position) for truncated, malformed or incomplete artifacts.
+    """
+    payload = read_json(path, what="distribution artifact")
+    missing = [key for key in _EXPORT_KEYS if key not in payload]
+    if missing:
+        raise ValueError(
+            f"distribution artifact at {path} is missing key(s) "
+            f"{missing}; the file is truncated or was not written by "
+            "export_distributions"
+        )
+    try:
+        payload["o_real"] = PairDistribution.from_dict(payload["o_real"])
+    except KeyError as error:
+        raise ValueError(
+            f"distribution artifact at {path} has a malformed 'o_real' "
+            f"section: missing key {error.args[0]!r}"
+        ) from None
     payload["ranges"] = {k: tuple(v) for k, v in payload["ranges"].items()}
     return payload
 
@@ -84,6 +131,7 @@ class SERDSynthesizer:
         self.match_edge_rate = 0.0
         self.plausibility_floor: float | None = None
         self.offline_seconds = 0.0
+        self.health = HealthReport()
 
     # ------------------------------------------------------------------
     # S1 + model training (offline phase)
@@ -94,6 +142,7 @@ class SERDSynthesizer:
         background: dict[str, list[str]] | None = None,
         *,
         train_gan: bool = True,
+        checkpoint_dir=None,
     ) -> "SERDSynthesizer":
         """Learn the O-distribution and train the synthesis models.
 
@@ -111,9 +160,33 @@ class SERDSynthesizer:
             Train the tabular GAN for cold start and rejection Case 1.
             Without it, cold start falls back to per-column sampling and
             discriminator rejection is skipped.
+        checkpoint_dir:
+            When given, each stage (``s1``, ``text``, ``gan``) commits a
+            durable checkpoint as it completes, and stages already committed
+            there are *loaded instead of recomputed* — including the master
+            RNG stream position, so the resumed run continues exactly where
+            the interrupted one stopped.
         """
         started = time.perf_counter()
+        self.health = HealthReport()
+        self._validate_fit_inputs(real)
         self._real = real
+        checkpointer = (
+            StageCheckpointer(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if checkpointer is not None:
+            recorded = checkpointer.get_meta("dataset")
+            if recorded is not None and recorded != real.name:
+                raise ValueError(
+                    f"checkpoint directory belongs to dataset {recorded!r}, "
+                    f"refusing to resume it with {real.name!r}"
+                )
+            checkpointer.set_meta("config", self.config.to_dict())
+            checkpointer.set_meta("train_gan", bool(train_gan))
+            checkpointer.set_meta("dataset", real.name)
+
+        # Deterministic, RNG-free setup — always recomputed (cheap relative
+        # to training; checkpoints hold only the expensive learned state).
         self.similarity_model = SimilarityModel.from_relations(
             real.table_a, real.table_b,
             use_kernels=self.config.use_similarity_kernels,
@@ -121,9 +194,119 @@ class SERDSynthesizer:
         self._background = self._resolve_background(real, background)
         self._categorical_values = self._collect_categorical_values(real)
 
-        # S1: learn the M- and N-distributions from labeled real pairs.  The
-        # kernel layer profiles each relation once (cached on the relation),
-        # so labeled-pair extraction is a batched row gather.
+        self._fit_stage_s1(real, checkpointer)
+        faults.maybe_interrupt("fit.after_s1")
+        self._fit_stage_text(real, checkpointer)
+        faults.maybe_interrupt("fit.after_text")
+        self.factory = EntityFactory(
+            self.similarity_model, self._categorical_values, self._text_backends
+        )
+        self._fit_stage_gan(real, checkpointer, train_gan)
+        faults.maybe_interrupt("fit.after_gan")
+        self.offline_seconds = time.perf_counter() - started
+        return self
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir,
+        real: ERDataset,
+        background: dict[str, list[str]] | None = None,
+    ) -> "SERDSynthesizer":
+        """Rebuild a synthesizer from an interrupted run's checkpoints.
+
+        Reads the config recorded in the checkpoint manifest, re-runs
+        :meth:`fit` against the same ``real`` dataset, and skips every stage
+        that already committed — a run killed after text-backend training
+        resumes without retraining a single text model, and its final
+        :meth:`synthesize` output matches the uninterrupted run seed-for-seed.
+        """
+        checkpointer = StageCheckpointer(checkpoint_dir)
+        config_payload = checkpointer.get_meta("config")
+        if config_payload is None:
+            raise ValueError(
+                f"{checkpoint_dir} holds no recorded config; it is not a "
+                "SERD checkpoint directory (fit() writes one when given "
+                "checkpoint_dir)"
+            )
+        synthesizer = cls(SERDConfig.from_dict(config_payload))
+        synthesizer.fit(
+            real,
+            background,
+            train_gan=bool(checkpointer.get_meta("train_gan", True)),
+            checkpoint_dir=checkpoint_dir,
+        )
+        return synthesizer
+
+    # ------------------------------------------------------------------
+    # Fit stages
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_fit_inputs(real: ERDataset) -> None:
+        """Reject degenerate inputs before they reach numpy with an opaque
+        error (empty ``x_match`` used to die inside ``np.vstack``)."""
+        if len(real.table_a) == 0 or len(real.table_b) == 0:
+            raise ValueError(
+                "cannot fit SERD on empty tables: "
+                f"table_a has {len(real.table_a)} entities, "
+                f"table_b has {len(real.table_b)}"
+            )
+        if not real.matches:
+            raise ValueError(
+                "cannot fit SERD without labeled matches: real.matches is "
+                "empty, so the M-distribution has no training vectors (S1 "
+                "needs at least one matching pair)"
+            )
+
+    def _restore_stage_record(self, record: StageHealth, payload: dict) -> None:
+        """Adopt counters/notes a committed stage recorded when it ran."""
+        saved = payload.get("health")
+        if not saved:
+            return
+        restored = StageHealth.from_dict(saved)
+        record.counters = restored.counters
+        record.notes = restored.notes
+        if restored.status == DEGRADED:
+            record.note("stage originally completed degraded (see notes)")
+
+    def _commit_stage(
+        self,
+        checkpointer: StageCheckpointer | None,
+        name: str,
+        payload: dict,
+        record: StageHealth,
+    ) -> None:
+        if checkpointer is None:
+            return
+        payload = dict(payload)
+        payload["rng_state"] = rng_state(self.rng)
+        payload["health"] = record.to_dict()
+        checkpointer.commit(name, payload)
+
+    def _fit_stage_s1(
+        self, real: ERDataset, checkpointer: StageCheckpointer | None
+    ) -> None:
+        """S1: learn the M- and N-distributions from labeled real pairs."""
+        record = self.health.stage("s1")
+        stage_started = time.perf_counter()
+        if checkpointer is not None and checkpointer.has("s1"):
+            payload = checkpointer.load("s1")
+            self.o_real = PairDistribution.from_dict(payload["o_real"])
+            self.o_labeling = PairDistribution(
+                payload["o_labeling_match_probability"],
+                self.o_real.match_distribution,
+                self.o_real.non_match_distribution,
+            )
+            self.match_edge_rate = float(payload["match_edge_rate"])
+            self.plausibility_floor = float(payload["plausibility_floor"])
+            self._restore_stage_record(record, payload)
+            restore_rng(self.rng, payload["rng_state"])
+            self.health.mark("s1", RESUMED, time.perf_counter() - stage_started)
+            return
+        record.status = RUNNING
+
+        # The kernel layer profiles each relation once (cached on the
+        # relation), so labeled-pair extraction is a batched row gather.
         x_match = self.similarity_model.pairs_for_ids(
             real.table_a, real.table_b, real.matches
         )
@@ -135,12 +318,23 @@ class SERDSynthesizer:
             min(wanted_neg, 20 * max(1, len(real.matches))), self.rng,
             hard_fraction=self.config.hard_negative_fraction,
         )
+        if not negatives:
+            raise ValueError(
+                "cannot fit SERD: no non-matching pairs could be sampled "
+                f"from {real.name!r} (every cross pair is labeled matching); "
+                "the N-distribution has no training vectors"
+            )
         x_non_match = self.similarity_model.pairs_for_ids(
             real.table_a, real.table_b, negatives
         )
         self.o_real = PairDistribution.fit(
             x_match, x_non_match, self.rng,
             max_components=self.config.max_gmm_components,
+        )
+        record.increment(
+            "em_reseeds",
+            self.o_real.match_distribution.em_reseeds_
+            + self.o_real.non_match_distribution.em_reseeds_,
         )
         # The O-distribution's pi is the match fraction of the *labeled* pair
         # sample (the paper's |X+| / (|X+| + |X-|)) and drives S2 sampling.
@@ -177,36 +371,153 @@ class SERDSynthesizer:
             np.quantile(plausibility, self.config.plausibility_quantile)
             - self.config.plausibility_margin
         )
-
-        # Text backends, one per text column (Section VI).
-        self._text_backends = {}
-        for attr in real.schema.text_attributes:
-            corpus = self._background[attr.name]
-            if self.config.text_backend == "transformer":
-                backend = TransformerTextSynthesizer(self._transformer_config())
-                backend.fit(corpus, self.rng)
-            else:
-                backend = RuleTextSynthesizer(
-                    corpus,
-                    tolerance=self.config.rule_tolerance,
-                    max_steps=self.config.rule_max_steps,
-                )
-            self._text_backends[attr.name] = backend
-
-        self.factory = EntityFactory(
-            self.similarity_model, self._categorical_values, self._text_backends
+        self.health.mark("s1", COMPLETED, time.perf_counter() - stage_started)
+        self._commit_stage(
+            checkpointer,
+            "s1",
+            {
+                "o_real": self.o_real.to_dict(),
+                "o_labeling_match_probability": self.o_labeling.match_probability,
+                "match_edge_rate": self.match_edge_rate,
+                "plausibility_floor": self.plausibility_floor,
+            },
+            record,
         )
 
-        # GAN for cold start + rejection Case 1 (Section IV-B2 / V).
+    def _fit_stage_text(
+        self, real: ERDataset, checkpointer: StageCheckpointer | None
+    ) -> None:
+        """Text backends, one per text column (Section VI), with graceful
+        degradation transformer → rules on repeated training divergence."""
+        record = self.health.stage("text")
+        stage_started = time.perf_counter()
+        text_columns = [a.name for a in real.schema.text_attributes]
+        if checkpointer is not None and checkpointer.has("text"):
+            payload = checkpointer.load("text")
+            self._text_backends = {}
+            for column in text_columns:
+                kind = payload["backends"][column]
+                if kind == "transformer":
+                    backend = TransformerTextSynthesizer(self._transformer_config())
+                    backend.load(checkpointer.stage_dir("text") / f"column_{column}")
+                else:
+                    backend = self._rule_backend(column)
+                self._text_backends[column] = backend
+            self._restore_stage_record(record, payload)
+            restore_rng(self.rng, payload["rng_state"])
+            self.health.mark("text", RESUMED, time.perf_counter() - stage_started)
+            return
+        record.status = RUNNING
+
+        self._text_backends = {}
+        kinds: dict[str, str] = {}
+        degraded = False
+        for column in text_columns:
+            if self.config.text_backend == "transformer":
+                backend = self._train_transformer_backend(column, record)
+            else:
+                backend = self._rule_backend(column)
+            if isinstance(backend, TransformerTextSynthesizer):
+                kinds[column] = "transformer"
+                if checkpointer is not None:
+                    backend.save(checkpointer.stage_dir("text") / f"column_{column}")
+            else:
+                kinds[column] = "rule"
+                degraded = degraded or self.config.text_backend == "transformer"
+            self._text_backends[column] = backend
+        status = DEGRADED if degraded else COMPLETED
+        self.health.mark("text", status, time.perf_counter() - stage_started)
+        self._commit_stage(checkpointer, "text", {"backends": kinds}, record)
+
+    def _rule_backend(self, column: str) -> RuleTextSynthesizer:
+        return RuleTextSynthesizer(
+            self._background[column],
+            tolerance=self.config.rule_tolerance,
+            max_steps=self.config.rule_max_steps,
+        )
+
+    def _train_transformer_backend(
+        self, column: str, record: StageHealth
+    ) -> TextSynthesizer:
+        """Train the DP transformer for ``column``; degrade to the rule
+        backend when training diverges past the numeric guard's budget."""
+        corpus = self._background[column]
+        backend = TransformerTextSynthesizer(self._transformer_config())
+        try:
+            backend.fit(corpus, self.rng)
+        except DivergenceError as error:
+            if not self.config.degrade_text_on_divergence:
+                raise
+            for key, value in backend.health.items():
+                record.increment(key, value)
+            record.increment("degradations")
+            record.note(
+                f"column {column!r}: transformer training diverged "
+                f"({error}); degraded to RuleTextSynthesizer"
+            )
+            return self._rule_backend(column)
+        for key, value in backend.health.items():
+            record.increment(key, value)
+        return backend
+
+    def _fit_stage_gan(
+        self,
+        real: ERDataset,
+        checkpointer: StageCheckpointer | None,
+        train_gan: bool,
+    ) -> None:
+        """GAN for cold start + rejection Case 1 (Section IV-B2 / V), with
+        graceful degradation GAN-on → GAN-off on repeated divergence."""
+        record = self.health.stage("gan")
+        stage_started = time.perf_counter()
+        if checkpointer is not None and checkpointer.has("gan"):
+            payload = checkpointer.load("gan")
+            if payload["trained"]:
+                # The encoder must be fitted before TabularGAN sizes its
+                # networks; fitting is deterministic and cheap, and load()
+                # then swaps in the exact encoder state that was saved.
+                encoder = EntityEncoder(real.schema).fit(
+                    [real.table_a, real.table_b], text_pools=self._background
+                )
+                self.gan = TabularGAN(
+                    encoder, self.config.gan, seed=self.config.seed + 1
+                )
+                self.gan.load(checkpointer.stage_dir("gan"))
+            else:
+                self.gan = None
+            self._restore_stage_record(record, payload)
+            restore_rng(self.rng, payload["rng_state"])
+            self.health.mark("gan", RESUMED, time.perf_counter() - stage_started)
+            return
+        record.status = RUNNING
+
         self.gan = None
+        status = COMPLETED
         if train_gan:
             encoder = EntityEncoder(real.schema).fit(
                 [real.table_a, real.table_b], text_pools=self._background
             )
-            self.gan = TabularGAN(encoder, self.config.gan, seed=self.config.seed + 1)
-            self.gan.fit(list(real.table_a) + list(real.table_b))
-        self.offline_seconds = time.perf_counter() - started
-        return self
+            gan = TabularGAN(encoder, self.config.gan, seed=self.config.seed + 1)
+            try:
+                gan.fit(list(real.table_a) + list(real.table_b))
+                self.gan = gan
+            except DivergenceError as error:
+                if not self.config.degrade_gan_on_divergence:
+                    raise
+                record.increment("degradations")
+                record.note(
+                    f"GAN training diverged ({error}); continuing without a "
+                    "GAN — per-column cold start, discriminator rejection off"
+                )
+                status = DEGRADED
+            for key, value in gan.health.items():
+                record.increment(key, value)
+            if self.gan is not None and checkpointer is not None:
+                self.gan.save(checkpointer.stage_dir("gan"))
+        self.health.mark("gan", status, time.perf_counter() - stage_started)
+        self._commit_stage(
+            checkpointer, "gan", {"trained": self.gan is not None}, record
+        )
 
     def _transformer_config(self):
         import dataclasses
@@ -262,11 +573,9 @@ class SERDSynthesizer:
         This is exactly the artifact the paper's privacy argument allows a
         data owner to share (Fig. 2): the M/N GMMs, the priors and the
         numeric ranges — but no entities.  ``load_exported_distributions``
-        reads it back.
+        reads it back.  The write is atomic (tmp file + ``os.replace``), so
+        a crash mid-export never leaves a truncated artifact behind.
         """
-        import json
-        import pathlib
-
         if self.o_real is None:
             raise RuntimeError("synthesizer is not fitted; call fit() first")
         payload = {
@@ -280,18 +589,27 @@ class SERDSynthesizer:
                 for a in self.similarity_model.schema
             ],
         }
-        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+        atomic_write_json(path, payload, indent=2)
 
     # ------------------------------------------------------------------
     # S2 + S3 (online phase)
     # ------------------------------------------------------------------
     def synthesize(
-        self, n_a: int | None = None, n_b: int | None = None
+        self,
+        n_a: int | None = None,
+        n_b: int | None = None,
+        *,
+        checkpoint_dir=None,
     ) -> SynthesisOutput:
         """Run the iterative synthesis loop and label all pairs.
 
         Default sizes are the real tables' sizes (problem statement,
-        Section II-D).
+        Section II-D).  With ``checkpoint_dir``, the S2 loop commits a
+        progress checkpoint (partial entity pools, sampled edges, the live
+        O_syn tracker and the RNG position) every
+        ``config.checkpoint_every`` accepted entities; an interrupted
+        synthesis resumes from the last checkpoint and produces the same
+        dataset an uninterrupted run would have.
         """
         if self.o_real is None or self.factory is None or self._real is None:
             raise RuntimeError("synthesizer is not fitted; call fit() first")
@@ -301,6 +619,11 @@ class SERDSynthesizer:
         n_b = n_b if n_b is not None else len(real.table_b)
         if n_a < 1 or n_b < 1:
             raise ValueError("both synthetic tables need at least one entity")
+        checkpointer = (
+            StageCheckpointer(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        record = self.health.stage("s2_synthesis")
+        record.status = RUNNING
 
         # Rejection and S3 labeling both score *cross* pairs, so they use the
         # all-pairs prior (see fit()); S2 sampling keeps the labeled-set pi.
@@ -316,23 +639,64 @@ class SERDSynthesizer:
         b_entities: list[Entity] = []
         sampled_matches: list[Pair] = []
         sampled_non_matches: list[Pair] = []
-
-        # Cold start: the first A-entity.
-        a_entities.append(
-            cold_start_entity(
-                real.schema,
-                self.similarity_model.ranges,
-                self._categorical_values["a"],
-                self._background,
-                self.rng,
-                entity_id="sa0",
-                gan=self.gan,
-            )
-        )
-
         counter_a, counter_b = 1, 0
         matched_ids: set[str] = set()
+
+        progress = None
+        if checkpointer is not None and checkpointer.has("s2_progress"):
+            progress = checkpointer.load("s2_progress")
+            if progress["n_a"] != n_a or progress["n_b"] != n_b:
+                raise ValueError(
+                    "s2 progress checkpoint was taken for sizes "
+                    f"({progress['n_a']}, {progress['n_b']}); refusing to "
+                    f"resume with ({n_a}, {n_b})"
+                )
+        if progress is not None:
+            a_entities = self._entities_from_payload(progress["a_entities"], real)
+            b_entities = self._entities_from_payload(progress["b_entities"], real)
+            sampled_matches = [tuple(p) for p in progress["sampled_matches"]]
+            sampled_non_matches = [tuple(p) for p in progress["sampled_non_matches"]]
+            counter_a = int(progress["counter_a"])
+            counter_b = int(progress["counter_b"])
+            matched_ids = set(progress["matched_ids"])
+            tracker.restore(progress["tracker"])
+            policy.stats.update(
+                {k: int(v) for k, v in progress["rejection_stats"].items()}
+            )
+            restore_rng(self.rng, progress["rng_state"])
+            record.increment("resumed_entities", len(a_entities) + len(b_entities))
+        else:
+            # Cold start: the first A-entity.
+            a_entities.append(
+                cold_start_entity(
+                    real.schema,
+                    self.similarity_model.ranges,
+                    self._categorical_values["a"],
+                    self._background,
+                    self.rng,
+                    entity_id="sa0",
+                    gan=self.gan,
+                )
+            )
+
+        warned_fallback = False
+        accepted_since_checkpoint = 0
         while len(a_entities) < n_a or len(b_entities) < n_b:
+            if (
+                checkpointer is not None
+                and accepted_since_checkpoint >= self.config.checkpoint_every
+            ):
+                checkpointer.commit(
+                    "s2_progress",
+                    self._s2_progress_payload(
+                        n_a, n_b, a_entities, b_entities,
+                        sampled_matches, sampled_non_matches,
+                        counter_a, counter_b, matched_ids, tracker, policy,
+                    ),
+                )
+                accepted_since_checkpoint = 0
+            faults.maybe_interrupt("synthesize.step")
+
             # S2-2 (label part): decide match vs non-match at the match-edge
             # rate (see fit()).
             is_match = bool(self.rng.random() < self.match_edge_rate)
@@ -377,9 +741,30 @@ class SERDSynthesizer:
                 new_id, new_side = f"sb{counter_b}", "b"
             else:
                 new_id, new_side = f"sa{counter_a}", "a"
-            accepted_entity, delta = self._synthesize_with_rejection(
+            accepted_entity, delta, is_fallback = self._synthesize_with_rejection(
                 anchor, vector, new_id, new_side, pool, policy, is_match
             )
+            if is_fallback:
+                policy.record_fallback()
+                if (
+                    not warned_fallback
+                    and policy.stats["accepted"] + policy.stats["fallback_accepted"]
+                    >= self.config.fallback_warn_min
+                    and policy.fallback_rate > self.config.fallback_warn_threshold
+                ):
+                    warned_fallback = True
+                    warnings.warn(
+                        f"rejection livelock: {policy.stats['fallback_accepted']} "
+                        f"of {policy.stats['accepted'] + policy.stats['fallback_accepted']} "
+                        "synthesis slots exhausted their retries and accepted "
+                        "the least-drifting candidate anyway "
+                        f"(rate {policy.fallback_rate:.2f} > "
+                        f"{self.config.fallback_warn_threshold}); the synthetic "
+                        "entities may be drifting from O_real — consider "
+                        "relaxing alpha/beta or raising max_rejection_retries",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
 
             # S2-4: add to the right table and record the sampled label.
             if side == "a":
@@ -397,11 +782,24 @@ class SERDSynthesizer:
             else:
                 sampled_non_matches.append(pair)
             policy.commit(delta)
+            accepted_since_checkpoint += 1
+
+        if checkpointer is not None:
+            # The loop finished; the progress checkpoint is consumed.
+            checkpointer.clear("s2_progress")
 
         table_a = Relation(f"{real.name}_syn_a", real.schema, a_entities)
         table_b = Relation(f"{real.name}_syn_b", real.schema, b_entities)
+        for key, value in policy.stats.items():
+            record.increment(key, value)
+        self.health.mark(
+            "s2_synthesis", COMPLETED, time.perf_counter() - started
+        )
 
         # S3: label all remaining pairs by posterior (Section IV-C).
+        labeling_started = time.perf_counter()
+        labeling_record = self.health.stage("s3_labeling")
+        labeling_record.status = RUNNING
         matches = list(sampled_matches)
         n_labeled = 0
         if self.config.label_all_pairs:
@@ -424,6 +822,10 @@ class SERDSynthesizer:
                 max_matches=budget, blocker=blocker,
             )
             matches.extend(extra_matches)
+        labeling_record.increment("posterior_labeled", n_labeled)
+        self.health.mark(
+            "s3_labeling", COMPLETED, time.perf_counter() - labeling_started
+        )
 
         dataset = ERDataset(
             table_a, table_b, matches,
@@ -447,6 +849,11 @@ class SERDSynthesizer:
             epsilons = [e for e in epsilons if e is not None]
             if epsilons:
                 epsilon = float(sum(epsilons))  # sequential composition
+        health_payload = self.health.to_dict()
+        if checkpointer is not None:
+            atomic_write_json(
+                checkpointer.directory / "health.json", health_payload, indent=2
+            )
         return SynthesisOutput(
             dataset=dataset,
             o_real=self.o_real,
@@ -458,7 +865,50 @@ class SERDSynthesizer:
             offline_seconds=self.offline_seconds,
             online_seconds=time.perf_counter() - started,
             epsilon=epsilon,
+            health=health_payload,
         )
+
+    # ------------------------------------------------------------------
+    # S2 progress serialization
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _entities_to_payload(entities: list[Entity]) -> list:
+        return [[e.entity_id, list(e.values)] for e in entities]
+
+    @staticmethod
+    def _entities_from_payload(payload: list, real: ERDataset) -> list[Entity]:
+        return [
+            Entity(entity_id, real.schema, values) for entity_id, values in payload
+        ]
+
+    def _s2_progress_payload(
+        self,
+        n_a: int,
+        n_b: int,
+        a_entities: list[Entity],
+        b_entities: list[Entity],
+        sampled_matches: list[Pair],
+        sampled_non_matches: list[Pair],
+        counter_a: int,
+        counter_b: int,
+        matched_ids: set[str],
+        tracker: DistributionTracker,
+        policy: RejectionPolicy,
+    ) -> dict:
+        return {
+            "n_a": n_a,
+            "n_b": n_b,
+            "a_entities": self._entities_to_payload(a_entities),
+            "b_entities": self._entities_to_payload(b_entities),
+            "sampled_matches": [list(p) for p in sampled_matches],
+            "sampled_non_matches": [list(p) for p in sampled_non_matches],
+            "counter_a": counter_a,
+            "counter_b": counter_b,
+            "matched_ids": sorted(matched_ids),
+            "tracker": tracker.to_dict(),
+            "rejection_stats": dict(policy.stats),
+            "rng_state": rng_state(self.rng),
+        }
 
     def _synthesize_with_rejection(
         self,
@@ -469,9 +919,10 @@ class SERDSynthesizer:
         anchor_table: list[Entity],
         policy: RejectionPolicy,
         is_match: bool,
-    ) -> tuple[Entity, np.ndarray]:
-        """S2-3 + Section V: synthesize, evaluate, retry; returns the entity
-        and its committed ``Delta X_syn`` vectors."""
+    ) -> tuple[Entity, np.ndarray, bool]:
+        """S2-3 + Section V: synthesize, evaluate, retry; returns the entity,
+        its committed ``Delta X_syn`` vectors, and whether the slot fell back
+        to its least-bad candidate because every retry was rejected."""
         best: tuple[Entity, np.ndarray] | None = None
         best_key: tuple[float, float] = (np.inf, np.inf)
         for _ in range(self.config.max_rejection_retries):
@@ -483,7 +934,7 @@ class SERDSynthesizer:
                 candidate, delta, expected_match=is_match, target_vector=vector
             )
             if decision.accepted:
-                return candidate, delta
+                return candidate, delta, False
             # Rank rejected candidates: lowest distribution drift first,
             # then highest discriminator score.
             key = (
@@ -494,9 +945,11 @@ class SERDSynthesizer:
                 best, best_key = (candidate, delta), key
         # Retries exhausted: accept the least-drifting candidate seen (the
         # paper notes rejection can always be relaxed via alpha/beta; the
-        # cap keeps synthesis from livelocking).
+        # cap keeps synthesis from livelocking).  The caller counts these
+        # fallbacks and warns when their rate crosses the configured
+        # threshold — silently absorbing them hides distribution drift.
         assert best is not None
-        return best
+        return best[0], best[1], True
 
     def _delta_vectors(
         self, candidate: Entity, anchor: Entity, anchor_table: list[Entity]

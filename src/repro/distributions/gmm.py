@@ -13,6 +13,7 @@ import numpy as np
 from scipy.special import logsumexp
 
 from repro.distributions.gaussian import GaussianComponent, regularize_covariance
+from repro.runtime import faults
 
 
 @dataclass
@@ -23,6 +24,9 @@ class GaussianMixture:
     components: tuple[GaussianComponent, ...]
     log_likelihood_: float = float("nan")
     n_observations_: int = 0
+    # How many times EM had to re-seed a collapsed component or restart from
+    # a non-finite state while fitting this mixture (health telemetry).
+    em_reseeds_: int = 0
 
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights, dtype=np.float64)
@@ -192,34 +196,73 @@ def fit_gmm(
         weights,
         tuple(GaussianComponent(m, c) for m, c in zip(means, covariances)),
     )
+    reseeds = 0
+    nan_restarts = 0
+    max_nan_restarts = 3
     for _ in range(max_iterations):
         # E-step (Eq. 5)
         log_joint = mixture.component_log_pdf(points)
         log_norm = logsumexp(log_joint, axis=1, keepdims=True)
         gamma = np.exp(log_joint - log_norm)
         ll = float(log_norm.sum())
+        if faults.fire("em.nan"):
+            ll = float("nan")
 
-        # M-step (Eq. 6)
-        n_k = gamma.sum(axis=0)
-        new_means = np.empty_like(means)
-        new_covs = []
-        for k in range(n_components):
-            if n_k[k] < 1e-8:
-                # Collapsed component: re-seed on a random point.
-                new_means[k] = points[rng.integers(n)]
-                new_covs.append(global_cov.copy())
-                n_k[k] = 1.0
-                continue
-            new_means[k] = gamma[:, k] @ points / n_k[k]
-            centered = points - new_means[k]
-            cov = (gamma[:, k] * centered.T) @ centered / n_k[k]
-            new_covs.append(regularize_covariance(cov + ridge * np.eye(d), ridge))
-        weights = n_k / n_k.sum()
-        means = new_means
-        mixture = GaussianMixture(
-            weights,
-            tuple(GaussianComponent(m, c) for m, c in zip(means, new_covs)),
-        )
+        restart = not np.isfinite(ll) or not bool(np.isfinite(gamma).all())
+        new_mixture = None
+        if not restart:
+            # M-step (Eq. 6)
+            n_k = gamma.sum(axis=0)
+            new_means = np.empty_like(means)
+            new_covs = []
+            for k in range(n_components):
+                if n_k[k] < 1e-8:
+                    # Collapsed component: re-seed on a random point.
+                    new_means[k] = points[rng.integers(n)]
+                    new_covs.append(global_cov.copy())
+                    n_k[k] = 1.0
+                    reseeds += 1
+                    continue
+                new_means[k] = gamma[:, k] @ points / n_k[k]
+                centered = points - new_means[k]
+                cov = (gamma[:, k] * centered.T) @ centered / n_k[k]
+                new_covs.append(regularize_covariance(cov + ridge * np.eye(d), ridge))
+            weights = n_k / n_k.sum()
+            means = new_means
+            try:
+                new_mixture = GaussianMixture(
+                    weights,
+                    tuple(GaussianComponent(m, c) for m, c in zip(means, new_covs)),
+                )
+            except (ValueError, np.linalg.LinAlgError):
+                # Singular/non-finite covariance survived the ridge (a
+                # degenerate responsibility pattern): treat as a numeric
+                # failure and restart below.
+                restart = True
+
+        if restart:
+            # Non-finite state (e.g. a singular covariance driving the
+            # likelihood to NaN): restart EM from a fresh k-means++ seed
+            # with the global covariance, a bounded number of times.
+            nan_restarts += 1
+            reseeds += 1
+            if nan_restarts > max_nan_restarts:
+                raise ValueError(
+                    "EM diverged: non-finite log-likelihood persisted after "
+                    f"{max_nan_restarts} re-initializations"
+                )
+            means = _kmeans_plus_plus(points, n_components, rng)
+            weights = np.full(n_components, 1.0 / n_components)
+            mixture = GaussianMixture(
+                weights,
+                tuple(
+                    GaussianComponent(m, global_cov.copy()) for m in means
+                ),
+            )
+            previous_ll = -np.inf
+            continue
+
+        mixture = new_mixture
         if abs(ll - previous_ll) < tolerance * max(1.0, abs(ll)):
             previous_ll = ll
             break
@@ -227,6 +270,7 @@ def fit_gmm(
 
     mixture.log_likelihood_ = float(mixture.log_pdf(points).sum())
     mixture.n_observations_ = n
+    mixture.em_reseeds_ = reseeds
     return mixture
 
 
@@ -249,10 +293,12 @@ def select_gmm_by_aic(
     best: GaussianMixture | None = None
     best_aic = np.inf
     upper = max(1, min(max_components, len(points)))
+    total_reseeds = 0
     for g in range(1, upper + 1):
         candidate: GaussianMixture | None = None
         for _ in range(max(1, restarts)):
             fitted = fit_gmm(points, g, rng, **fit_kwargs)
+            total_reseeds += fitted.em_reseeds_
             if candidate is None or fitted.log_likelihood_ > candidate.log_likelihood_:
                 candidate = fitted
         assert candidate is not None
@@ -260,4 +306,7 @@ def select_gmm_by_aic(
         if aic < best_aic:
             best, best_aic = candidate, aic
     assert best is not None
+    # Surface the EM effort of the whole selection on the winner, so health
+    # reporting sees reseeds even when the final model converged cleanly.
+    best.em_reseeds_ = total_reseeds
     return best

@@ -75,6 +75,11 @@ class IncrementalGMM:
                 f"points have dimension {new_points.shape[1]}, expected {self.dim}"
             )
         gamma_hat = self.mixture.responsibilities(new_points)  # Eq. 8
+        if not np.isfinite(gamma_hat).all():
+            raise ValueError(
+                "incremental GMM update received points with non-finite "
+                "responsibilities; refusing to corrupt O_syn"
+            )
         s0 = self.s0 + gamma_hat.sum(axis=0)
         s1 = self.s1 + gamma_hat.T @ new_points
         s2 = self.s2 + np.einsum("ik,id,ie->kde", gamma_hat, new_points, new_points)
@@ -93,3 +98,29 @@ class IncrementalGMM:
         mixture = GaussianMixture(weights, tuple(components))
         mixture.n_observations_ = count
         return IncrementalGMM(mixture, s0, s1, s2, count, self.ridge)
+
+    # ------------------------------------------------------------------
+    # Persistence (S2 progress checkpoints serialize the live O_syn)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable dump of the mixture + sufficient statistics."""
+        return {
+            "mixture": self.mixture.to_dict(),
+            "s0": self.s0.tolist(),
+            "s1": self.s1.tolist(),
+            "s2": self.s2.tolist(),
+            "count": self.count,
+            "ridge": self.ridge,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IncrementalGMM":
+        mixture = GaussianMixture.from_dict(payload["mixture"])
+        return cls(
+            mixture,
+            np.asarray(payload["s0"], dtype=np.float64),
+            np.asarray(payload["s1"], dtype=np.float64),
+            np.asarray(payload["s2"], dtype=np.float64),
+            int(payload["count"]),
+            float(payload["ridge"]),
+        )

@@ -104,6 +104,41 @@ class EntityEncoder:
         self._require_fitted()
         return sum(width for _, width in self._blocks)
 
+    # ------------------------------------------------------------------
+    # Persistence (checkpointing a trained GAN needs its encoder state)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable fitted state (schema travels separately)."""
+        self._require_fitted()
+        return {
+            "text_profile_dim": self.text_profile_dim,
+            "ranges": {k: list(v) for k, v in self._ranges.items()},
+            "integral": dict(self._integral),
+            "categories": {k: list(v) for k, v in self._categories.items()},
+            "text_pool": {k: list(v) for k, v in self._text_pool.items()},
+            "blocks": [[name, width] for name, width in self._blocks],
+        }
+
+    @classmethod
+    def from_dict(cls, schema: Schema, payload: dict) -> "EntityEncoder":
+        """Rebuild a fitted encoder (text-pool profiles are recomputed)."""
+        encoder = cls(schema, text_profile_dim=int(payload["text_profile_dim"]))
+        encoder._ranges = {
+            k: (float(v[0]), float(v[1])) for k, v in payload["ranges"].items()
+        }
+        encoder._integral = {k: bool(v) for k, v in payload["integral"].items()}
+        encoder._categories = {k: list(v) for k, v in payload["categories"].items()}
+        encoder._text_pool = {k: list(v) for k, v in payload["text_pool"].items()}
+        encoder._text_pool_profiles = {
+            name: np.vstack(
+                [text_profile(t, encoder.text_profile_dim) for t in pool]
+            )
+            for name, pool in encoder._text_pool.items()
+        }
+        encoder._blocks = [(name, int(width)) for name, width in payload["blocks"]]
+        encoder._fitted = True
+        return encoder
+
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise RuntimeError("encoder is not fitted; call fit() first")

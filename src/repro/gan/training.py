@@ -18,12 +18,22 @@ from repro.nn.layers import Dropout, Linear, Module, Sequential
 from repro.nn.losses import binary_cross_entropy
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor, no_grad
+from repro.runtime import faults
+from repro.runtime.guards import TrainingGuard
 from repro.schema.entity import Entity, Relation
 
 
 @dataclass(frozen=True)
 class TabularGANConfig:
-    """GAN hyper-parameters."""
+    """GAN hyper-parameters.
+
+    ``guard_max_retries`` / ``guard_lr_decay`` configure the numeric guard:
+    a training step that produces NaN/Inf losses, gradients or weights is
+    rolled back to the last good state with the learning rate decayed; after
+    ``guard_max_retries`` rollbacks training raises
+    :class:`~repro.runtime.guards.DivergenceError` (the SERD pipeline then
+    degrades to synthesis without a GAN).
+    """
 
     noise_dim: int = 16
     hidden_dim: int = 64
@@ -31,6 +41,8 @@ class TabularGANConfig:
     batch_size: int = 32
     learning_rate: float = 1e-3
     dropout: float = 0.1
+    guard_max_retries: int = 3
+    guard_lr_decay: float = 0.5
 
 
 class _Generator(Module):
@@ -85,6 +97,7 @@ class TabularGAN:
             encoder.dim, self.config.hidden_dim, self.config.dropout, self.rng
         )
         self.history: list[tuple[float, float]] = []  # (d_loss, g_loss)
+        self.health: dict[str, int] = {"nan_events": 0, "rollbacks": 0}
         self._generated_count = 0
         self._fitted = False
 
@@ -92,39 +105,70 @@ class TabularGAN:
     # Training
     # ------------------------------------------------------------------
     def fit(self, entities: Sequence[Entity] | Relation) -> "TabularGAN":
-        """Run the adversarial game against ``entities`` as the real data."""
+        """Run the adversarial game against ``entities`` as the real data.
+
+        Every iteration runs under a :class:`TrainingGuard`: a step whose
+        losses, gradients or resulting weights are non-finite is rolled back
+        (last good weights + optimizer moments restored, learning rate
+        decayed) instead of poisoning the rest of training; repeated
+        divergence raises :class:`~repro.runtime.guards.DivergenceError`.
+        """
         real = self.encoder.encode_many(list(entities))
         if len(real) < 2:
             raise ValueError("need at least two real entities to train the GAN")
         d_optimizer = Adam(self.discriminator.parameters(), self.config.learning_rate)
         g_optimizer = Adam(self.generator.parameters(), self.config.learning_rate)
         batch = min(self.config.batch_size, len(real))
-        for _ in range(self.config.iterations):
-            # --- discriminator step
-            picks = self.rng.choice(len(real), size=batch, replace=False)
-            real_batch = Tensor(real[picks])
-            noise = Tensor(self.rng.standard_normal((batch, self.config.noise_dim)))
-            with no_grad():
-                fake_batch = Tensor(self.generator(noise).data)
-            d_real = self.discriminator(real_batch)
-            d_fake = self.discriminator(fake_batch)
-            d_loss = binary_cross_entropy(
-                d_real, np.ones((batch, 1))
-            ) + binary_cross_entropy(d_fake, np.zeros((batch, 1)))
-            d_optimizer.zero_grad()
-            g_optimizer.zero_grad()
-            d_loss.backward()
-            d_optimizer.step()
+        guard = TrainingGuard(
+            (self.generator, self.discriminator),
+            (d_optimizer, g_optimizer),
+            max_retries=self.config.guard_max_retries,
+            lr_decay=self.config.guard_lr_decay,
+            label="gan",
+        )
+        completed = 0
+        try:
+            while completed < self.config.iterations:
+                # --- discriminator step
+                picks = self.rng.choice(len(real), size=batch, replace=False)
+                real_batch = Tensor(real[picks])
+                noise = Tensor(self.rng.standard_normal((batch, self.config.noise_dim)))
+                with no_grad():
+                    fake_batch = Tensor(self.generator(noise).data)
+                d_real = self.discriminator(real_batch)
+                d_fake = self.discriminator(fake_batch)
+                d_loss = binary_cross_entropy(
+                    d_real, np.ones((batch, 1))
+                ) + binary_cross_entropy(d_fake, np.zeros((batch, 1)))
+                d_optimizer.zero_grad()
+                g_optimizer.zero_grad()
+                d_loss.backward()
+                if faults.fire("gan.nan_grad"):
+                    poisoned = [
+                        p for p in self.discriminator.parameters()
+                        if p.grad is not None
+                    ]
+                    if poisoned:
+                        poisoned[0].grad[...] = np.nan
+                d_optimizer.step()
 
-            # --- generator step (non-saturating: maximize log D(G(z)))
-            noise = Tensor(self.rng.standard_normal((batch, self.config.noise_dim)))
-            scores = self.discriminator(self.generator(noise))
-            g_loss = binary_cross_entropy(scores, np.ones((batch, 1)))
-            d_optimizer.zero_grad()
-            g_optimizer.zero_grad()
-            g_loss.backward()
-            g_optimizer.step()
-            self.history.append((d_loss.item(), g_loss.item()))
+                # --- generator step (non-saturating: maximize log D(G(z)))
+                noise = Tensor(self.rng.standard_normal((batch, self.config.noise_dim)))
+                scores = self.discriminator(self.generator(noise))
+                g_loss = binary_cross_entropy(scores, np.ones((batch, 1)))
+                d_optimizer.zero_grad()
+                g_optimizer.zero_grad()
+                g_loss.backward()
+                g_optimizer.step()
+
+                if guard.step_ok(d_loss.item(), g_loss.item()):
+                    guard.snapshot()
+                    self.history.append((d_loss.item(), g_loss.item()))
+                    completed += 1
+                else:
+                    guard.rollback()
+        finally:
+            self.health = guard.counters()
         self._fitted = True
         return self
 
@@ -149,6 +193,48 @@ class TabularGAN:
         self._generated_count += 1
         name = entity_id or f"gan-{self._generated_count}"
         return self.encoder.decode(self.generate_vector(rng), name)
+
+    # ------------------------------------------------------------------
+    # Persistence (stage checkpointing: GAN training is an expensive stage)
+    # ------------------------------------------------------------------
+    def save(self, directory) -> None:
+        """Persist encoder state and both networks' weights to a directory."""
+        import pathlib
+
+        from repro.runtime.io import atomic_write_json
+
+        self._require_fitted()
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        atomic_write_json(
+            directory / "gan.json",
+            {
+                "encoder": self.encoder.to_dict(),
+                "generated_count": self._generated_count,
+                "health": dict(self.health),
+                "rng_state": self.rng.bit_generator.state,
+            },
+        )
+        self.generator.save(str(directory / "generator.npz"))
+        self.discriminator.save(str(directory / "discriminator.npz"))
+
+    def load(self, directory) -> "TabularGAN":
+        """Restore a GAN saved with :meth:`save` (config must match)."""
+        import pathlib
+
+        from repro.runtime.io import read_json
+
+        directory = pathlib.Path(directory)
+        meta = read_json(directory / "gan.json", what="GAN checkpoint")
+        self.encoder = EntityEncoder.from_dict(self.encoder.schema, meta["encoder"])
+        self.generator.load(str(directory / "generator.npz"))
+        self.discriminator.load(str(directory / "discriminator.npz"))
+        self._generated_count = int(meta.get("generated_count", 0))
+        self.health = {k: int(v) for k, v in meta.get("health", {}).items()}
+        if meta.get("rng_state") is not None:
+            self.rng.bit_generator.state = meta["rng_state"]
+        self._fitted = True
+        return self
 
     def discriminator_score(self, entity: Entity) -> float:
         """P(entity is real) per the discriminator — rejection Case 1 input."""

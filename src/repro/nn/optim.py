@@ -28,6 +28,17 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # State capture (rollback-and-retry in repro.runtime.guards needs the
+    # optimizer moments restored together with the weights — restoring
+    # weights alone leaves Adam's moments poisoned by the bad step).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"learning_rate": self.learning_rate}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.learning_rate = float(state["learning_rate"])
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -55,6 +66,17 @@ class SGD(Optimizer):
             else:
                 update = param.grad
             param.data -= self.learning_rate * update
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if len(state["velocity"]) != len(self._velocity):
+            raise ValueError("velocity state does not match parameter count")
+        self._velocity = [np.array(v, dtype=np.float64) for v in state["velocity"]]
 
 
 class Adam(Optimizer):
@@ -93,6 +115,29 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["step_count"] = self._step_count
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if len(state["m"]) != len(self._m) or len(state["v"]) != len(self._v):
+            raise ValueError("moment state does not match parameter count")
+        self._step_count = int(state["step_count"])
+        self._m = [np.array(m, dtype=np.float64) for m in state["m"]]
+        self._v = [np.array(v, dtype=np.float64) for v in state["v"]]
+
+
+def grads_finite(parameters: list[Tensor]) -> bool:
+    """True when no gradient contains NaN/Inf (missing grads are fine)."""
+    return all(
+        param.grad is None or bool(np.isfinite(param.grad).all())
+        for param in parameters
+    )
 
 
 def global_grad_norm(parameters: list[Tensor]) -> float:

@@ -1,0 +1,66 @@
+"""Resilient pipeline runtime: checkpoints, numeric guards, health, faults.
+
+The SERD offline phase chains four expensive, failure-prone stages (GMM EM,
+DP text-model training, GAN training, the iterative S2 loop).  This package
+makes that pipeline survivable:
+
+- :mod:`repro.runtime.io` — atomic (tmp + ``os.replace``) file writes;
+- :mod:`repro.runtime.checkpoint` — named, durable stage checkpoints with
+  RNG-stream capture, so ``resume`` reproduces uninterrupted runs exactly;
+- :mod:`repro.runtime.guards` — NaN/Inf detection with bounded
+  rollback-and-retry for training loops;
+- :mod:`repro.runtime.health` — the per-stage health report surfaced on
+  :class:`~repro.core.serd.SynthesisOutput`;
+- :mod:`repro.runtime.faults` — the deterministic fault-injection harness
+  used by the ``fault_injection`` test suite.
+"""
+
+from repro.runtime.checkpoint import StageCheckpointer, restore_rng, rng_state
+from repro.runtime.guards import DivergenceError, TrainingGuard, all_finite
+from repro.runtime.health import (
+    COMPLETED,
+    DEGRADED,
+    FAILED,
+    PENDING,
+    RESUMED,
+    RUNNING,
+    HealthReport,
+    StageHealth,
+)
+from repro.runtime.io import (
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    read_json,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedInterrupt,
+    inject_faults,
+)
+
+__all__ = [
+    "StageCheckpointer",
+    "rng_state",
+    "restore_rng",
+    "DivergenceError",
+    "TrainingGuard",
+    "all_finite",
+    "HealthReport",
+    "StageHealth",
+    "PENDING",
+    "RUNNING",
+    "COMPLETED",
+    "RESUMED",
+    "DEGRADED",
+    "FAILED",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_json",
+    "read_json",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedInterrupt",
+    "inject_faults",
+]

@@ -1,0 +1,144 @@
+"""Deterministic fault injection for the pipeline runtime.
+
+Tests (and chaos-style smoke runs) arm a :class:`FaultPlan` naming *sites* —
+string labels compiled into the production code at its failure-prone points —
+and the call index at which each fault fires.  Because triggering is purely
+call-count based, a plan is deterministic: the same plan against the same
+seeded run injects the same fault at the same moment every time, which is
+what lets the checkpoint/resume tests assert bit-identical recovery.
+
+Production code guards every hook behind ``if _ACTIVE is not None``, so the
+harness costs one attribute load per site when disarmed.
+
+Sites currently compiled in:
+
+- ``gan.nan_grad`` — poison a discriminator gradient with NaN before the
+  optimizer step (:mod:`repro.gan.training`).
+- ``transformer.nan_loss`` — corrupt a bucket-training loss to NaN
+  (:mod:`repro.textgen.transformer_backend`).
+- ``em.nan`` — corrupt the EM log-likelihood to NaN, simulating a collapsed
+  / singular component (:mod:`repro.distributions.gmm`).
+- ``fit.after_s1`` / ``fit.after_text`` / ``fit.after_gan`` — interrupt
+  ``SERDSynthesizer.fit`` after the named stage committed its checkpoint.
+- ``synthesize.step`` — interrupt the S2 loop at the Nth accepted entity.
+
+Usage::
+
+    plan = FaultPlan(FaultSpec("gan.nan_grad", at_calls=(3, 4)))
+    with inject_faults(plan):
+        synthesizer.fit(real)
+    assert plan.fired("gan.nan_grad") == 2
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+class InjectedInterrupt(RuntimeError):
+    """Raised by interrupt sites to simulate a mid-run crash/kill."""
+
+    def __init__(self, site: str):
+        super().__init__(f"injected interrupt at {site}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: fire at the given 1-based call indices of ``site``.
+
+    ``at_calls=()`` means *every* call fires.  ``payload`` is what
+    :func:`corrupt` substitutes for the real value (defaults to NaN).
+    """
+
+    site: str
+    at_calls: tuple[int, ...] = ()
+    payload: object = float("nan")
+
+
+@dataclass
+class FaultPlan:
+    """A set of armed faults plus per-site call counters."""
+
+    specs: tuple[FaultSpec, ...]
+    _calls: dict[str, int] = field(default_factory=dict)
+    _fired: dict[str, int] = field(default_factory=dict)
+
+    def __init__(self, *specs: FaultSpec):
+        self.specs = tuple(specs)
+        self._calls = {}
+        self._fired = {}
+        sites = [s.site for s in specs]
+        if len(sites) != len(set(sites)):
+            raise ValueError(f"duplicate fault sites in plan: {sites}")
+
+    def _spec_for(self, site: str) -> FaultSpec | None:
+        for spec in self.specs:
+            if spec.site == site:
+                return spec
+        return None
+
+    def check(self, site: str) -> FaultSpec | None:
+        """Count one call of ``site``; return the spec if the fault fires."""
+        spec = self._spec_for(site)
+        if spec is None:
+            return None
+        count = self._calls.get(site, 0) + 1
+        self._calls[site] = count
+        if spec.at_calls and count not in spec.at_calls:
+            return None
+        self._fired[site] = self._fired.get(site, 0) + 1
+        return spec
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` was reached."""
+        return self._calls.get(site, 0)
+
+    def fired(self, site: str) -> int:
+        """How many times the fault at ``site`` actually triggered."""
+        return self._fired.get(site, 0)
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan):
+    """Arm ``plan`` for the duration of the block (not thread-safe by design:
+    fault injection is a test-harness facility)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault plan is already active; plans do not nest")
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None
+
+
+def active() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def fire(site: str) -> bool:
+    """True when an armed fault at ``site`` triggers on this call."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.check(site) is not None
+
+
+def corrupt(site: str, value):
+    """Return ``value``, or the fault payload when ``site`` triggers."""
+    if _ACTIVE is None:
+        return value
+    spec = _ACTIVE.check(site)
+    return value if spec is None else spec.payload
+
+
+def maybe_interrupt(site: str) -> None:
+    """Raise :class:`InjectedInterrupt` when an armed interrupt triggers."""
+    if _ACTIVE is None:
+        return
+    if _ACTIVE.check(site) is not None:
+        raise InjectedInterrupt(site)

@@ -1,0 +1,138 @@
+"""Per-stage health reporting for the resilient pipeline runtime.
+
+The Privacy-Measurement survey's point (PAPERS.md) is that synthetic-data
+pipelines must report *how* they degraded, not just whether they finished.
+:class:`HealthReport` is that record: one :class:`StageHealth` per named
+pipeline stage, holding status, wall time, free-form counters (retries, NaN
+events, EM reseeds, rejection fallbacks, ...) and human-readable notes about
+degradations taken (e.g. "transformer backend diverged; fell back to rules").
+
+The report rides on :class:`~repro.core.serd.SynthesisOutput` and is
+serialized next to checkpoints so an interrupted run's history survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.io import atomic_write_json, read_json
+
+# Stage lifecycle states.
+PENDING = "pending"
+RUNNING = "running"
+COMPLETED = "completed"
+RESUMED = "resumed"  # skipped this run; state restored from a checkpoint
+DEGRADED = "degraded"  # finished, but on a fallback path
+FAILED = "failed"
+
+_STATUSES = (PENDING, RUNNING, COMPLETED, RESUMED, DEGRADED, FAILED)
+
+
+@dataclass
+class StageHealth:
+    """What happened inside one named pipeline stage."""
+
+    name: str
+    status: str = PENDING
+    seconds: float = 0.0
+    counters: dict[str, int] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def increment(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + int(amount)
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "seconds": self.seconds,
+            "counters": dict(self.counters),
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StageHealth":
+        return cls(
+            name=payload["name"],
+            status=payload.get("status", PENDING),
+            seconds=float(payload.get("seconds", 0.0)),
+            counters={k: int(v) for k, v in payload.get("counters", {}).items()},
+            notes=list(payload.get("notes", [])),
+        )
+
+
+class HealthReport:
+    """Ordered collection of :class:`StageHealth`, one per pipeline stage."""
+
+    def __init__(self) -> None:
+        self._stages: dict[str, StageHealth] = {}
+
+    def stage(self, name: str) -> StageHealth:
+        """The health record for ``name``, created on first access."""
+        if name not in self._stages:
+            self._stages[name] = StageHealth(name)
+        return self._stages[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    def __iter__(self):
+        return iter(self._stages.values())
+
+    def mark(self, name: str, status: str, seconds: float | None = None) -> StageHealth:
+        if status not in _STATUSES:
+            raise ValueError(f"unknown stage status {status!r}")
+        record = self.stage(name)
+        record.status = status
+        if seconds is not None:
+            record.seconds = seconds
+        return record
+
+    @property
+    def degradations(self) -> list[str]:
+        """All degradation notes, across stages, in stage order."""
+        notes = []
+        for record in self._stages.values():
+            if record.status == DEGRADED:
+                notes.extend(record.notes)
+        return notes
+
+    def to_dict(self) -> dict:
+        return {"stages": [s.to_dict() for s in self._stages.values()]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HealthReport":
+        report = cls()
+        for stage_payload in payload.get("stages", []):
+            record = StageHealth.from_dict(stage_payload)
+            report._stages[record.name] = record
+        return report
+
+    def save(self, path) -> None:
+        atomic_write_json(path, self.to_dict(), indent=2)
+
+    @classmethod
+    def load(cls, path) -> "HealthReport":
+        return cls.from_dict(read_json(path, what="health report"))
+
+    def merge_stage(self, record: StageHealth) -> None:
+        """Adopt a stage record restored from a previous run's report."""
+        self._stages[record.name] = record
+
+    def summary(self) -> str:
+        """One line per stage, for CLI output."""
+        lines = []
+        for record in self._stages.values():
+            counters = ", ".join(
+                f"{k}={v}" for k, v in sorted(record.counters.items())
+            )
+            line = f"{record.name}: {record.status} ({record.seconds:.1f}s)"
+            if counters:
+                line += f" [{counters}]"
+            for note in record.notes:
+                line += f"\n  - {note}"
+            lines.append(line)
+        return "\n".join(lines) if lines else "(no stages recorded)"

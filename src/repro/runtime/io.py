@@ -1,0 +1,68 @@
+"""Crash-safe file primitives shared by the runtime and the exporters.
+
+Every durable artifact in the pipeline (checkpoints, manifests, the
+distribution export, health reports) is written with the same discipline:
+serialize into a temporary file in the *target directory*, flush + fsync,
+then ``os.replace`` onto the final name.  ``os.replace`` is atomic on POSIX
+and Windows, so a reader never observes a truncated file — it sees either
+the previous version or the new one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+
+
+def atomic_write_bytes(path, payload: bytes) -> pathlib.Path:
+    """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    descriptor, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path, text: str) -> pathlib.Path:
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path, payload, *, indent: int | None = None) -> pathlib.Path:
+    return atomic_write_text(path, json.dumps(payload, indent=indent))
+
+
+def read_json(path, *, what: str = "artifact") -> dict:
+    """Read a JSON file, raising a descriptive ``ValueError`` when corrupt.
+
+    A truncated or half-written file (the failure mode atomic writes guard
+    against, but which can still reach us from foreign writers) surfaces as
+    ``json.JSONDecodeError``; translate it into an actionable error naming
+    the file instead of letting the raw decode error escape.
+    """
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise FileNotFoundError(f"{what} not found at {path}") from None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(
+            f"{what} at {path} is truncated or malformed JSON "
+            f"(line {error.lineno}, column {error.colno}): {error.msg}"
+        ) from None

@@ -23,6 +23,8 @@ from repro.nn.tensor import Tensor
 from repro.nn.transformer import Seq2SeqTransformer, TransformerConfig
 from repro.privacy.accountant import RDPAccountant
 from repro.privacy.dpsgd import DPSGDConfig, dp_sgd_step
+from repro.runtime import faults
+from repro.runtime.guards import TrainingGuard
 from repro.similarity.ngram import qgram_jaccard
 from repro.textgen.backend import SynthesisResult
 from repro.textgen.buckets import SimilarityBuckets, build_bucket_training_pairs
@@ -52,6 +54,11 @@ class TransformerTextSynthesizerConfig:
     learning_rate: float = 3e-3
     dp: DPSGDConfig | None = None
     temperature: float = 0.8
+    # Numeric-guard knobs: non-finite training steps are rolled back with
+    # the learning rate decayed; after guard_max_retries rollbacks the
+    # bucket raises DivergenceError (SERD then degrades to the rule backend).
+    guard_max_retries: int = 3
+    guard_lr_decay: float = 0.5
 
 
 @dataclass
@@ -77,6 +84,7 @@ class TransformerTextSynthesizer:
         self._vocab: CharVocab | None = None
         self.accountant = RDPAccountant() if self.config.dp is not None else None
         self._background: list[str] = []
+        self.health: dict[str, int] = {"nan_events": 0, "rollbacks": 0}
 
     @property
     def is_fitted(self) -> bool:
@@ -192,6 +200,7 @@ class TransformerTextSynthesizer:
         model = self._build_model(rng)
         record = _BucketModel(model=model, vocab=self._vocab)
         encoded = [self._encode_pair(p) for p in bucket_pairs]
+        label = f"transformer bucket {bucket_index}"
 
         if self.config.dp is not None:
 
@@ -203,32 +212,74 @@ class TransformerTextSynthesizer:
                 )
                 return cross_entropy(logits, np.asarray([tgt_out]), ignore_index=0)
 
-            for _ in range(self.config.training_iterations):
-                size = min(self.config.batch_size, len(encoded))
-                picks = rng.choice(len(encoded), size=size, replace=False)
-                batch = [encoded[i] for i in picks]
-                loss = dp_sgd_step(model, batch, per_example_loss, self.config.dp, rng)
-                record.losses.append(loss)
-                if self.accountant is not None:
-                    self.accountant.step(
-                        size / len(encoded), self.config.dp.noise_scale, 1
+            guard = TrainingGuard(
+                (model,), (),
+                max_retries=self.config.guard_max_retries,
+                lr_decay=self.config.guard_lr_decay,
+                label=label,
+            )
+            completed = 0
+            try:
+                while completed < self.config.training_iterations:
+                    size = min(self.config.batch_size, len(encoded))
+                    picks = rng.choice(len(encoded), size=size, replace=False)
+                    batch = [encoded[i] for i in picks]
+                    loss = dp_sgd_step(
+                        model, batch, per_example_loss, self.config.dp, rng
                     )
+                    loss = faults.corrupt("transformer.nan_loss", loss)
+                    # Account every attempt: the per-example gradients were
+                    # computed on real background data whether or not the
+                    # resulting step survives the guard.
+                    if self.accountant is not None:
+                        self.accountant.step(
+                            size / len(encoded), self.config.dp.noise_scale, 1
+                        )
+                    if guard.step_ok(loss):
+                        guard.snapshot()
+                        record.losses.append(loss)
+                        completed += 1
+                    else:
+                        guard.rollback()
+            finally:
+                self._absorb_guard(guard)
         else:
             optimizer = Adam(model.parameters(), self.config.learning_rate)
-            for _ in range(self.config.training_iterations):
-                size = min(self.config.batch_size, len(encoded))
-                picks = rng.choice(len(encoded), size=size, replace=False)
-                srcs = self._vocab.pad_batch([encoded[i][0] for i in picks])
-                tgt_ins = self._vocab.pad_batch([encoded[i][1] for i in picks])
-                tgt_outs = self._vocab.pad_batch([encoded[i][2] for i in picks])
-                logits = model(srcs, tgt_ins)
-                loss = cross_entropy(logits, tgt_outs, ignore_index=0)
-                optimizer.zero_grad()
-                loss.backward()
-                optimizer.step()
-                record.losses.append(loss.item())
+            guard = TrainingGuard(
+                (model,), (optimizer,),
+                max_retries=self.config.guard_max_retries,
+                lr_decay=self.config.guard_lr_decay,
+                label=label,
+            )
+            completed = 0
+            try:
+                while completed < self.config.training_iterations:
+                    size = min(self.config.batch_size, len(encoded))
+                    picks = rng.choice(len(encoded), size=size, replace=False)
+                    srcs = self._vocab.pad_batch([encoded[i][0] for i in picks])
+                    tgt_ins = self._vocab.pad_batch([encoded[i][1] for i in picks])
+                    tgt_outs = self._vocab.pad_batch([encoded[i][2] for i in picks])
+                    logits = model(srcs, tgt_ins)
+                    loss = cross_entropy(logits, tgt_outs, ignore_index=0)
+                    optimizer.zero_grad()
+                    loss.backward()
+                    optimizer.step()
+                    loss_value = faults.corrupt("transformer.nan_loss", loss.item())
+                    if guard.step_ok(loss_value):
+                        guard.snapshot()
+                        record.losses.append(loss_value)
+                        completed += 1
+                    else:
+                        guard.rollback()
+            finally:
+                self._absorb_guard(guard)
         record.trained = True
         return record
+
+    def _absorb_guard(self, guard: TrainingGuard) -> None:
+        """Fold one bucket guard's counters into the backend health."""
+        for key, value in guard.counters().items():
+            self.health[key] = self.health.get(key, 0) + value
 
     # ------------------------------------------------------------------
     # Inference

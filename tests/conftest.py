@@ -2,11 +2,43 @@
 
 from __future__ import annotations
 
+import signal
+
 import numpy as np
 import pytest
 
 from repro.datasets import load_dataset
 from repro.schema import Entity, Relation, make_schema
+
+# Per-test wall-clock budget for fault-injection tests.  A livelocked
+# resume loop or a guard that never gives up would otherwise hang CI; the
+# container has no pytest-timeout, so a SIGALRM does the job (main thread,
+# POSIX only — exactly the CI environment the fault_injection job runs in).
+FAULT_TEST_TIMEOUT_SECONDS = 300
+
+
+@pytest.fixture(autouse=True)
+def _fault_test_timeout(request):
+    if request.node.get_closest_marker("fault_injection") is None:
+        yield
+        return
+    if not hasattr(signal, "SIGALRM"):  # pragma: no cover - non-POSIX
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(
+            f"fault-injection test exceeded {FAULT_TEST_TIMEOUT_SECONDS}s "
+            "(livelocked resume loop or non-terminating retry?)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(FAULT_TEST_TIMEOUT_SECONDS)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

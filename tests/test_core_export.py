@@ -50,6 +50,59 @@ class TestExportDistributions:
         with pytest.raises(RuntimeError):
             SERDSynthesizer(SERDConfig()).export_distributions(tmp_path / "x")
 
+    def test_export_leaves_no_partial_files(self, fitted, tmp_path):
+        """The write is atomic: only the finished artifact ever appears."""
+        import os
+
+        fitted.export_distributions(tmp_path / "distributions.json")
+        assert os.listdir(tmp_path) == ["distributions.json"]
+
+
+class TestLoadMalformedArtifacts:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        from repro.datasets import load_dataset
+
+        synthesizer = SERDSynthesizer(
+            SERDConfig(seed=9, gan=TabularGANConfig(iterations=10))
+        )
+        synthesizer.fit(
+            load_dataset("restaurant", scale=0.06, seed=9), train_gan=False
+        )
+        return synthesizer
+
+    def test_truncated_json_names_position(self, tmp_path):
+        path = tmp_path / "truncated.json"
+        path.write_text('{"o_real": {"match": [0.5')
+        with pytest.raises(ValueError, match="distribution artifact"):
+            load_exported_distributions(path)
+
+    def test_missing_key_named(self, fitted, tmp_path):
+        import json
+
+        path = tmp_path / "distributions.json"
+        fitted.export_distributions(path)
+        payload = json.loads(path.read_text())
+        del payload["match_edge_rate"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="match_edge_rate"):
+            load_exported_distributions(path)
+
+    def test_malformed_o_real_named(self, fitted, tmp_path):
+        import json
+
+        path = tmp_path / "distributions.json"
+        fitted.export_distributions(path)
+        payload = json.loads(path.read_text())
+        del payload["o_real"]["match_probability"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="o_real.*match_probability"):
+            load_exported_distributions(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="distribution artifact"):
+            load_exported_distributions(tmp_path / "absent.json")
+
 
 class TestNoTextColumns:
     def test_pipeline_runs_without_text(self):

@@ -1,0 +1,257 @@
+"""Unit tests for the resilient runtime primitives (repro.runtime)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, Sequential
+from repro.nn.optim import Adam, grads_finite
+from repro.nn.tensor import Tensor
+from repro.runtime import (
+    FaultPlan,
+    FaultSpec,
+    HealthReport,
+    InjectedInterrupt,
+    StageCheckpointer,
+    StageHealth,
+    TrainingGuard,
+    atomic_write_json,
+    inject_faults,
+    read_json,
+    restore_rng,
+    rng_state,
+)
+from repro.runtime import faults
+from repro.runtime.guards import DivergenceError, all_finite
+from repro.runtime.health import COMPLETED, DEGRADED, RESUMED
+
+
+class TestAtomicIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "payload.json"
+        atomic_write_json(path, {"a": 1, "b": [1.5, "x"]})
+        assert read_json(path) == {"a": 1, "b": [1.5, "x"]}
+
+    def test_no_tmp_files_left(self, tmp_path):
+        atomic_write_json(tmp_path / "p.json", {"k": 1})
+        assert os.listdir(tmp_path) == ["p.json"]
+
+    def test_truncated_file_names_artifact(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"a": [1, 2')  # truncated mid-write
+        with pytest.raises(ValueError, match="distribution artifact"):
+            read_json(path, what="distribution artifact")
+
+    def test_missing_file_names_artifact(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="checkpoint"):
+            read_json(tmp_path / "nope.json", what="checkpoint")
+
+
+class TestRngState:
+    def test_roundtrip_continues_stream(self):
+        rng = np.random.default_rng(3)
+        rng.random(10)
+        state = json.loads(json.dumps(rng_state(rng)))  # JSON-safe
+        expected = rng.random(5).tolist()
+        rng2 = np.random.default_rng(99)
+        restore_rng(rng2, state)
+        assert rng2.random(5).tolist() == expected
+
+
+class TestHealthReport:
+    def test_stage_autocreate_and_counters(self):
+        report = HealthReport()
+        record = report.stage("s1")
+        record.increment("retries")
+        record.increment("retries", 2)
+        assert report.stage("s1").counters == {"retries": 3}
+
+    def test_mark_rejects_unknown_status(self):
+        with pytest.raises(ValueError, match="unknown stage status"):
+            HealthReport().mark("s1", "sideways")
+
+    def test_degradations_lists_only_degraded_notes(self):
+        report = HealthReport()
+        report.stage("text").note("fell back to rules")
+        report.mark("text", DEGRADED)
+        report.stage("gan").note("fine")
+        report.mark("gan", COMPLETED)
+        assert report.degradations == ["fell back to rules"]
+
+    def test_roundtrip(self, tmp_path):
+        report = HealthReport()
+        report.stage("s1").increment("em_reseeds", 2)
+        report.mark("s1", RESUMED, 1.25)
+        report.save(tmp_path / "health.json")
+        loaded = HealthReport.load(tmp_path / "health.json")
+        record = loaded.stage("s1")
+        assert record.status == RESUMED
+        assert record.seconds == 1.25
+        assert record.counters == {"em_reseeds": 2}
+
+    def test_summary_mentions_stage_and_counters(self):
+        report = HealthReport()
+        report.stage("gan").increment("rollbacks", 4)
+        report.mark("gan", COMPLETED, 0.5)
+        summary = report.summary()
+        assert "gan: completed" in summary
+        assert "rollbacks=4" in summary
+
+
+class TestStageCheckpointer:
+    def test_commit_then_load(self, tmp_path):
+        ckpt = StageCheckpointer(tmp_path)
+        ckpt.commit("s1", {"x": 1})
+        again = StageCheckpointer(tmp_path)
+        assert again.has("s1")
+        assert again.load("s1") == {"x": 1}
+        assert again.completed_stages() == ["s1"]
+
+    def test_meta_survives_reopen(self, tmp_path):
+        StageCheckpointer(tmp_path).set_meta("dataset", "restaurant")
+        assert StageCheckpointer(tmp_path).get_meta("dataset") == "restaurant"
+
+    def test_uncommitted_stage_absent(self, tmp_path):
+        ckpt = StageCheckpointer(tmp_path)
+        assert not ckpt.has("s1")
+        with pytest.raises(KeyError):
+            ckpt.load("s1")
+
+    def test_clear_consumes_stage(self, tmp_path):
+        ckpt = StageCheckpointer(tmp_path)
+        ckpt.commit("s2_progress", {"n": 5})
+        ckpt.clear("s2_progress")
+        assert not ckpt.has("s2_progress")
+        assert not StageCheckpointer(tmp_path).has("s2_progress")
+
+    def test_crash_before_manifest_commit_is_invisible(self, tmp_path):
+        ckpt = StageCheckpointer(tmp_path)
+        # Simulate a crash between payload write and manifest update: the
+        # payload file exists but the manifest never listed the stage.
+        atomic_write_json(tmp_path / "stage_s1.json", {"x": 1})
+        assert not ckpt.has("s1")
+        assert not StageCheckpointer(tmp_path).has("s1")
+
+    def test_wrong_manifest_version_rejected(self, tmp_path):
+        StageCheckpointer(tmp_path).set_meta("dataset", "x")
+        manifest = read_json(tmp_path / "manifest.json")
+        manifest["version"] = 99
+        (tmp_path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            StageCheckpointer(tmp_path)
+
+
+class TestFaultInjection:
+    def test_inactive_by_default(self):
+        assert not faults.fire("gan.nan_grad")
+        assert faults.corrupt("transformer.nan_loss", 1.0) == 1.0
+        faults.maybe_interrupt("fit.after_s1")  # no-op
+
+    def test_fire_at_exact_calls(self):
+        plan = FaultPlan(FaultSpec("site", at_calls=(2,)))
+        with inject_faults(plan):
+            assert [faults.fire("site") for _ in range(4)] == [
+                False, True, False, False,
+            ]
+        assert plan.calls("site") == 4
+        assert plan.fired("site") == 1
+
+    def test_corrupt_payload(self):
+        plan = FaultPlan(FaultSpec("loss", at_calls=(1,), payload=float("nan")))
+        with inject_faults(plan):
+            assert np.isnan(faults.corrupt("loss", 0.5))
+            assert faults.corrupt("loss", 0.5) == 0.5
+
+    def test_interrupt_carries_site(self):
+        with inject_faults(FaultPlan(FaultSpec("fit.after_s1", at_calls=(1,)))):
+            with pytest.raises(InjectedInterrupt) as exc:
+                faults.maybe_interrupt("fit.after_s1")
+            assert exc.value.site == "fit.after_s1"
+
+    def test_duplicate_sites_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FaultPlan(FaultSpec("s"), FaultSpec("s"))
+
+    def test_no_nesting(self):
+        plan = FaultPlan(FaultSpec("s"))
+        with inject_faults(plan):
+            with pytest.raises(RuntimeError, match="already active"):
+                with inject_faults(FaultPlan(FaultSpec("t"))):
+                    pass
+
+
+def _tiny_model(rng):
+    return Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+
+
+class TestTrainingGuard:
+    def test_all_finite(self):
+        assert all_finite(1.0, np.ones(3))
+        assert not all_finite(1.0, float("nan"))
+        assert not all_finite(np.array([1.0, np.inf]))
+
+    def test_rollback_restores_weights_and_decays_lr(self, rng):
+        model = _tiny_model(rng)
+        optimizer = Adam(model.parameters(), learning_rate=0.01)
+        guard = TrainingGuard((model,), (optimizer,), label="test")
+        guard.snapshot()
+        good = [p.data.copy() for p in model.parameters()]
+        for p in model.parameters():
+            p.data[...] = np.nan
+        assert not guard.step_ok(0.1)
+        guard.rollback()
+        for p, saved in zip(model.parameters(), good):
+            np.testing.assert_array_equal(p.data, saved)
+        assert optimizer.learning_rate == pytest.approx(0.005)
+        assert guard.counters() == {"nan_events": 1, "rollbacks": 1}
+
+    def test_divergence_after_budget(self, rng):
+        model = _tiny_model(rng)
+        optimizer = Adam(model.parameters(), learning_rate=0.01)
+        guard = TrainingGuard(
+            (model,), (optimizer,), max_retries=2, label="test"
+        )
+        guard.snapshot()
+        with pytest.raises(DivergenceError, match="2 rollback retries"):
+            for _ in range(10):
+                guard.step_ok(float("nan"))
+                guard.rollback()
+        # Even after giving up, the model holds the last good weights.
+        assert all(np.isfinite(p.data).all() for p in model.parameters())
+
+    def test_nan_gradient_detected(self, rng):
+        model = _tiny_model(rng)
+        optimizer = Adam(model.parameters(), learning_rate=0.01)
+        guard = TrainingGuard((model,), (optimizer,), label="test")
+        x = Tensor(np.ones((2, 3)))
+        loss = model(x).sum()
+        loss.backward()
+        assert grads_finite(model.parameters())
+        next(iter(model.parameters())).grad[...] = np.inf
+        assert not grads_finite(model.parameters())
+        assert not guard.step_ok(loss.item())
+
+
+class TestOptimizerState:
+    def test_adam_state_roundtrip(self, rng):
+        model = _tiny_model(rng)
+        optimizer = Adam(model.parameters(), learning_rate=0.05)
+        x = Tensor(np.ones((2, 3)))
+        (model(x).sum()).backward()
+        optimizer.step()
+        state = optimizer.state_dict()
+        fresh = Adam(model.parameters(), learning_rate=0.01)
+        fresh.load_state_dict(state)
+        assert fresh.learning_rate == 0.05
+        for a, b in zip(fresh._m, optimizer._m):
+            np.testing.assert_array_equal(a, b)
+
+    def test_adam_state_count_mismatch(self, rng):
+        model = _tiny_model(rng)
+        optimizer = Adam(model.parameters(), learning_rate=0.05)
+        state = optimizer.state_dict()
+        state["m"] = state["m"][:-1]
+        with pytest.raises(ValueError, match="parameter count"):
+            optimizer.load_state_dict(state)
