@@ -1,0 +1,167 @@
+"""Perf trajectory — label-endpoint throughput of the synthesis service.
+
+Spins up the HTTP API (no synthesis workers — this measures the scoring
+path only), registers a restaurant model, and measures ``POST
+/models/<name>/label`` throughput in pairs/second along two axes:
+
+- **batch size**: how many pairs per request.  Large batches amortize the
+  HTTP + JSON overhead and ride the vectorized similarity kernels
+  (:meth:`SimilarityModel.vectors`), so pairs/sec should climb steeply.
+- **client count**: concurrent clients at a fixed batch size.  Scoring a
+  model takes a per-model lock (the tokenizer vocabulary mutates during
+  scoring), so this axis shows how much of the request cycle — parsing,
+  HTTP, serialization — still overlaps.
+
+Writes ``BENCH_service.json`` at the repo root.  Runnable standalone
+(``python benchmarks/bench_service.py``) or through pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+BATCH_SIZES = (1, 8, 64, 256)
+CLIENT_COUNTS = (1, 2, 4)
+CONCURRENCY_BATCH = 64
+TARGET_SECONDS = 1.5  # per measured cell; keeps the whole bench under ~30s
+
+
+def _make_pairs(real, count: int) -> list:
+    """``count`` record pairs cycled from the real matches."""
+    pairs = []
+    matches = real.matches
+    for index in range(count):
+        a_id, b_id = matches[index % len(matches)]
+        pairs.append(
+            [list(real.table_a[a_id].values), list(real.table_b[b_id].values)]
+        )
+    return pairs
+
+
+def _throughput(client, pairs: list, *, clients: int = 1) -> dict:
+    """Hammer /label with ``clients`` threads for ~TARGET_SECONDS."""
+    deadline = time.perf_counter() + TARGET_SECONDS
+    totals = [0] * clients
+
+    def drive(slot: int) -> None:
+        while time.perf_counter() < deadline:
+            response = client.label("restaurant", pairs)
+            totals[slot] += response["n_pairs"]
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=drive, args=(slot,)) for slot in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    scored = sum(totals)
+    return {
+        "pairs_scored": scored,
+        "seconds": round(elapsed, 4),
+        "pairs_per_second": round(scored / elapsed, 1),
+    }
+
+
+def run(scale: float = 0.3, seed: int = 11) -> dict:
+    from repro.core import SERDConfig
+    from repro.datasets import load_dataset
+    from repro.service.api import ServiceContext, make_server
+    from repro.service.client import ServiceClient
+    from repro.service.queue import JobQueue
+    from repro.service.registry import ModelRegistry
+
+    import tempfile
+
+    real = load_dataset("restaurant", scale=scale, seed=seed)
+    with tempfile.TemporaryDirectory(prefix="bench_service") as scratch:
+        scratch_dir = pathlib.Path(scratch)
+        registry = ModelRegistry(scratch_dir / "registry")
+        registry.register(
+            "restaurant",
+            real,
+            SERDConfig(seed=seed, text_backend="rule"),
+            train_gan=False,  # labeling never touches the GAN
+        )
+        context = ServiceContext(registry, JobQueue(scratch_dir / "queue"))
+        server = make_server(context, "127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+        try:
+            client.label("restaurant", _make_pairs(real, 8))  # warm model cache
+
+            by_batch = {}
+            for batch in BATCH_SIZES:
+                by_batch[str(batch)] = _throughput(client, _make_pairs(real, batch))
+            by_clients = {}
+            for clients in CLIENT_COUNTS:
+                by_clients[str(clients)] = _throughput(
+                    client, _make_pairs(real, CONCURRENCY_BATCH), clients=clients
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    return {
+        "benchmark": "service_label_endpoint",
+        "dataset": "restaurant",
+        "scale": scale,
+        "seed": seed,
+        "target_seconds_per_cell": TARGET_SECONDS,
+        "by_batch_size": by_batch,
+        "by_client_count": {
+            "batch_size": CONCURRENCY_BATCH,
+            "results": by_clients,
+        },
+    }
+
+
+def report(payload: dict) -> str:
+    lines = [
+        "Service /label throughput "
+        f"(restaurant, scale={payload['scale']}, single in-process server)",
+        f"{'batch size':>12s} {'pairs/sec':>12s} {'pairs scored':>14s}",
+    ]
+    for batch, row in payload["by_batch_size"].items():
+        lines.append(
+            f"{batch:>12s} {row['pairs_per_second']:12.1f} "
+            f"{row['pairs_scored']:14d}"
+        )
+    fixed = payload["by_client_count"]["batch_size"]
+    lines.append(f"{'clients':>12s} {'pairs/sec':>12s}   (batch size {fixed})")
+    for clients, row in payload["by_client_count"]["results"].items():
+        lines.append(f"{clients:>12s} {row['pairs_per_second']:12.1f}")
+    return "\n".join(lines)
+
+
+def main(scale: float = 0.3) -> dict:
+    payload = run(scale=scale)
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(report(payload))
+    print(f"[written to {OUTPUT_PATH}]")
+    return payload
+
+
+def test_service_bench(reports):
+    payload = main()
+    reports.save("service_label_endpoint", report(payload))
+    by_batch = payload["by_batch_size"]
+    # Batching must pay: big batches amortize HTTP + JSON overhead and hit
+    # the vectorized kernel path, so per-pair throughput has to climb.
+    assert (
+        by_batch["256"]["pairs_per_second"] > 3 * by_batch["1"]["pairs_per_second"]
+    ), by_batch
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,148 @@
+"""End-to-end service smoke test: kill a worker mid-S2, watch it recover.
+
+This is the script the CI ``service-smoke`` job runs.  It exercises the
+whole service stack against the tiny restaurant dataset:
+
+1. register a fitted model in a fresh :class:`ModelRegistry`;
+2. start :class:`SynthesisService` (HTTP API + one worker subprocess with a
+   deliberately short lease);
+3. submit a synthesis job and, as soon as the worker has committed its
+   first S2 progress checkpoint, ``SIGKILL`` the worker — no cleanup, no
+   goodbye, exactly what a preempted node looks like;
+4. the pool supervisor restarts the worker, the restarted worker reclaims
+   the expired lease and resumes from the checkpoint;
+5. verify the job completes, that a reclaim actually happened, that the
+   resumed run reports ``resumed_entities > 0``, and that the final dataset
+   is bit-identical to an uninterrupted in-process run under the same seed.
+
+The job's health report is left at ``<workdir>/queue/results/<job>/
+health.json`` for CI to upload as an artifact.
+
+Run: ``PYTHONPATH=src python examples/service_smoke.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core import SERDConfig
+from repro.datasets import load_dataset
+from repro.gan import TabularGANConfig
+from repro.schema.io import load_saved_dataset
+from repro.service import JobQueue, ModelRegistry
+from repro.service.client import ServiceClient
+from repro.service.server import SynthesisService
+
+
+def _wait_for(predicate, *, timeout: float, poll: float = 0.05, what: str = ""):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    raise TimeoutError(f"timed out after {timeout}s waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="service_smoke")
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--n", type=int, default=60, help="entities per table")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(args.workdir)
+    registry_dir = workdir / "registry"
+    queue_dir = workdir / "queue"
+
+    print(f"[1/5] registering restaurant model (scale={args.scale}) ...")
+    real = load_dataset("restaurant", scale=args.scale, seed=args.seed)
+    registry = ModelRegistry(registry_dir)
+    config = SERDConfig(
+        seed=args.seed,
+        gan=TabularGANConfig(iterations=15),
+        checkpoint_every=5,
+    )
+    entry = registry.register("restaurant", real, config)
+    print(f"      registered {entry.name} {entry.version}")
+
+    print("[2/5] computing the uninterrupted baseline in-process ...")
+    baseline, _ = registry.load("restaurant")
+    baseline.rng = np.random.default_rng(args.seed)
+    expected = baseline.synthesize(args.n, args.n).dataset
+
+    print("[3/5] starting service (1 worker, 2s lease) ...")
+    service = SynthesisService(
+        registry_dir, queue_dir, port=0, n_workers=1, lease_seconds=2.0
+    )
+    service.start()
+    queue = JobQueue(queue_dir)
+    try:
+        client = ServiceClient(service.url)
+        job = client.submit("restaurant", n_a=args.n, n_b=args.n, seed=args.seed)
+        job_id = job["id"]
+        print(f"      submitted {job_id}")
+
+        # Kill the worker the moment its first S2 progress checkpoint lands
+        # on disk — from then on a resume has real progress to pick up.
+        manifest = queue.result_dir(job_id) / "checkpoint" / "manifest.json"
+        _wait_for(
+            lambda: manifest.exists() and "s2_progress" in manifest.read_text(),
+            timeout=120,
+            what="first s2 progress checkpoint",
+        )
+        victim = service.pool._procs[0]
+        victim.kill()  # SIGKILL: no drain, no release — a real crash
+        print(f"[4/5] SIGKILL'd worker pid {victim.pid} mid-S2")
+
+        record = client.wait(job_id, timeout=300, poll_seconds=0.2)
+        if record["status"] != "done":
+            print(f"FAIL: job finished as {record['status']}: {record.get('error')}")
+            return 1
+
+        print("[5/5] verifying recovery ...")
+        events = [e["event"] for e in queue.events()]
+        failures = []
+        if "reclaimed" not in events:
+            failures.append(f"no reclaim happened (events: {events})")
+        if service.pool.restarts < 1:
+            failures.append("supervisor never restarted the killed worker")
+        health = json.loads(
+            (queue.result_dir(job_id) / "health.json").read_text()
+        )
+        (s2,) = [s for s in health["stages"] if s["name"] == "s2_synthesis"]
+        if s2["counters"].get("resumed_entities", 0) <= 0:
+            failures.append("job did not resume from the checkpoint")
+        actual = load_saved_dataset(record["result"]["dataset_dir"])
+        if (
+            [e.values for e in actual.table_a] != [e.values for e in expected.table_a]
+            or [e.values for e in actual.table_b]
+            != [e.values for e in expected.table_b]
+            or actual.matches != expected.matches
+        ):
+            failures.append("recovered dataset differs from uninterrupted baseline")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            f"OK: worker killed mid-S2, job reclaimed (attempts="
+            f"{record['attempts']}), resumed {s2['counters']['resumed_entities']} "
+            "entities, dataset bit-identical to the uninterrupted run"
+        )
+        print(f"health report: {queue.result_dir(job_id) / 'health.json'}")
+        return 0
+    finally:
+        service.stop(drain_timeout=15)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,10 +11,25 @@ Usage::
     python -m repro stats      [--scale 1.0]
     python -m repro experiments
 
+    # The synthesis service (see repro.service):
+    python -m repro register --dataset restaurant --scale 0.1 \
+        --registry ./svc/registry --name restaurant
+    python -m repro serve    --registry ./svc/registry --queue ./svc/queue \
+        --port 8765 --workers 2
+    python -m repro submit   --url http://127.0.0.1:8765 --model restaurant --wait
+    python -m repro status   --url http://127.0.0.1:8765 [--job JOB_ID]
+
 ``synthesize`` fits SERD on a generated benchmark and writes the surrogate
 as a CSV bundle; ``resume`` picks up an interrupted checkpointed run without
 redoing committed stages; ``evaluate`` runs the Exp-2/Exp-3 protocol on one
 dataset; ``stats`` prints Table II; ``experiments`` runs the full harness.
+``register`` fits a model into a registry; ``serve`` runs the HTTP service
+(API + worker pool); ``submit``/``status`` talk to a running service;
+``worker`` is the single-worker loop the service pool spawns.
+
+Long-running commands (``synthesize``, ``resume``, ``serve``, ``worker``)
+install SIGTERM/SIGINT handlers that commit the current checkpoint and exit
+cleanly instead of dying mid-write; an interrupted run resumes exactly.
 """
 
 from __future__ import annotations
@@ -84,12 +99,97 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--seed", type=int, default=7)
 
     commands.add_parser("experiments", help="run every table/figure harness")
+
+    register = commands.add_parser(
+        "register", help="fit SERD on a benchmark and publish it to a registry"
+    )
+    register.add_argument("--dataset", required=True, help="registry name")
+    register.add_argument("--scale", type=float, default=0.1)
+    register.add_argument("--seed", type=int, default=7)
+    register.add_argument(
+        "--registry", required=True, metavar="DIR", help="model registry root"
+    )
+    register.add_argument(
+        "--name", default=None, help="model name (defaults to the dataset name)"
+    )
+    register.add_argument(
+        "--text-backend", choices=("rule", "transformer"), default="rule"
+    )
+    register.add_argument(
+        "--no-gan", action="store_true", help="skip GAN training"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the synthesis service (HTTP API + worker pool)"
+    )
+    serve.add_argument("--registry", required=True, metavar="DIR")
+    serve.add_argument("--queue", required=True, metavar="DIR")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--lease-seconds", type=float, default=30.0)
+
+    worker = commands.add_parser(
+        "worker", help="run one synthesis worker loop (spawned by 'serve')"
+    )
+    worker.add_argument("--queue", required=True, metavar="DIR")
+    worker.add_argument("--registry", required=True, metavar="DIR")
+    worker.add_argument("--lease-seconds", type=float, default=30.0)
+    worker.add_argument("--poll-seconds", type=float, default=0.5)
+    worker.add_argument(
+        "--once", action="store_true", help="run at most one job, then exit"
+    )
+
+    submit = commands.add_parser(
+        "submit", help="submit a synthesis job to a running service"
+    )
+    submit.add_argument("--url", required=True, help="service base URL")
+    submit.add_argument("--model", required=True)
+    submit.add_argument("--model-version", default=None)
+    submit.add_argument("--n-a", type=int, default=None)
+    submit.add_argument("--n-b", type=int, default=None)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--wait", action="store_true", help="poll until the job finishes"
+    )
+    submit.add_argument("--timeout", type=float, default=600.0)
+
+    status = commands.add_parser(
+        "status", help="query a running service (jobs, models, /stats)"
+    )
+    status.add_argument("--url", required=True, help="service base URL")
+    status.add_argument("--job", default=None, help="job id to show")
     return parser
+
+
+def _graceful_token():
+    """SIGTERM/SIGINT trip a cancellation token instead of killing the
+    process mid-write; returns ``(token, restore)``."""
+    from repro.runtime import CancellationToken, install_signal_handlers
+
+    token = CancellationToken()
+    restore = install_signal_handlers(
+        token,
+        on_signal=lambda name: print(
+            f"\n{name} received; committing checkpoint and shutting down ..."
+        ),
+    )
+    return token, restore
+
+
+def _report_interrupted(error) -> int:
+    print(f"Interrupted: {error}")
+    if error.checkpointed:
+        print("Progress is checkpointed; continue with 'repro resume'.")
+    else:
+        print("No checkpoint directory was given; progress was discarded.")
+    return 130
 
 
 def _cmd_synthesize(args) -> int:
     from repro.core import SERDConfig, SERDSynthesizer
     from repro.datasets import load_dataset
+    from repro.runtime import SynthesisInterrupted
 
     real = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     print(f"Fitting SERD on {real} ...")
@@ -97,8 +197,16 @@ def _cmd_synthesize(args) -> int:
     if args.no_rejection:
         config = config.without_rejection()
     synthesizer = SERDSynthesizer(config)
-    synthesizer.fit(real, checkpoint_dir=args.checkpoint)
-    output = synthesizer.synthesize(checkpoint_dir=args.checkpoint)
+    token, restore = _graceful_token()
+    try:
+        synthesizer.fit(real, checkpoint_dir=args.checkpoint, stop=token)
+        output = synthesizer.synthesize(
+            checkpoint_dir=args.checkpoint, stop=token
+        )
+    except SynthesisInterrupted as error:
+        return _report_interrupted(error)
+    finally:
+        restore()
     return _report_synthesis(synthesizer, output, args.out)
 
 
@@ -119,11 +227,20 @@ def _report_synthesis(synthesizer, output, out_dir) -> int:
 def _cmd_resume(args) -> int:
     from repro.core import SERDSynthesizer
     from repro.datasets import load_dataset
+    from repro.runtime import SynthesisInterrupted
 
     real = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     print(f"Resuming SERD from {args.checkpoint} on {real} ...")
-    synthesizer = SERDSynthesizer.resume(args.checkpoint, real)
-    output = synthesizer.synthesize(checkpoint_dir=args.checkpoint)
+    token, restore = _graceful_token()
+    try:
+        synthesizer = SERDSynthesizer.resume(args.checkpoint, real)
+        output = synthesizer.synthesize(
+            checkpoint_dir=args.checkpoint, stop=token
+        )
+    except SynthesisInterrupted as error:
+        return _report_interrupted(error)
+    finally:
+        restore()
     return _report_synthesis(synthesizer, output, args.out)
 
 
@@ -162,12 +279,142 @@ def _cmd_experiments(_args) -> int:
     return 0
 
 
+def _cmd_register(args) -> int:
+    from repro.core import SERDConfig
+    from repro.datasets import load_dataset
+    from repro.runtime import SynthesisInterrupted
+    from repro.service import ModelRegistry
+
+    real = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    name = args.name or args.dataset
+    registry = ModelRegistry(args.registry)
+    config = SERDConfig(seed=args.seed, text_backend=args.text_backend)
+    print(f"Fitting SERD on {real} and publishing as {name!r} ...")
+    token, restore = _graceful_token()
+    try:
+        entry = registry.register(
+            name, real, config, train_gan=not args.no_gan, stop=token
+        )
+    except SynthesisInterrupted as error:
+        print(f"Interrupted: {error}; nothing was published.")
+        return 130
+    finally:
+        restore()
+    print(
+        f"Registered {entry.name}/{entry.version} "
+        f"(config {entry.meta['config_hash']}, "
+        f"dataset {entry.meta['dataset']['fingerprint']})"
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import SynthesisService
+
+    service = SynthesisService(
+        args.registry,
+        args.queue,
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        lease_seconds=args.lease_seconds,
+    )
+    token, restore = _graceful_token()
+    try:
+        service.start()
+        print(f"Serving SERD synthesis API on {service.url}")
+        print(
+            f"  registry={service.registry.root}  queue={service.queue.root}  "
+            f"workers={args.workers}"
+        )
+        token.wait()
+        print("Draining workers ...")
+        service.stop()
+    finally:
+        restore()
+    print("Service stopped; queue state is durable — restart to continue.")
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.service import JobQueue, ModelRegistry, Worker
+
+    token, restore = _graceful_token()
+    try:
+        worker = Worker(
+            JobQueue(args.queue),
+            ModelRegistry(args.registry),
+            lease_seconds=args.lease_seconds,
+            stop=token,
+        )
+        if args.once:
+            ran = worker.run_once()
+            print(f"worker {worker.worker_id}: {'ran 1 job' if ran else 'queue empty'}")
+        else:
+            completed = worker.run_forever(poll_seconds=args.poll_seconds)
+            print(f"worker {worker.worker_id}: drained after {completed} job(s)")
+    finally:
+        restore()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    job = client.submit(
+        args.model,
+        version=args.model_version,
+        n_a=args.n_a,
+        n_b=args.n_b,
+        seed=args.seed,
+    )
+    print(f"Submitted job {job['id']} ({job['model']})")
+    if args.wait:
+        job = client.wait(job["id"], timeout=args.timeout)
+        print(json.dumps(job, indent=2))
+        return 0 if job["status"] == "done" else 1
+    return 0
+
+
+def _cmd_status(args) -> int:
+    import json
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.job:
+        print(json.dumps(client.job(args.job), indent=2))
+        return 0
+    print("Models:")
+    for meta in client.models():
+        dataset = meta.get("dataset", {})
+        print(
+            f"  {meta['name']}/{meta.get('version')}  "
+            f"dataset={dataset.get('name')} ({dataset.get('n_a')}x{dataset.get('n_b')})  "
+            f"config={meta.get('config_hash')}"
+        )
+    print("Jobs:")
+    for job in client.jobs():
+        print(f"  {job['id']}  {job['status']:8s}  model={job['model']}")
+    print("Stats:")
+    print(json.dumps(client.stats(), indent=2))
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "resume": _cmd_resume,
     "evaluate": _cmd_evaluate,
     "stats": _cmd_stats,
     "experiments": _cmd_experiments,
+    "register": _cmd_register,
+    "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
 }
 
 

@@ -18,8 +18,10 @@ resumed run is bit-identical to an uninterrupted one with the same seed.
 
 from __future__ import annotations
 
+import os
 import time
 import warnings
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,6 +36,7 @@ from repro.distributions.mixture import PairDistribution
 from repro.gan.encoding import EntityEncoder
 from repro.gan.training import TabularGAN
 from repro.runtime import faults
+from repro.runtime.cancellation import SynthesisInterrupted
 from repro.runtime.checkpoint import StageCheckpointer, restore_rng, rng_state
 from repro.runtime.guards import DivergenceError
 from repro.runtime.health import (
@@ -84,7 +87,7 @@ _EXPORT_KEYS = (
 )
 
 
-def load_exported_distributions(path) -> dict:
+def load_exported_distributions(path: "str | os.PathLike") -> dict:
     """Read a distribution artifact written by ``export_distributions``.
 
     Returns a dict with ``o_real`` (a :class:`PairDistribution`),
@@ -142,7 +145,8 @@ class SERDSynthesizer:
         background: dict[str, list[str]] | None = None,
         *,
         train_gan: bool = True,
-        checkpoint_dir=None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        stop: Callable[[], bool] | None = None,
     ) -> "SERDSynthesizer":
         """Learn the O-distribution and train the synthesis models.
 
@@ -166,6 +170,13 @@ class SERDSynthesizer:
             there are *loaded instead of recomputed* — including the master
             RNG stream position, so the resumed run continues exactly where
             the interrupted one stopped.
+        stop:
+            Cooperative cancellation predicate (e.g. a
+            :class:`~repro.runtime.cancellation.CancellationToken`).  Checked
+            at stage boundaries — each completed stage has already committed
+            its checkpoint, so a stop here raises
+            :class:`~repro.runtime.cancellation.SynthesisInterrupted` with
+            all finished work durable and resumable.
         """
         started = time.perf_counter()
         self.health = HealthReport()
@@ -196,8 +207,10 @@ class SERDSynthesizer:
 
         self._fit_stage_s1(real, checkpointer)
         faults.maybe_interrupt("fit.after_s1")
+        self._check_stop(stop, "fit.after_s1", checkpointer)
         self._fit_stage_text(real, checkpointer)
         faults.maybe_interrupt("fit.after_text")
+        self._check_stop(stop, "fit.after_text", checkpointer)
         self.factory = EntityFactory(
             self.similarity_model, self._categorical_values, self._text_backends
         )
@@ -209,7 +222,7 @@ class SERDSynthesizer:
     @classmethod
     def resume(
         cls,
-        checkpoint_dir,
+        checkpoint_dir: str | os.PathLike,
         real: ERDataset,
         background: dict[str, list[str]] | None = None,
     ) -> "SERDSynthesizer":
@@ -257,6 +270,16 @@ class SERDSynthesizer:
                 "empty, so the M-distribution has no training vectors (S1 "
                 "needs at least one matching pair)"
             )
+
+    @staticmethod
+    def _check_stop(
+        stop: Callable[[], bool] | None,
+        stage: str,
+        checkpointer: StageCheckpointer | None,
+    ) -> None:
+        """Honor a cooperative stop request at a durable boundary."""
+        if stop is not None and stop():
+            raise SynthesisInterrupted(stage, checkpointed=checkpointer is not None)
 
     def _restore_stage_record(self, record: StageHealth, payload: dict) -> None:
         """Adopt counters/notes a committed stage recorded when it ran."""
@@ -567,7 +590,7 @@ class SERDSynthesizer:
     # ------------------------------------------------------------------
     # The shareable artifact (paper Fig. 2, input 1)
     # ------------------------------------------------------------------
-    def export_distributions(self, path) -> None:
+    def export_distributions(self, path: str | os.PathLike) -> None:
         """Write the learned similarity-vector distributions to JSON.
 
         This is exactly the artifact the paper's privacy argument allows a
@@ -599,7 +622,8 @@ class SERDSynthesizer:
         n_a: int | None = None,
         n_b: int | None = None,
         *,
-        checkpoint_dir=None,
+        checkpoint_dir: str | os.PathLike | None = None,
+        stop: Callable[[], bool] | None = None,
     ) -> SynthesisOutput:
         """Run the iterative synthesis loop and label all pairs.
 
@@ -610,6 +634,13 @@ class SERDSynthesizer:
         ``config.checkpoint_every`` accepted entities; an interrupted
         synthesis resumes from the last checkpoint and produces the same
         dataset an uninterrupted run would have.
+
+        ``stop`` is a cooperative cancellation predicate polled once per
+        synthesis slot.  When it trips, the loop commits a progress
+        checkpoint *first* (if a checkpoint directory is in use) and then
+        raises :class:`~repro.runtime.cancellation.SynthesisInterrupted` —
+        the graceful-shutdown path used by the CLI's SIGTERM handler and
+        the service workers' drain.
         """
         if self.o_real is None or self.factory is None or self._real is None:
             raise RuntimeError("synthesizer is not fitted; call fit() first")
@@ -682,6 +713,19 @@ class SERDSynthesizer:
         warned_fallback = False
         accepted_since_checkpoint = 0
         while len(a_entities) < n_a or len(b_entities) < n_b:
+            if stop is not None and stop():
+                if checkpointer is not None:
+                    checkpointer.commit(
+                        "s2_progress",
+                        self._s2_progress_payload(
+                            n_a, n_b, a_entities, b_entities,
+                            sampled_matches, sampled_non_matches,
+                            counter_a, counter_b, matched_ids, tracker, policy,
+                        ),
+                    )
+                raise SynthesisInterrupted(
+                    "s2_synthesis", checkpointed=checkpointer is not None
+                )
             if (
                 checkpointer is not None
                 and accepted_since_checkpoint >= self.config.checkpoint_every

@@ -12,9 +12,16 @@ makes that pipeline survivable:
 - :mod:`repro.runtime.health` — the per-stage health report surfaced on
   :class:`~repro.core.serd.SynthesisOutput`;
 - :mod:`repro.runtime.faults` — the deterministic fault-injection harness
-  used by the ``fault_injection`` test suite.
+  used by the ``fault_injection`` test suite;
+- :mod:`repro.runtime.cancellation` — cooperative stop tokens so SIGTERM'd
+  runs commit their checkpoint and exit resumable instead of dying mid-write.
 """
 
+from repro.runtime.cancellation import (
+    CancellationToken,
+    SynthesisInterrupted,
+    install_signal_handlers,
+)
 from repro.runtime.checkpoint import StageCheckpointer, restore_rng, rng_state
 from repro.runtime.guards import DivergenceError, TrainingGuard, all_finite
 from repro.runtime.health import (
@@ -28,6 +35,7 @@ from repro.runtime.health import (
     StageHealth,
 )
 from repro.runtime.io import (
+    as_path,
     atomic_write_bytes,
     atomic_write_json,
     atomic_write_text,
@@ -41,6 +49,9 @@ from repro.runtime.faults import (
 )
 
 __all__ = [
+    "CancellationToken",
+    "SynthesisInterrupted",
+    "install_signal_handlers",
     "StageCheckpointer",
     "rng_state",
     "restore_rng",
@@ -55,6 +66,7 @@ __all__ = [
     "RESUMED",
     "DEGRADED",
     "FAILED",
+    "as_path",
     "atomic_write_bytes",
     "atomic_write_text",
     "atomic_write_json",

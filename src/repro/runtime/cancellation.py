@@ -1,0 +1,98 @@
+"""Cooperative cancellation for long-running pipeline phases.
+
+A :class:`CancellationToken` is a thread-safe "please stop" flag that the
+S2 synthesis loop (and the fit stage boundaries) poll between units of
+work.  When the token trips, the loop commits its current progress
+checkpoint and raises :class:`SynthesisInterrupted` — so a SIGTERM'd
+process exits through the same durable-commit path an uninterrupted run
+uses, never mid-write.  The next run (or another service worker) resumes
+from that checkpoint bit-identically.
+
+:func:`install_signal_handlers` arms a token on SIGTERM/SIGINT and returns
+a restore callable, so CLI commands can scope the handlers to the
+long-running section only.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from collections.abc import Callable, Iterable
+
+
+class SynthesisInterrupted(RuntimeError):
+    """A phase stopped cooperatively at a safe point.
+
+    Raised *after* the current progress checkpoint committed (when a
+    checkpoint directory is in use), so the interrupted run is always
+    resumable.  ``stage`` names where the stop landed; ``checkpointed``
+    says whether durable progress exists to resume from.
+    """
+
+    def __init__(self, stage: str, *, checkpointed: bool):
+        state = "checkpoint committed" if checkpointed else "no checkpoint directory"
+        super().__init__(f"stopped during {stage} ({state})")
+        self.stage = stage
+        self.checkpointed = checkpointed
+
+
+class CancellationToken:
+    """Thread-safe stop flag, callable for use as a ``stop=`` predicate."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._reason: str | None = None
+
+    def request(self, reason: str | None = None) -> None:
+        """Trip the token (idempotent; the first reason wins)."""
+        if self._reason is None:
+            self._reason = reason
+        self._event.set()
+
+    @property
+    def requested(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def reason(self) -> str | None:
+        return self._reason
+
+    def __call__(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until tripped (or ``timeout`` elapses); True when tripped."""
+        return self._event.wait(timeout)
+
+
+def install_signal_handlers(
+    token: CancellationToken,
+    signals: Iterable[int] = (signal.SIGTERM, signal.SIGINT),
+    *,
+    on_signal: Callable[[str], None] | None = None,
+) -> Callable[[], None]:
+    """Trip ``token`` when any of ``signals`` arrives; returns a restorer.
+
+    The handler only sets the flag — all actual shutdown work (committing
+    the checkpoint, releasing a job claim) happens cooperatively in the
+    interrupted loop, where it is safe.  Call the returned function to
+    reinstate the previous handlers once the guarded section ends.
+    """
+    def _make_handler(name: str):
+        def _handler(_signum, _frame) -> None:
+            token.request(name)
+            if on_signal is not None:
+                on_signal(name)
+
+        return _handler
+
+    previous: dict[int, object] = {}
+    for signum in signals:
+        handler = _make_handler(signal.Signals(signum).name)
+        previous[signum] = signal.signal(signum, handler)
+
+    def _restore() -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    return _restore

@@ -19,11 +19,12 @@ to an uninterrupted run.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import numpy as np
 
-from repro.runtime.io import atomic_write_json, read_json
+from repro.runtime.io import as_path, atomic_write_json, read_json
 
 MANIFEST = "manifest.json"
 _VERSION = 1
@@ -42,8 +43,8 @@ def restore_rng(rng: np.random.Generator, state: dict) -> None:
 class StageCheckpointer:
     """Manages one checkpoint directory of named, committed stages."""
 
-    def __init__(self, directory):
-        self.directory = pathlib.Path(directory)
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = as_path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._manifest = self._read_manifest()
 

@@ -13,6 +13,7 @@ serialized next to checkpoints so an interrupted run's history survives.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.runtime.io import atomic_write_json, read_json
@@ -111,11 +112,11 @@ class HealthReport:
             report._stages[record.name] = record
         return report
 
-    def save(self, path) -> None:
+    def save(self, path: "str | os.PathLike") -> None:
         atomic_write_json(path, self.to_dict(), indent=2)
 
     @classmethod
-    def load(cls, path) -> "HealthReport":
+    def load(cls, path: "str | os.PathLike") -> "HealthReport":
         return cls.from_dict(read_json(path, what="health report"))
 
     def merge_stage(self, record: StageHealth) -> None:

@@ -16,9 +16,20 @@ import pathlib
 import tempfile
 
 
-def atomic_write_bytes(path, payload: bytes) -> pathlib.Path:
+def as_path(path: str | os.PathLike) -> pathlib.Path:
+    """Normalize a ``str | Path`` argument at an API boundary.
+
+    Every public entry point that takes a filesystem location (checkpoint
+    directories, export paths, registry/queue roots) funnels through this
+    so callers can pass plain strings, ``~``-prefixed strings or
+    ``pathlib.Path`` objects interchangeably.
+    """
+    return pathlib.Path(path).expanduser()
+
+
+def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> pathlib.Path:
     """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``)."""
-    path = pathlib.Path(path)
+    path = as_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     descriptor, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
@@ -38,15 +49,17 @@ def atomic_write_bytes(path, payload: bytes) -> pathlib.Path:
     return path
 
 
-def atomic_write_text(path, text: str) -> pathlib.Path:
+def atomic_write_text(path: str | os.PathLike, text: str) -> pathlib.Path:
     return atomic_write_bytes(path, text.encode("utf-8"))
 
 
-def atomic_write_json(path, payload, *, indent: int | None = None) -> pathlib.Path:
+def atomic_write_json(
+    path: str | os.PathLike, payload, *, indent: int | None = None
+) -> pathlib.Path:
     return atomic_write_text(path, json.dumps(payload, indent=indent))
 
 
-def read_json(path, *, what: str = "artifact") -> dict:
+def read_json(path: str | os.PathLike, *, what: str = "artifact") -> dict:
     """Read a JSON file, raising a descriptive ``ValueError`` when corrupt.
 
     A truncated or half-written file (the failure mode atomic writes guard
@@ -54,7 +67,7 @@ def read_json(path, *, what: str = "artifact") -> dict:
     ``json.JSONDecodeError``; translate it into an actionable error naming
     the file instead of letting the raw decode error escape.
     """
-    path = pathlib.Path(path)
+    path = as_path(path)
     try:
         text = path.read_text()
     except FileNotFoundError:

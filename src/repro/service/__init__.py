@@ -1,0 +1,35 @@
+"""The SERD synthesis service: registry, durable queue, workers, HTTP API.
+
+One-shot CLI runs throw away their most expensive product — the fitted
+S1 distributions, text backends and GAN.  This package turns the pipeline
+into a long-running, crash-tolerant service:
+
+- :mod:`repro.service.registry` — named, versioned persistence of fitted
+  :class:`~repro.core.serd.SERDSynthesizer` state (built on the runtime's
+  stage checkpoints and atomic I/O);
+- :mod:`repro.service.queue` — a durable on-disk job queue with atomic,
+  lease-based claims, so concurrent workers never double-run a job and a
+  dead worker's job is reclaimed;
+- :mod:`repro.service.worker` — the synthesis worker loop and the
+  multi-process :class:`WorkerPool` with heartbeats and graceful drain;
+- :mod:`repro.service.api` / :mod:`repro.service.server` — the stdlib
+  ``http.server`` front end (submit/poll jobs, batched ``label``/``score``
+  through :mod:`repro.similarity.kernels`, ``/stats`` metrics);
+- :mod:`repro.service.client` — a small ``urllib`` client used by the
+  ``repro submit`` / ``repro status`` commands.
+"""
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import Job, JobQueue
+from repro.service.registry import ModelRegistry, ModelVersion
+from repro.service.worker import Worker, WorkerPool
+
+__all__ = [
+    "Job",
+    "JobQueue",
+    "ModelRegistry",
+    "ModelVersion",
+    "ServiceMetrics",
+    "Worker",
+    "WorkerPool",
+]

@@ -1,0 +1,342 @@
+"""Stdlib ``http.server`` front end for the synthesis service.
+
+Routes (all JSON in/out):
+
+- ``GET  /health``                 liveness probe
+- ``GET  /models``                 registered model versions + metadata
+- ``POST /jobs``                   submit a synthesis job
+- ``GET  /jobs``                   list job records
+- ``GET  /jobs/<id>``              one job record (status, result, error)
+- ``GET  /jobs/<id>/dataset``      the finished synthetic dataset as JSON
+- ``POST /models/<name>/label``    batch-label entity pairs (S3 posterior)
+- ``POST /models/<name>/score``    batch similarity vectors + posteriors
+- ``GET  /stats``                  queue depth, latencies, batch sizes, restarts
+
+The ``label``/``score`` endpoints are the hot path: each request's pairs
+are built into :class:`~repro.schema.entity.Entity` objects once and
+scored as a single batch through
+:meth:`~repro.similarity.vector.SimilarityModel.vectors`, which routes
+through the vectorized kernel layer (:mod:`repro.similarity.kernels`) —
+per-request cost is one profile build plus a sparse matmul, not
+``O(pairs × columns)`` Python loops.  Loaded models are cached per
+``(name, version)`` and scoring is serialized per model (the kernel
+vocabulary mutates on first sight of new grams), while different models
+score concurrently under the threading server.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.schema.entity import Entity
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import JobQueue
+from repro.service.registry import ModelRegistry
+
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ApiError(Exception):
+    """An error with an HTTP status, rendered as a JSON body."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class LoadedModel:
+    """A registry model held in memory for the scoring endpoints."""
+
+    def __init__(self, synthesizer, entry):
+        self.synthesizer = synthesizer
+        self.entry = entry
+        self.lock = threading.Lock()
+
+    def score_pairs(self, pairs_payload: list) -> dict:
+        """Batch-score raw record pairs; returns vectors + posteriors."""
+        model = self.synthesizer.similarity_model
+        schema = model.schema
+        entities_a, entities_b = [], []
+        for index, item in enumerate(pairs_payload):
+            if not isinstance(item, (list, tuple)) or len(item) != 2:
+                raise ApiError(
+                    400, f"pairs[{index}] must be a [record_a, record_b] pair"
+                )
+            entities_a.append(_entity_from_record(schema, item[0], f"qa{index}"))
+            entities_b.append(_entity_from_record(schema, item[1], f"qb{index}"))
+        with self.lock:
+            vectors = model.vectors(list(zip(entities_a, entities_b)))
+            posterior = self.synthesizer.o_labeling.posterior_match(vectors)
+        return {
+            "vectors": [[float(v) for v in row] for row in vectors],
+            "match_probability": [float(p) for p in posterior],
+            "labels": [bool(p >= 0.5) for p in posterior],
+        }
+
+
+def _entity_from_record(schema, record, entity_id: str) -> Entity:
+    """Build an Entity from a JSON record (dict by column, or value list)."""
+    if isinstance(record, dict):
+        unknown = [k for k in record if k not in schema.names]
+        if unknown:
+            raise ApiError(
+                400,
+                f"unknown column(s) {unknown}; schema has {list(schema.names)}",
+            )
+        values = [record.get(name) for name in schema.names]
+    elif isinstance(record, (list, tuple)):
+        if len(record) != len(schema):
+            raise ApiError(
+                400,
+                f"record has {len(record)} values but the schema has "
+                f"{len(schema)} columns ({list(schema.names)})",
+            )
+        values = list(record)
+    else:
+        raise ApiError(400, "each record must be an object or a value array")
+    return Entity(entity_id, schema, values)
+
+
+class ServiceContext:
+    """Shared state behind the handler: registry, queue, caches, metrics."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        queue: JobQueue,
+        metrics: ServiceMetrics | None = None,
+        *,
+        worker_pool=None,
+    ):
+        self.registry = registry
+        self.queue = queue
+        self.metrics = metrics or ServiceMetrics()
+        self.worker_pool = worker_pool
+        self._models: dict[tuple[str, str], LoadedModel] = {}
+        self._models_lock = threading.Lock()
+
+    def model(self, name: str, version: str | None) -> LoadedModel:
+        try:
+            entry = self.registry.get(name, version)
+        except KeyError as error:
+            raise ApiError(404, str(error)) from None
+        key = (name, entry.version)
+        with self._models_lock:
+            loaded = self._models.get(key)
+        if loaded is not None:
+            return loaded
+        synthesizer, entry = self.registry.load(name, entry.version)
+        loaded = LoadedModel(synthesizer, entry)
+        with self._models_lock:
+            return self._models.setdefault(key, loaded)
+
+    def stats(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["queue"] = self.queue.depth()
+        snapshot["models_loaded"] = len(self._models)
+        if self.worker_pool is not None:
+            snapshot["workers"] = {
+                "alive": self.worker_pool.alive(),
+                "restarts": self.worker_pool.restarts,
+            }
+        latencies = [
+            job.finished_unix - job.submitted_unix
+            for job in self.queue.jobs()
+            if job.status == "done" and job.finished_unix
+        ]
+        if latencies:
+            snapshot["job_latency_seconds"] = ServiceMetrics._summarize(latencies)
+        return snapshot
+
+
+class ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests against the :class:`ServiceContext` on the server."""
+
+    server_version = "repro-serd-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def context(self) -> ServiceContext:
+        return self.server.context  # type: ignore[attr-defined]
+
+    def log_message(self, *_args) -> None:  # quiet by default
+        pass
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            raise ApiError(413, f"request body over {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw or b"{}")
+        except json.JSONDecodeError as error:
+            raise ApiError(400, f"request body is not valid JSON: {error.msg}")
+        if not isinstance(payload, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        started = time.perf_counter()
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        try:
+            status, payload = self._route(method, parts)
+        except ApiError as error:
+            status, payload = error.status, {"error": str(error)}
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            return
+        except Exception as error:  # noqa: BLE001 - never kill the server
+            status = 500
+            payload = {"error": f"{type(error).__name__}: {error}"}
+        self.context.metrics.count(f"http.{method}.{parts[0] if parts else 'root'}")
+        self.context.metrics.observe(
+            "request_seconds", time.perf_counter() - started
+        )
+        try:
+            self._send_json(status, payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _route(self, method: str, parts: list[str]) -> tuple[int, object]:
+        context = self.context
+        if method == "GET" and parts == ["health"]:
+            return 200, {"status": "ok"}
+        if method == "GET" and parts == ["stats"]:
+            return 200, context.stats()
+        if method == "GET" and parts == ["models"]:
+            return 200, {"models": context.registry.list_models()}
+        if method == "POST" and parts == ["jobs"]:
+            return self._submit_job()
+        if method == "GET" and parts == ["jobs"]:
+            return 200, {"jobs": [j.to_dict() for j in context.queue.jobs()]}
+        if method == "GET" and len(parts) == 2 and parts[0] == "jobs":
+            return 200, self._job_record(parts[1]).to_dict()
+        if (
+            method == "GET"
+            and len(parts) == 3
+            and parts[0] == "jobs"
+            and parts[2] == "dataset"
+        ):
+            return self._job_dataset(parts[1])
+        if (
+            method == "POST"
+            and len(parts) == 3
+            and parts[0] == "models"
+            and parts[2] in ("label", "score")
+        ):
+            return self._score(parts[1], mode=parts[2])
+        raise ApiError(404, f"no route {method} /{'/'.join(parts)}")
+
+    def _job_record(self, job_id: str):
+        try:
+            return self.context.queue.get(job_id)
+        except KeyError as error:
+            raise ApiError(404, str(error)) from None
+
+    def _submit_job(self) -> tuple[int, dict]:
+        payload = self._read_body()
+        model = payload.get("model")
+        if not model:
+            raise ApiError(400, "'model' is required")
+        try:
+            entry = self.context.registry.get(model, payload.get("version"))
+        except KeyError as error:
+            raise ApiError(404, str(error)) from None
+        for size_key in ("n_a", "n_b"):
+            value = payload.get(size_key)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ApiError(400, f"{size_key!r} must be a positive integer")
+        job = self.context.queue.submit(
+            model,
+            version=entry.version,
+            n_a=payload.get("n_a"),
+            n_b=payload.get("n_b"),
+            seed=payload.get("seed"),
+        )
+        self.context.metrics.count("jobs.submitted")
+        return 201, job.to_dict()
+
+    def _job_dataset(self, job_id: str) -> tuple[int, dict]:
+        job = self._job_record(job_id)
+        if job.status != "done":
+            raise ApiError(
+                409, f"job {job_id} is {job.status}; dataset exists once done"
+            )
+        from repro.schema.io import load_saved_dataset
+
+        dataset = load_saved_dataset(job.result["dataset_dir"])
+        return 200, {
+            "name": dataset.name,
+            "schema": [
+                {"name": a.name, "type": a.attr_type.value} for a in dataset.schema
+            ],
+            "table_a": [
+                {"id": e.entity_id, "values": list(e.values)}
+                for e in dataset.table_a
+            ],
+            "table_b": [
+                {"id": e.entity_id, "values": list(e.values)}
+                for e in dataset.table_b
+            ],
+            "matches": [list(p) for p in dataset.matches],
+            "non_matches": [list(p) for p in dataset.non_matches],
+        }
+
+    def _score(self, model_name: str, *, mode: str) -> tuple[int, dict]:
+        payload = self._read_body()
+        pairs = payload.get("pairs")
+        if not isinstance(pairs, list) or not pairs:
+            raise ApiError(400, "'pairs' must be a non-empty array of pairs")
+        loaded = self.context.model(model_name, payload.get("version"))
+        started = time.perf_counter()
+        scored = loaded.score_pairs(pairs)
+        seconds = time.perf_counter() - started
+        metrics = self.context.metrics
+        metrics.count(f"{mode}.requests")
+        metrics.count(f"{mode}.pairs", len(pairs))
+        metrics.observe(f"{mode}.batch_size", len(pairs))
+        metrics.observe(f"{mode}.seconds", seconds)
+        response = {
+            "model": loaded.entry.name,
+            "version": loaded.entry.version,
+            "n_pairs": len(pairs),
+            "seconds": seconds,
+            "labels": scored["labels"],
+            "match_probability": scored["match_probability"],
+        }
+        if mode == "score":
+            response["vectors"] = scored["vectors"]
+        return 200, response
+
+
+def make_server(
+    context: ServiceContext, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve threading HTTP server bound to ``context``."""
+    server = ThreadingHTTPServer((host, port), ServiceRequestHandler)
+    server.context = context  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server

@@ -1,0 +1,122 @@
+"""Minimal ``urllib`` client for the synthesis service HTTP API.
+
+Used by the ``repro submit`` / ``repro status`` CLI commands, the service
+smoke test and the label-throughput benchmark; kept dependency-free so any
+process with the standard library can talk to a running service.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+
+class ServiceError(RuntimeError):
+    """An HTTP error from the service, with its decoded JSON message."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """Talks to one service instance at ``base_url``."""
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                message = json.loads(error.read().decode("utf-8")).get("error", "")
+            except (ValueError, AttributeError):
+                message = error.reason
+            raise ServiceError(error.code, message) from None
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def models(self) -> list[dict]:
+        return self._request("GET", "/models")["models"]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(
+        self,
+        model: str,
+        *,
+        version: str | None = None,
+        n_a: int | None = None,
+        n_b: int | None = None,
+        seed: int | None = None,
+    ) -> dict:
+        payload = {"model": model}
+        if version is not None:
+            payload["version"] = version
+        if n_a is not None:
+            payload["n_a"] = n_a
+        if n_b is not None:
+            payload["n_b"] = n_b
+        if seed is not None:
+            payload["seed"] = seed
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def dataset(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/dataset")
+
+    def label(
+        self, model: str, pairs: list, *, version: str | None = None
+    ) -> dict:
+        payload = {"pairs": pairs}
+        if version is not None:
+            payload["version"] = version
+        return self._request("POST", f"/models/{model}/label", payload)
+
+    def score(
+        self, model: str, pairs: list, *, version: str | None = None
+    ) -> dict:
+        payload = {"pairs": pairs}
+        if version is not None:
+            payload["version"] = version
+        return self._request("POST", f"/models/{model}/score", payload)
+
+    def wait(
+        self, job_id: str, *, timeout: float = 600.0, poll_seconds: float = 0.5
+    ) -> dict:
+        """Poll until the job reaches a terminal state (done/failed)."""
+        deadline = time.time() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["status"] in ("done", "failed"):
+                return record
+            if time.time() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['status']!r} after {timeout}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,389 @@
+"""Durable on-disk job queue with atomic, lease-based claims.
+
+Every piece of queue state lives in files, written with the runtime's
+atomic I/O, so the queue survives any process dying at any instant:
+
+- ``jobs/<id>.json`` — the job record (status, parameters, attempts,
+  timestamps, result pointers).  Only the submitter and the current claim
+  holder write it.
+- ``claims/<id>`` — the claim: which worker owns the job and when its
+  lease expires.  Created with ``O_CREAT | O_EXCL`` so exactly one worker
+  wins; renewed in place (atomic replace) by the owner's heartbeat.
+- ``events.jsonl`` — append-only audit log (submitted, claimed, reclaimed,
+  heartbeats are elided, completed, failed, released).
+- ``results/<id>/`` — the job's working directory: its S2 checkpoint and,
+  on completion, the synthesized dataset bundle + health report.
+
+Crash recovery needs no janitor process: a claim whose lease expired *is*
+the crash signal.  :meth:`JobQueue.claim` treats such jobs as claimable
+and steals the stale claim with an atomic ``os.rename`` to a tombstone —
+two workers may race the steal, but ``rename`` succeeds for exactly one of
+them, so the claim stays exclusive.  Because the dead worker's S2 progress
+checkpoint is still in ``results/<id>/checkpoint``, the reclaiming worker
+resumes the job bit-identically instead of starting over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro.runtime.io import as_path, atomic_write_json, read_json
+
+PENDING = "pending"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_STATUSES = (PENDING, RUNNING, DONE, FAILED)
+
+
+@dataclass
+class Job:
+    """One synthesis job record (the JSON in ``jobs/<id>.json``)."""
+
+    id: str
+    model: str
+    version: str | None = None
+    n_a: int | None = None
+    n_b: int | None = None
+    seed: int | None = None
+    status: str = PENDING
+    submitted_unix: float = 0.0
+    started_unix: float | None = None
+    finished_unix: float | None = None
+    attempts: int = 0
+    max_attempts: int = 3
+    worker: str | None = None
+    error: str | None = None
+    result: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "model": self.model,
+            "version": self.version,
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "seed": self.seed,
+            "status": self.status,
+            "submitted_unix": self.submitted_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "worker": self.worker,
+            "error": self.error,
+            "result": dict(self.result),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Job":
+        return cls(**{k: payload.get(k) for k in cls.__dataclass_fields__
+                      if k in payload})
+
+
+class ClaimLost(RuntimeError):
+    """A worker touched a job it no longer owns (lease expired + stolen)."""
+
+
+class JobQueue:
+    """Filesystem job queue shared by the API server and N workers."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = as_path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
+        self.results_dir = self.root / "results"
+        for directory in (self.jobs_dir, self.claims_dir, self.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def _job_path(self, job_id: str):
+        return self.jobs_dir / f"{job_id}.json"
+
+    def _claim_path(self, job_id: str):
+        return self.claims_dir / job_id
+
+    def result_dir(self, job_id: str):
+        path = self.results_dir / job_id
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def _write(self, job: Job) -> None:
+        atomic_write_json(self._job_path(job.id), job.to_dict(), indent=2)
+
+    def get(self, job_id: str) -> Job:
+        path = self._job_path(job_id)
+        if not path.exists():
+            raise KeyError(f"no job {job_id!r} in queue at {self.root}")
+        return Job.from_dict(read_json(path, what=f"job record {job_id!r}"))
+
+    def jobs(self) -> list[Job]:
+        """All job records, submission order (ids embed a timestamp)."""
+        records = []
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            try:
+                records.append(
+                    Job.from_dict(read_json(path, what="job record"))
+                )
+            except (ValueError, KeyError, TypeError):  # foreign/corrupt file
+                continue
+        return records
+
+    def depth(self) -> dict:
+        """Queue composition for ``/stats`` (claimable counts expired leases)."""
+        now = time.time()
+        counts = {status: 0 for status in _STATUSES}
+        claimable = 0
+        for job in self.jobs():
+            counts[job.status] = counts.get(job.status, 0) + 1
+            if self._claimable(job, now):
+                claimable += 1
+        counts["claimable"] = claimable
+        return counts
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        model: str,
+        *,
+        version: str | None = None,
+        n_a: int | None = None,
+        n_b: int | None = None,
+        seed: int | None = None,
+        max_attempts: int = 3,
+    ) -> Job:
+        now = time.time()
+        job = Job(
+            id=f"j{int(now * 1000):013d}-{uuid.uuid4().hex[:6]}",
+            model=model,
+            version=version,
+            n_a=n_a,
+            n_b=n_b,
+            seed=seed,
+            submitted_unix=now,
+            max_attempts=max_attempts,
+        )
+        self._write(job)
+        self._log("submitted", job.id, model=model)
+        return job
+
+    # ------------------------------------------------------------------
+    # Claims
+    # ------------------------------------------------------------------
+    def _read_claim(self, job_id: str) -> dict | None:
+        try:
+            return json.loads(self._claim_path(job_id).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _claimable(self, job: Job, now: float) -> bool:
+        if job.status == PENDING:
+            return True
+        if job.status != RUNNING:
+            return False
+        claim = self._read_claim(job.id)
+        # A running job with no claim or an expired lease is a crashed
+        # worker's job; it can be reclaimed.
+        return claim is None or float(claim.get("expires_unix", 0)) <= now
+
+    def _try_acquire(self, job_id: str, worker: str, lease_seconds: float) -> bool:
+        """Create/steal the claim file; True when this worker now owns it.
+
+        The claim must appear *with its content* in one atomic step: a
+        claim file that exists but is still empty would read as corrupt,
+        i.e. stale, and a racing worker would steal a lease its owner just
+        won.  ``os.link`` from a fully written (and fsynced) private file
+        gives exactly that — it fails with ``FileExistsError`` when the
+        claim already exists, like ``O_EXCL``, but the file it publishes is
+        never observable half-written.
+        """
+        path = self._claim_path(job_id)
+        staged = self.claims_dir / f".acquire-{job_id}-{uuid.uuid4().hex[:8]}"
+        descriptor = os.open(staged, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        with os.fdopen(descriptor, "wb") as handle:
+            handle.write(
+                json.dumps(
+                    {"worker": worker, "expires_unix": time.time() + lease_seconds}
+                ).encode("utf-8")
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+        try:
+            for _ in range(2):  # fresh attempt, then one steal attempt
+                try:
+                    os.link(staged, path)
+                except FileExistsError:
+                    claim = self._read_claim(job_id)
+                    if claim is not None and float(claim.get("expires_unix", 0)) > time.time():
+                        return False  # live lease; someone else owns the job
+                    # Stale claim: steal it.  os.rename of the same source
+                    # by two racing workers succeeds for exactly one — the
+                    # loser gets FileNotFoundError and backs off to the
+                    # link attempt, where only one of them can win again.
+                    tombstone = self.claims_dir / f".stale-{job_id}-{uuid.uuid4().hex[:8]}"
+                    try:
+                        os.rename(path, tombstone)
+                    except FileNotFoundError:
+                        continue
+                    try:
+                        os.unlink(tombstone)
+                    except OSError:  # pragma: no cover - best-effort cleanup
+                        pass
+                    continue
+                return True
+            return False
+        finally:
+            os.unlink(staged)
+
+    def claim(self, worker: str, *, lease_seconds: float = 30.0) -> Job | None:
+        """Exclusively claim the oldest claimable job, or ``None``.
+
+        Winning the claim transitions the record to ``running`` and bumps
+        its attempt counter; a reclaim of a crashed worker's job is logged
+        as ``reclaimed`` so operators can see crash recovery happening.
+        """
+        now = time.time()
+        for job in self.jobs():
+            if not self._claimable(job, now):
+                continue
+            if not self._try_acquire(job.id, worker, lease_seconds):
+                continue
+            # Re-read under ownership: the record may have advanced between
+            # the scan and the claim (e.g. the previous owner completed it
+            # right before its lease lapsed).
+            job = self.get(job.id)
+            if job.status not in (PENDING, RUNNING):
+                self._release_claim(job.id)
+                continue
+            reclaimed = job.status == RUNNING
+            if reclaimed and job.attempts >= job.max_attempts:
+                # Crash-looping job: every attempt died without reporting.
+                job.status = FAILED
+                job.error = job.error or (
+                    f"worker crashed {job.attempts} time(s); attempt budget "
+                    "exhausted"
+                )
+                job.finished_unix = time.time()
+                self._write(job)
+                self._release_claim(job.id)
+                self._log("failed", job.id, worker=worker, error=job.error)
+                continue
+            job.status = RUNNING
+            job.worker = worker
+            job.attempts += 1
+            job.started_unix = time.time()
+            self._write(job)
+            self._log(
+                "reclaimed" if reclaimed else "claimed",
+                job.id, worker=worker, attempt=job.attempts,
+            )
+            return job
+        return None
+
+    def heartbeat(self, job_id: str, worker: str, *, lease_seconds: float = 30.0) -> None:
+        """Renew the owner's lease; raises :class:`ClaimLost` if stolen."""
+        claim = self._read_claim(job_id)
+        if claim is None or claim.get("worker") != worker:
+            raise ClaimLost(
+                f"worker {worker!r} no longer holds the claim on {job_id!r}"
+            )
+        atomic_write_json(
+            self._claim_path(job_id),
+            {"worker": worker, "expires_unix": time.time() + lease_seconds},
+        )
+
+    def _release_claim(self, job_id: str) -> None:
+        try:
+            os.unlink(self._claim_path(job_id))
+        except FileNotFoundError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Completion paths (claim holder only)
+    # ------------------------------------------------------------------
+    def _require_ownership(self, job_id: str, worker: str) -> None:
+        """A worker whose lease was stolen must not clobber the new owner."""
+        claim = self._read_claim(job_id)
+        if claim is not None and claim.get("worker") != worker:
+            raise ClaimLost(
+                f"worker {worker!r} lost the claim on {job_id!r} to "
+                f"{claim.get('worker')!r}; its result is discarded"
+            )
+
+    def complete(self, job_id: str, worker: str, result: dict) -> Job:
+        self._require_ownership(job_id, worker)
+        job = self.get(job_id)
+        job.status = DONE
+        job.worker = worker
+        job.error = None
+        job.finished_unix = time.time()
+        job.result = dict(result)
+        self._write(job)
+        self._release_claim(job_id)
+        self._log("completed", job_id, worker=worker)
+        return job
+
+    def fail(self, job_id: str, worker: str, error: str) -> Job:
+        """Record a failure; requeue while attempts remain, else fail hard."""
+        self._require_ownership(job_id, worker)
+        job = self.get(job_id)
+        job.worker = worker
+        job.error = str(error)
+        if job.attempts < job.max_attempts:
+            job.status = PENDING
+            self._log("requeued", job_id, worker=worker, error=str(error)[:500])
+        else:
+            job.status = FAILED
+            job.finished_unix = time.time()
+            self._log("failed", job_id, worker=worker, error=str(error)[:500])
+        self._write(job)
+        self._release_claim(job_id)
+        return job
+
+    def release(self, job_id: str, worker: str) -> Job:
+        """Graceful give-back (worker draining): job returns to pending.
+
+        The attempt the worker started does not count against the budget —
+        a drain is not a failure.
+        """
+        self._require_ownership(job_id, worker)
+        job = self.get(job_id)
+        job.status = PENDING
+        job.worker = None
+        job.attempts = max(0, job.attempts - 1)
+        self._write(job)
+        self._release_claim(job_id)
+        self._log("released", job_id, worker=worker)
+        return job
+
+    # ------------------------------------------------------------------
+    # Audit log
+    # ------------------------------------------------------------------
+    def _log(self, event: str, job_id: str, **fields) -> None:
+        record = {"unix": time.time(), "event": event, "job": job_id, **fields}
+        line = json.dumps(record) + "\n"
+        # O_APPEND single-write appends are atomic for short lines; the log
+        # is advisory (never read back by the queue itself).
+        with open(self.root / "events.jsonl", "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    def events(self) -> list[dict]:
+        path = self.root / "events.jsonl"
+        if not path.exists():
+            return []
+        records = []
+        for line in path.read_text().splitlines():
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:  # torn tail line after a crash
+                continue
+        return records

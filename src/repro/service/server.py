@@ -1,0 +1,102 @@
+"""The assembled synthesis service: HTTP API + worker pool + durable state.
+
+:class:`SynthesisService` wires the four layers together — model registry,
+job queue, worker pool and HTTP front end — and owns their lifecycle:
+
+- ``start()`` binds the API server and spawns the worker subprocesses;
+- ``run()`` serves until the cancellation token trips (SIGTERM/SIGINT
+  under ``repro serve``), then drains: stop accepting requests, SIGTERM
+  the workers (each commits its S2 checkpoint and releases its job back
+  to pending), and exit — nothing in flight is lost, everything resumes
+  on the next start because all queue/registry state is on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro.runtime.cancellation import CancellationToken
+from repro.service.api import ServiceContext, make_server
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import JobQueue
+from repro.service.registry import ModelRegistry
+from repro.service.worker import WorkerPool
+
+
+class SynthesisService:
+    """Long-running SERD synthesis service over a registry + queue root."""
+
+    def __init__(
+        self,
+        registry_dir: str | os.PathLike,
+        queue_dir: str | os.PathLike,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        n_workers: int = 2,
+        lease_seconds: float = 30.0,
+    ):
+        self.registry = ModelRegistry(registry_dir)
+        self.queue = JobQueue(queue_dir)
+        self.metrics = ServiceMetrics()
+        self.pool: WorkerPool | None = None
+        self.n_workers = int(n_workers)
+        self.lease_seconds = float(lease_seconds)
+        self._host = host
+        self._port = int(port)
+        self._server = None
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("service is not started")
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "SynthesisService":
+        """Bind the API and spawn workers (non-blocking)."""
+        if self.n_workers > 0:
+            self.pool = WorkerPool(
+                self.queue.root,
+                self.registry.root,
+                n_workers=self.n_workers,
+                lease_seconds=self.lease_seconds,
+                on_restart=lambda _code: self.metrics.count("workers.restarts"),
+            )
+            self.pool.start()
+        context = ServiceContext(
+            self.registry, self.queue, self.metrics, worker_pool=self.pool
+        )
+        self._server = make_server(context, self._host, self._port)
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._serve_thread.start()
+        return self
+
+    def stop(self, *, drain_timeout: float = 30.0) -> None:
+        """Graceful shutdown: close the API, drain the workers."""
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+        if self.pool is not None:
+            self.pool.drain(timeout=drain_timeout)
+            self.pool = None
+
+    def run(self, stop: CancellationToken, *, drain_timeout: float = 30.0) -> None:
+        """Serve until ``stop`` trips, then drain (the ``repro serve`` loop)."""
+        self.start()
+        try:
+            stop.wait()
+        finally:
+            self.stop(drain_timeout=drain_timeout)

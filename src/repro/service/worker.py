@@ -1,0 +1,239 @@
+"""Synthesis workers: claim jobs, run checkpointed S2, survive kills.
+
+A :class:`Worker` is the unit of execution: it claims one job at a time
+from the :class:`~repro.service.queue.JobQueue`, loads the job's model
+from the :class:`~repro.service.registry.ModelRegistry` (no retraining —
+the registry restores fitted state), and runs ``synthesize`` with the
+job's result directory as the checkpoint directory.  That single choice
+buys the whole crash story:
+
+- the S2 loop commits a progress checkpoint every ``checkpoint_every``
+  accepted entities (atomic writes, RNG position included);
+- a heartbeat thread renews the job's lease while synthesis runs;
+- if the worker is ``kill -9``'d, its lease expires, another worker
+  reclaims the job, loads the same model, and ``synthesize`` resumes from
+  the committed checkpoint — producing a dataset *bit-identical* to an
+  uninterrupted run (asserted by the fault-injection suite);
+- on SIGTERM the worker drains gracefully: the cancellation token makes
+  ``synthesize`` commit a final checkpoint and raise
+  :class:`~repro.runtime.cancellation.SynthesisInterrupted`, and the job
+  is released back to pending with its progress intact.
+
+:class:`WorkerPool` runs N workers as separate OS processes (synthesis is
+CPU-bound; threads would fight the GIL), restarts any that die, and
+SIGTERMs them all for a graceful drain on shutdown.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import traceback
+import uuid
+
+import numpy as np
+
+from repro.runtime.cancellation import CancellationToken, SynthesisInterrupted
+from repro.runtime.faults import InjectedInterrupt
+from repro.runtime.io import atomic_write_json
+from repro.schema.io import save_dataset
+from repro.service.queue import ClaimLost, Job, JobQueue
+from repro.service.registry import ModelRegistry
+
+
+class Worker:
+    """One job-at-a-time synthesis worker."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        registry: ModelRegistry,
+        *,
+        worker_id: str | None = None,
+        lease_seconds: float = 30.0,
+        stop: CancellationToken | None = None,
+    ):
+        self.queue = queue
+        self.registry = registry
+        self.worker_id = worker_id or f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
+        self.lease_seconds = float(lease_seconds)
+        self.stop = stop or CancellationToken()
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self, job_id: str, halt: threading.Event) -> None:
+        interval = max(0.05, self.lease_seconds / 3.0)
+        while not halt.wait(interval):
+            try:
+                self.queue.heartbeat(
+                    job_id, self.worker_id, lease_seconds=self.lease_seconds
+                )
+            except Exception:
+                # Lease stolen or queue gone: stop renewing; the synthesis
+                # result of a stolen job is discarded at completion time.
+                return
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+    def run_once(self) -> bool:
+        """Claim and run one job; False when the queue had nothing for us."""
+        job = self.queue.claim(self.worker_id, lease_seconds=self.lease_seconds)
+        if job is None:
+            return False
+        halt = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop, args=(job.id, halt), daemon=True
+        )
+        beater.start()
+        try:
+            self._run_job(job)
+        except SynthesisInterrupted:
+            # Graceful drain: progress is checkpointed; give the job back.
+            try:
+                self.queue.release(job.id, self.worker_id)
+            except ClaimLost:
+                pass
+        except InjectedInterrupt:
+            # Fault harness simulating a hard crash: die like one — leave
+            # the claim to expire and the job record saying "running".
+            raise
+        except ClaimLost:
+            # Another worker stole the lease mid-run; its result wins and
+            # ours is discarded.  Nothing to record — we no longer own it.
+            pass
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            try:
+                self.queue.fail(
+                    job.id,
+                    self.worker_id,
+                    f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+                )
+            except ClaimLost:
+                pass
+        finally:
+            halt.set()
+            beater.join(timeout=2.0)
+        return True
+
+    def _run_job(self, job: Job) -> None:
+        result_dir = self.queue.result_dir(job.id)
+        synthesizer, entry = self.registry.load(job.model, job.version)
+        if job.seed is not None:
+            # Per-job reproducibility: a fresh master stream derived from
+            # the job seed.  (Resume overrides this from the progress
+            # checkpoint's recorded RNG position, so reclaims stay exact.)
+            synthesizer.rng = np.random.default_rng(int(job.seed))
+        started = time.perf_counter()
+        output = synthesizer.synthesize(
+            job.n_a,
+            job.n_b,
+            checkpoint_dir=result_dir / "checkpoint",
+            stop=self.stop,
+        )
+        dataset_dir = save_dataset(output.dataset, result_dir / "dataset")
+        atomic_write_json(result_dir / "health.json", output.health, indent=2)
+        self.queue.complete(
+            job.id,
+            self.worker_id,
+            {
+                "dataset_dir": str(dataset_dir),
+                "health_path": str(result_dir / "health.json"),
+                "model_version": entry.version,
+                "n_a": len(output.dataset.table_a),
+                "n_b": len(output.dataset.table_b),
+                "n_matches": len(output.dataset.matches),
+                "n_sampled_matches": output.n_sampled_matches,
+                "n_posterior_labeled": output.n_posterior_labeled,
+                "jsd_final": output.jsd_final,
+                "rejection_stats": output.rejection_stats,
+                "seconds": time.perf_counter() - started,
+            },
+        )
+
+    def run_forever(self, *, poll_seconds: float = 0.5) -> int:
+        """Drain the queue until the stop token trips; returns jobs run."""
+        completed = 0
+        while not self.stop():
+            if self.run_once():
+                completed += 1
+            else:
+                self.stop.wait(poll_seconds)
+        return completed
+
+
+class WorkerPool:
+    """N worker subprocesses with supervision and graceful drain."""
+
+    def __init__(
+        self,
+        queue_dir,
+        registry_dir,
+        *,
+        n_workers: int = 2,
+        lease_seconds: float = 30.0,
+        poll_seconds: float = 0.5,
+        on_restart=None,
+    ):
+        self.queue_dir = str(queue_dir)
+        self.registry_dir = str(registry_dir)
+        self.n_workers = int(n_workers)
+        self.lease_seconds = float(lease_seconds)
+        self.poll_seconds = float(poll_seconds)
+        self.on_restart = on_restart
+        self.restarts = 0
+        self._procs: list[subprocess.Popen] = []
+        self._halt = threading.Event()
+        self._supervisor: threading.Thread | None = None
+
+    def _spawn(self) -> subprocess.Popen:
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "worker",
+                "--queue", self.queue_dir,
+                "--registry", self.registry_dir,
+                "--lease-seconds", str(self.lease_seconds),
+                "--poll-seconds", str(self.poll_seconds),
+            ],
+        )
+
+    def start(self) -> None:
+        self._procs = [self._spawn() for _ in range(self.n_workers)]
+        self._supervisor = threading.Thread(target=self._supervise, daemon=True)
+        self._supervisor.start()
+
+    def _supervise(self) -> None:
+        """Replace dead workers (a crash is expected, not fatal)."""
+        while not self._halt.wait(0.5):
+            for index, proc in enumerate(self._procs):
+                if proc.poll() is None or self._halt.is_set():
+                    continue
+                self.restarts += 1
+                if self.on_restart is not None:
+                    self.on_restart(proc.returncode)
+                self._procs[index] = self._spawn()
+
+    def drain(self, *, timeout: float = 30.0) -> None:
+        """SIGTERM every worker and wait; SIGKILL stragglers past timeout."""
+        self._halt.set()
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=2.0)
+        for proc in self._procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        deadline = time.time() + timeout
+        for proc in self._procs:
+            remaining = max(0.1, deadline - time.time())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    def alive(self) -> int:
+        return sum(1 for proc in self._procs if proc.poll() is None)

@@ -116,3 +116,29 @@ def tiny_restaurant():
 @pytest.fixture
 def tiny_dblp():
     return load_dataset("dblp_acm", scale=0.03, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Service fixtures (shared by the test_service_* modules).  Fitting a
+# model is the expensive part, so one registry is built per session and
+# every service test reads from it; jobs get their own queues.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def service_real():
+    """The real dataset the session's registered model was fitted on."""
+    return load_dataset("restaurant", scale=0.08, seed=5)
+
+
+@pytest.fixture(scope="session")
+def service_registry(tmp_path_factory, service_real):
+    """A model registry holding one fitted restaurant model ('restaurant'/v1)."""
+    from repro.core import SERDConfig
+    from repro.gan import TabularGANConfig
+    from repro.service import ModelRegistry
+
+    registry = ModelRegistry(tmp_path_factory.mktemp("service_registry"))
+    config = SERDConfig(
+        seed=5, gan=TabularGANConfig(iterations=15), checkpoint_every=5
+    )
+    registry.register("restaurant", service_real, config)
+    return registry

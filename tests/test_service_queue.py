@@ -1,0 +1,145 @@
+"""Tests for the durable job queue (repro.service.queue)."""
+
+import time
+
+import pytest
+
+from repro.service import JobQueue
+from repro.service.queue import ClaimLost
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+class TestSubmission:
+    def test_submit_and_get(self, queue):
+        job = queue.submit("m", n_a=10, n_b=12, seed=3)
+        loaded = queue.get(job.id)
+        assert loaded.status == "pending"
+        assert (loaded.model, loaded.n_a, loaded.n_b, loaded.seed) == ("m", 10, 12, 3)
+
+    def test_jobs_in_submission_order(self, queue):
+        first = queue.submit("m")
+        second = queue.submit("m")
+        assert [j.id for j in queue.jobs()] == [first.id, second.id]
+
+    def test_get_unknown_raises(self, queue):
+        with pytest.raises(KeyError, match="no job"):
+            queue.get("j0-missing")
+
+    def test_depth(self, queue):
+        queue.submit("m")
+        depth = queue.depth()
+        assert depth["pending"] == 1
+        assert depth["claimable"] == 1
+
+    def test_queue_survives_reopen(self, tmp_path):
+        job = JobQueue(tmp_path / "q").submit("m")
+        reopened = JobQueue(str(tmp_path / "q"))  # str root: same queue
+        assert reopened.get(job.id).model == "m"
+
+
+class TestClaims:
+    def test_claim_is_exclusive(self, queue):
+        job = queue.submit("m")
+        assert queue.claim("w1", lease_seconds=30).id == job.id
+        assert queue.claim("w2", lease_seconds=30) is None
+
+    def test_claim_fifo(self, queue):
+        first = queue.submit("m")
+        queue.submit("m")
+        assert queue.claim("w1").id == first.id
+
+    def test_claim_bumps_attempts_and_status(self, queue):
+        job = queue.submit("m")
+        claimed = queue.claim("w1")
+        assert claimed.status == "running"
+        assert claimed.attempts == 1
+        assert claimed.worker == "w1"
+        assert queue.get(job.id).status == "running"
+
+    def test_expired_lease_is_reclaimable(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.1)
+        reclaimed = queue.claim("w2", lease_seconds=30)
+        assert reclaimed is not None and reclaimed.id == job.id
+        assert reclaimed.worker == "w2"
+        assert reclaimed.attempts == 2
+        assert [e["event"] for e in queue.events()] == [
+            "submitted", "claimed", "reclaimed",
+        ]
+
+    def test_heartbeat_extends_lease(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=0.2)
+        for _ in range(3):
+            time.sleep(0.1)
+            queue.heartbeat(job.id, "w1", lease_seconds=0.2)
+        # Lease kept alive across 0.3s > original 0.2s lease.
+        assert queue.claim("w2") is None
+
+    def test_heartbeat_after_steal_raises(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.1)
+        queue.claim("w2", lease_seconds=30)
+        with pytest.raises(ClaimLost):
+            queue.heartbeat(job.id, "w1", lease_seconds=30)
+
+    def test_crash_loop_exhausts_attempt_budget(self, queue):
+        job = queue.submit("m", max_attempts=2)
+        for _ in range(2):  # two claims that never report back
+            queue.claim("w1", lease_seconds=0.01)
+            time.sleep(0.05)
+        assert queue.claim("w2") is None  # third claim refuses to rerun
+        record = queue.get(job.id)
+        assert record.status == "failed"
+        assert "attempt budget" in record.error
+
+
+class TestCompletion:
+    def test_complete(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1")
+        done = queue.complete(job.id, "w1", {"n_a": 5})
+        assert done.status == "done"
+        assert done.result == {"n_a": 5}
+        assert done.finished_unix is not None
+        assert queue.claim("w2") is None  # done jobs are not claimable
+
+    def test_fail_requeues_until_budget(self, queue):
+        job = queue.submit("m", max_attempts=2)
+        queue.claim("w1")
+        assert queue.fail(job.id, "w1", "boom").status == "pending"
+        queue.claim("w1")
+        assert queue.fail(job.id, "w1", "boom again").status == "failed"
+        assert "boom again" in queue.get(job.id).error
+
+    def test_release_returns_job_without_burning_attempt(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1")
+        released = queue.release(job.id, "w1")
+        assert released.status == "pending"
+        assert released.attempts == 0
+        reclaimed = queue.claim("w2")
+        assert reclaimed.id == job.id and reclaimed.attempts == 1
+
+    def test_stolen_worker_cannot_complete(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.1)
+        queue.claim("w2", lease_seconds=30)
+        with pytest.raises(ClaimLost):
+            queue.complete(job.id, "w1", {})
+        assert queue.get(job.id).status == "running"  # w2 still owns it
+
+    def test_events_are_audit_trail(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1")
+        queue.complete(job.id, "w1", {})
+        events = queue.events()
+        assert [e["event"] for e in events] == ["submitted", "claimed", "completed"]
+        assert all(e["job"] == job.id for e in events)
