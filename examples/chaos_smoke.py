@@ -1,0 +1,234 @@
+"""Chaos smoke test: the service under disk faults, overload, and bad jobs.
+
+This is the script the CI ``chaos`` job runs.  Where ``service_smoke.py``
+proves crash recovery, this proves the *overload and fault* story on a
+live service:
+
+1. register a (GAN-free, fast) restaurant model and start the service
+   with deliberately tight admission budgets;
+2. submit jobs through an ENOSPC burst — an armed disk-fault plan fails
+   every other job-record write.  The API answers each hit with a
+   retryable 503 ``storage_error``; the client's backoff retries the same
+   idempotency key and every submission lands **exactly once**;
+3. shed deterministically: with the single write slot held, a no-retry
+   submission must bounce with a structured 429 + ``Retry-After``, while
+   reads keep answering;
+4. flood: concurrent retrying clients all get their job in, exactly once
+   each, through the one write slot;
+5. submit a doomed job (its model does not exist): the worker fails it,
+   the attempt budget exhausts, and it dead-letters with a forensics
+   bundle the CI uploads as an artifact;
+6. wait for every real job to finish and write ``report.json``.
+
+Run: ``PYTHONPATH=src python examples/chaos_smoke.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import threading
+import time
+
+from repro.core import SERDConfig
+from repro.datasets import load_dataset
+from repro.runtime.faults import FaultPlan, FaultSpec, inject_faults
+from repro.service import DeadLetterQueue, JobQueue, ModelRegistry
+from repro.service.admission import WRITE
+from repro.service.client import RetryPolicy, ServiceClient, ServiceError
+from repro.service.server import SynthesisService
+
+
+def _wait_for(predicate, *, timeout: float, poll: float = 0.05, what: str = ""):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    raise TimeoutError(f"timed out after {timeout}s waiting for {what}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="chaos_smoke")
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--n", type=int, default=20, help="entities per table")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(args.workdir)
+    registry_dir = workdir / "registry"
+    queue_dir = workdir / "queue"
+    failures: list[str] = []
+
+    print(f"[1/6] registering restaurant model (scale={args.scale}, no GAN) ...")
+    real = load_dataset("restaurant", scale=args.scale, seed=args.seed)
+    registry = ModelRegistry(registry_dir)
+    config = SERDConfig(seed=args.seed, checkpoint_every=5)
+    entry = registry.register("restaurant", real, config, train_gan=False)
+    print(f"      registered {entry.name} {entry.version}")
+
+    print("[2/6] starting service (2 workers, 1 write slot) ...")
+    service = SynthesisService(
+        registry_dir,
+        queue_dir,
+        port=0,
+        n_workers=2,
+        lease_seconds=10.0,
+        write_slots=1,
+        max_pending_jobs=64,
+    )
+    service.start()
+    queue = JobQueue(queue_dir)
+    try:
+        client = ServiceClient(
+            service.url,
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=1.0),
+        )
+
+        print("[3/6] submitting 3 jobs through an ENOSPC burst ...")
+        # Every odd job-record write fails with injected ENOSPC; the API
+        # turns each into a retryable 503 and the client's retry (same
+        # idempotency key) lands it exactly once.
+        plan = FaultPlan(FaultSpec("queue.submit.write", at_calls=(1, 3, 5)))
+        burst_ids = []
+        with inject_faults(plan):
+            for _ in range(3):
+                burst_ids.append(
+                    client.submit(
+                        "restaurant", n_a=args.n, n_b=args.n, seed=args.seed
+                    )["id"]
+                )
+        if plan.fired("queue.submit.write") != 3:
+            failures.append(
+                f"expected 3 injected ENOSPC hits, saw "
+                f"{plan.fired('queue.submit.write')}"
+            )
+        if client.metrics["retries"] < 3:
+            failures.append(
+                f"client should have retried each faulted submit "
+                f"(retries={client.metrics['retries']})"
+            )
+        if len(set(burst_ids)) != 3:
+            failures.append(f"burst submissions collided: {burst_ids}")
+        storage_errors = (
+            client.stats()["counters"].get("http.storage_errors", 0)
+        )
+        if storage_errors < 3:
+            failures.append(f"storage errors not counted ({storage_errors})")
+        print(
+            f"      3 jobs landed exactly once through {storage_errors} "
+            f"ENOSPC responses ({client.metrics['retries']} client retries)"
+        )
+
+        print("[4/6] overload: shed with the write slot held, then flood ...")
+        impatient = ServiceClient(
+            service.url, retry_policy=RetryPolicy(max_attempts=1)
+        )
+        hold = service.admission.admit(WRITE)
+        hold.__enter__()
+        try:
+            try:
+                impatient.submit("restaurant")
+                failures.append("saturated write budget did not shed")
+            except ServiceError as error:
+                if error.status != 429 or not error.retryable:
+                    failures.append(f"expected retryable 429, got {error}")
+                else:
+                    print(
+                        f"      shed as expected: 429 {error.code} "
+                        f"(Retry-After {error.retry_after}s)"
+                    )
+            impatient.models()  # reads must keep working while writes shed
+        finally:
+            hold.__exit__(None, None, None)
+
+        flood_ids: list[str] = []
+        flood_errors: list[Exception] = []
+
+        def flood(index: int) -> None:
+            flooder = ServiceClient(
+                service.url,
+                retry_policy=RetryPolicy(
+                    max_attempts=20, base_delay=0.05, max_delay=0.5
+                ),
+            )
+            try:
+                job = flooder.submit(
+                    "restaurant", n_a=args.n, n_b=args.n, seed=index
+                )
+                flood_ids.append(job["id"])
+            except Exception as error:  # noqa: BLE001 - reported below
+                flood_errors.append(error)
+
+        threads = [threading.Thread(target=flood, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        if flood_errors or len(set(flood_ids)) != 4:
+            failures.append(
+                f"flood through 1 write slot: {len(set(flood_ids))}/4 landed, "
+                f"errors={flood_errors}"
+            )
+        else:
+            print("      4 concurrent submissions all landed exactly once")
+
+        print("[5/6] dead-lettering a doomed job ...")
+        # Bypasses API validation on purpose: the worker must discover the
+        # missing model, fail the job, and dead-letter it on its only
+        # attempt — with a forensics bundle for the artifact upload.
+        doomed = queue.submit("no-such-model", max_attempts=1)
+        _wait_for(
+            lambda: (queue.dlq_dir / doomed.id / "forensics.json").exists(),
+            timeout=120,
+            what="the doomed job to dead-letter",
+        )
+        dlq = DeadLetterQueue(queue)
+        bundle = dlq.inspect(doomed.id)
+        if bundle["reason"] != "attempts_exhausted":
+            failures.append(f"unexpected dead-letter reason: {bundle['reason']}")
+        print("      forensics bundle:")
+        for line in DeadLetterQueue.summarize(bundle).splitlines():
+            print(f"        {line}")
+
+        print("[6/6] waiting for the 7 real jobs ...")
+        for job_id in burst_ids + flood_ids:
+            record = client.wait(job_id, timeout=600, poll_seconds=0.3)
+            if record["status"] != "done":
+                failures.append(
+                    f"job {job_id} ended {record['status']}: {record.get('error')}"
+                )
+        stats = client.stats()
+        report = {
+            "burst_jobs": burst_ids,
+            "flood_jobs": flood_ids,
+            "dead_lettered": doomed.id,
+            "client_metrics": client.metrics,
+            "admission": stats.get("admission"),
+            "counters": stats.get("counters"),
+            "queue_depth": stats.get("queue"),
+            "failures": failures,
+        }
+        workdir.mkdir(parents=True, exist_ok=True)
+        (workdir / "report.json").write_text(json.dumps(report, indent=2))
+        print(f"      report: {workdir / 'report.json'}")
+
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print(
+            "OK: ENOSPC burst survived exactly-once, overload shed cleanly, "
+            "doomed job dead-lettered with forensics, all real jobs done"
+        )
+        return 0
+    finally:
+        service.stop(drain_timeout=20)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,9 @@ Usage::
         --port 8765 --workers 2
     python -m repro submit   --url http://127.0.0.1:8765 --model restaurant --wait
     python -m repro status   --url http://127.0.0.1:8765 [--job JOB_ID]
+    python -m repro dlq      --queue ./svc/queue list
+    python -m repro dlq      --queue ./svc/queue inspect --job JOB_ID
+    python -m repro dlq      --queue ./svc/queue requeue --job JOB_ID
 
 ``synthesize`` fits SERD on a generated benchmark and writes the surrogate
 as a CSV bundle; ``resume`` picks up an interrupted checkpointed run without
@@ -25,7 +28,9 @@ redoing committed stages; ``evaluate`` runs the Exp-2/Exp-3 protocol on one
 dataset; ``stats`` prints Table II; ``experiments`` runs the full harness.
 ``register`` fits a model into a registry; ``serve`` runs the HTTP service
 (API + worker pool); ``submit``/``status`` talk to a running service;
-``worker`` is the single-worker loop the service pool spawns.
+``worker`` is the single-worker loop the service pool spawns; ``dlq``
+lists, inspects and requeues dead-lettered jobs (see README "Operating
+under failure" for the forensics bundle layout and retry tuning).
 
 Long-running commands (``synthesize``, ``resume``, ``serve``, ``worker``)
 install SIGTERM/SIGINT handlers that commit the current checkpoint and exit
@@ -128,6 +133,23 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8765)
     serve.add_argument("--workers", type=int, default=2)
     serve.add_argument("--lease-seconds", type=float, default=30.0)
+    serve.add_argument(
+        "--stall-seconds", type=float, default=None,
+        help="revoke a job whose checkpoint stops advancing for this long "
+        "(default: 4x the lease)",
+    )
+    serve.add_argument(
+        "--read-slots", type=int, default=64,
+        help="max in-flight cheap GET requests before shedding with 429",
+    )
+    serve.add_argument(
+        "--write-slots", type=int, default=8,
+        help="max in-flight expensive requests (submit/label/score)",
+    )
+    serve.add_argument(
+        "--max-pending-jobs", type=int, default=512,
+        help="shed job submissions once this many jobs are pending",
+    )
 
     worker = commands.add_parser(
         "worker", help="run one synthesis worker loop (spawned by 'serve')"
@@ -159,6 +181,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("--url", required=True, help="service base URL")
     status.add_argument("--job", default=None, help="job id to show")
+
+    dlq = commands.add_parser(
+        "dlq", help="list/inspect/requeue dead-lettered jobs of a queue"
+    )
+    dlq.add_argument("--queue", required=True, metavar="DIR", help="queue root")
+    dlq.add_argument(
+        "action", choices=("list", "inspect", "requeue"),
+        help="list dead letters, dump one forensics bundle, or requeue a job",
+    )
+    dlq.add_argument(
+        "--job", default=None, help="job id (required for inspect/requeue)"
+    )
     return parser
 
 
@@ -318,6 +352,10 @@ def _cmd_serve(args) -> int:
         port=args.port,
         n_workers=args.workers,
         lease_seconds=args.lease_seconds,
+        stall_seconds=args.stall_seconds,
+        read_slots=args.read_slots,
+        write_slots=args.write_slots,
+        max_pending_jobs=args.max_pending_jobs,
     )
     token, restore = _graceful_token()
     try:
@@ -404,6 +442,33 @@ def _cmd_status(args) -> int:
     return 0
 
 
+def _cmd_dlq(args) -> int:
+    import json
+
+    from repro.service.dlq import DeadLetterQueue
+
+    dlq = DeadLetterQueue(args.queue)
+    if args.action == "list":
+        letters = dlq.list()
+        if not letters:
+            print("dead-letter queue is empty")
+            return 0
+        for job in letters:
+            print(DeadLetterQueue.describe(job))
+        return 0
+    if args.job is None:
+        print(f"--job is required for 'dlq {args.action}'", file=sys.stderr)
+        return 2
+    if args.action == "inspect":
+        forensics = dlq.inspect(args.job)
+        print(DeadLetterQueue.summarize(forensics))
+        print(json.dumps(forensics, indent=2))
+        return 0
+    job = dlq.requeue(args.job)
+    print(f"Requeued {job.id} (model={job.model}); attempts reset")
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "resume": _cmd_resume,
@@ -415,6 +480,7 @@ _COMMANDS = {
     "worker": _cmd_worker,
     "submit": _cmd_submit,
     "status": _cmd_status,
+    "dlq": _cmd_dlq,
 }
 
 

@@ -740,6 +740,7 @@ class SERDSynthesizer:
                 )
                 accepted_since_checkpoint = 0
             faults.maybe_interrupt("synthesize.step")
+            faults.maybe_stall("synthesize.stall")
 
             # S2-2 (label part): decide match vs non-match at the match-edge
             # rate (see fit()).

@@ -19,6 +19,7 @@ makes that pipeline survivable:
 
 from repro.runtime.cancellation import (
     CancellationToken,
+    LinkedCancellationToken,
     SynthesisInterrupted,
     install_signal_handlers,
 )
@@ -42,6 +43,7 @@ from repro.runtime.io import (
     read_json,
 )
 from repro.runtime.faults import (
+    DiskFault,
     FaultPlan,
     FaultSpec,
     InjectedInterrupt,
@@ -50,6 +52,7 @@ from repro.runtime.faults import (
 
 __all__ = [
     "CancellationToken",
+    "LinkedCancellationToken",
     "SynthesisInterrupted",
     "install_signal_handlers",
     "StageCheckpointer",
@@ -71,6 +74,7 @@ __all__ = [
     "atomic_write_text",
     "atomic_write_json",
     "read_json",
+    "DiskFault",
     "FaultPlan",
     "FaultSpec",
     "InjectedInterrupt",

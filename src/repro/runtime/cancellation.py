@@ -65,6 +65,37 @@ class CancellationToken:
         return self._event.wait(timeout)
 
 
+class LinkedCancellationToken(CancellationToken):
+    """A token that also trips when any of its parent tokens trip.
+
+    Workers use this to give each job its own cancellation scope: the job
+    token links to the worker's drain token (SIGTERM stops every job) but
+    can additionally be tripped for job-local reasons — the heartbeat
+    thread discovering the lease was stolen, for instance — without
+    stopping the whole worker.
+    """
+
+    def __init__(self, *parents: CancellationToken):
+        super().__init__()
+        self._parents = tuple(parents)
+
+    def _check_parents(self) -> bool:
+        if self._event.is_set():
+            return True
+        for parent in self._parents:
+            if parent():
+                self.request(parent.reason or "parent token cancelled")
+                return True
+        return False
+
+    def __call__(self) -> bool:
+        return self._check_parents()
+
+    @property
+    def requested(self) -> bool:
+        return self._check_parents()
+
+
 def install_signal_handlers(
     token: CancellationToken,
     signals: Iterable[int] = (signal.SIGTERM, signal.SIGINT),

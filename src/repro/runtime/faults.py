@@ -21,6 +21,20 @@ Sites currently compiled in:
 - ``fit.after_s1`` / ``fit.after_text`` / ``fit.after_gan`` — interrupt
   ``SERDSynthesizer.fit`` after the named stage committed its checkpoint.
 - ``synthesize.step`` — interrupt the S2 loop at the Nth accepted entity.
+- ``synthesize.stall`` — hang the S2 loop at the Nth step (the payload is a
+  blocking callable supplied by the test); the worker keeps heartbeating
+  while making no progress, which is the stall-watchdog scenario.
+- ``io.write`` / ``io.fsync`` / ``io.rename`` — disk faults inside
+  :func:`repro.runtime.io.atomic_write_bytes`: ENOSPC mid-write (half the
+  payload reaches the temp file first, simulating a torn write), fsync
+  failure, and a failed ``os.replace``.  The payload may be an ``errno``
+  integer (default ``ENOSPC``).
+- ``queue.claim.write`` / ``queue.claim.fsync`` / ``queue.claim.steal`` /
+  ``queue.submit.write`` — the same disk faults inside the job queue's
+  claim acquisition, stale-lease steal, and idempotent job-record creation
+  (:mod:`repro.service.queue`).
+- ``registry.publish`` — fail the atomic staging→version rename that
+  publishes a model version (:mod:`repro.service.registry`).
 
 Usage::
 
@@ -32,6 +46,7 @@ Usage::
 
 from __future__ import annotations
 
+import errno as _errno
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -41,6 +56,22 @@ class InjectedInterrupt(RuntimeError):
 
     def __init__(self, site: str):
         super().__init__(f"injected interrupt at {site}")
+        self.site = site
+
+
+class DiskFault(OSError):
+    """An injected disk failure (ENOSPC, failed fsync, failed rename).
+
+    Subclasses :class:`OSError` so production error handling that already
+    copes with real disk errors exercises the identical code path; carries
+    the fault ``site`` so tests can assert where it fired.
+    """
+
+    def __init__(self, site: str, errno_value: int = _errno.ENOSPC):
+        name = _errno.errorcode.get(errno_value, str(errno_value))
+        super().__init__(
+            errno_value, f"injected disk fault at {site} ({name})"
+        )
         self.site = site
 
 
@@ -142,3 +173,38 @@ def maybe_interrupt(site: str) -> None:
         return
     if _ACTIVE.check(site) is not None:
         raise InjectedInterrupt(site)
+
+
+def maybe_disk_fault(site: str, *, partial=None) -> None:
+    """Raise :class:`DiskFault` when an armed disk fault at ``site`` triggers.
+
+    ``partial`` (a zero-argument callable) runs just before the raise to
+    simulate the bytes that made it to disk before the failure — e.g. half
+    of a payload for a torn-write scenario.  The spec's payload, when it is
+    an ``int``, selects the errno (default ``ENOSPC``).
+    """
+    if _ACTIVE is None:
+        return
+    spec = _ACTIVE.check(site)
+    if spec is None:
+        return
+    if partial is not None:
+        partial()
+    errno_value = spec.payload if isinstance(spec.payload, int) else _errno.ENOSPC
+    raise DiskFault(site, errno_value)
+
+
+def maybe_stall(site: str) -> None:
+    """Block inside ``site`` when an armed stall triggers.
+
+    The spec's payload must be a blocking callable (typically an
+    ``Event.wait`` bound method supplied by the test); the production code
+    simply stops making progress while its other threads — heartbeats in
+    particular — keep running.  That is exactly the hung-but-heartbeating
+    worker the stall watchdog exists to catch.
+    """
+    if _ACTIVE is None:
+        return
+    spec = _ACTIVE.check(site)
+    if spec is not None and callable(spec.payload):
+        spec.payload()

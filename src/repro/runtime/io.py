@@ -6,6 +6,11 @@ serialize into a temporary file in the *target directory*, flush + fsync,
 then ``os.replace`` onto the final name.  ``os.replace`` is atomic on POSIX
 and Windows, so a reader never observes a truncated file — it sees either
 the previous version or the new one.
+
+The write/fsync/replace steps carry fault-injection sites (``io.write``,
+``io.fsync``, ``io.rename`` — see :mod:`repro.runtime.faults`) so the
+disk-fault suite can prove the atomicity claim: a failure at any step
+leaves the target untouched and the temp file cleaned up.
 """
 
 from __future__ import annotations
@@ -14,6 +19,8 @@ import json
 import os
 import pathlib
 import tempfile
+
+from repro.runtime import faults
 
 
 def as_path(path: str | os.PathLike) -> pathlib.Path:
@@ -36,9 +43,14 @@ def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> pathlib.Path:
     )
     try:
         with os.fdopen(descriptor, "wb") as handle:
+            faults.maybe_disk_fault(
+                "io.write", partial=lambda: handle.write(payload[: len(payload) // 2])
+            )
             handle.write(payload)
             handle.flush()
+            faults.maybe_disk_fault("io.fsync")
             os.fsync(handle.fileno())
+        faults.maybe_disk_fault("io.rename")
         os.replace(tmp_name, path)
     except BaseException:
         try:

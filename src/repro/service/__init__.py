@@ -9,27 +9,53 @@ into a long-running, crash-tolerant service:
   stage checkpoints and atomic I/O);
 - :mod:`repro.service.queue` — a durable on-disk job queue with atomic,
   lease-based claims, so concurrent workers never double-run a job and a
-  dead worker's job is reclaimed;
-- :mod:`repro.service.worker` — the synthesis worker loop and the
-  multi-process :class:`WorkerPool` with heartbeats and graceful drain;
+  dead worker's job is reclaimed; exhausted jobs land in the dead-letter
+  queue with a forensics bundle;
+- :mod:`repro.service.worker` — the synthesis worker loop, the
+  multi-process :class:`WorkerPool` with heartbeats and graceful drain,
+  and the :class:`StallWatchdog` that reclaims hung-but-heartbeating jobs;
+- :mod:`repro.service.admission` — bounded in-flight budgets in front of
+  the API: overload sheds with structured 429s instead of queueing;
+- :mod:`repro.service.dlq` — operator verbs (list/inspect/requeue) over
+  dead-lettered jobs, surfaced as ``repro dlq``;
 - :mod:`repro.service.api` / :mod:`repro.service.server` — the stdlib
   ``http.server`` front end (submit/poll jobs, batched ``label``/``score``
   through :mod:`repro.similarity.kernels`, ``/stats`` metrics);
-- :mod:`repro.service.client` — a small ``urllib`` client used by the
+- :mod:`repro.service.client` — a resilient ``urllib`` client (retries
+  with full jitter, idempotent submission, circuit breaker) used by the
   ``repro submit`` / ``repro status`` commands.
 """
 
+from repro.service.admission import AdmissionController, Deadline, Overloaded
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.dlq import DeadLetterQueue
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import Job, JobQueue
 from repro.service.registry import ModelRegistry, ModelVersion
-from repro.service.worker import Worker, WorkerPool
+from repro.service.worker import StallWatchdog, Worker, WorkerPool
 
 __all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "Deadline",
+    "DeadLetterQueue",
     "Job",
     "JobQueue",
     "ModelRegistry",
     "ModelVersion",
+    "Overloaded",
+    "RetryPolicy",
+    "ServiceClient",
+    "ServiceError",
     "ServiceMetrics",
+    "StallWatchdog",
     "Worker",
     "WorkerPool",
 ]

@@ -1,0 +1,119 @@
+"""Admission control: bounded budgets that shed load instead of hanging.
+
+The HTTP front end classifies every request into one of two classes —
+cheap ``read`` traffic (GETs: job status, model listings, stats) and
+expensive ``write`` traffic (job submission and batch ``label``/``score``)
+— and admits each class against its own in-flight budget.  When a budget
+is exhausted the request is *shed immediately* with a structured 429 and a
+``Retry-After`` hint rather than queued: under overload, latency-bounded
+rejection beats an unbounded backlog, and because the classes have
+separate budgets a flood of expensive writes can never starve the cheap
+reads operators need to see what is happening.
+
+Job submission additionally checks a pending-queue budget, so an outage of
+the worker pool surfaces as backpressure (429 ``queue_full``) instead of
+an ever-growing jobs directory.
+
+:class:`Deadline` is the per-request time budget: handlers check it before
+(and between) expensive phases and give up with a retryable error once it
+lapses — monotonic clock, so wall-clock jumps can't spuriously expire it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+READ = "read"
+WRITE = "write"
+
+
+class Overloaded(RuntimeError):
+    """A request was shed by admission control; carries the retry hint."""
+
+    def __init__(self, request_class: str, retry_after: float, *, code: str = "overloaded"):
+        super().__init__(
+            f"{request_class} budget exhausted; retry after {retry_after:.1f}s"
+        )
+        self.request_class = request_class
+        self.retry_after = retry_after
+        self.code = code
+
+
+class Deadline:
+    """A monotonic per-request time budget."""
+
+    def __init__(self, seconds: float):
+        self.seconds = float(seconds)
+        self._expires = time.monotonic() + self.seconds
+
+    @property
+    def remaining(self) -> float:
+        return self._expires - time.monotonic()
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0.0
+
+
+class AdmissionController:
+    """Per-class in-flight budgets plus the pending-jobs budget."""
+
+    def __init__(
+        self,
+        *,
+        read_slots: int = 64,
+        write_slots: int = 8,
+        max_pending_jobs: int = 512,
+        retry_after_seconds: float = 1.0,
+    ):
+        self._lock = threading.Lock()
+        self._limits = {READ: int(read_slots), WRITE: int(write_slots)}
+        self._in_flight = {READ: 0, WRITE: 0}
+        self._shed = {READ: 0, WRITE: 0, "queue_full": 0}
+        self.max_pending_jobs = int(max_pending_jobs)
+        self.retry_after_seconds = float(retry_after_seconds)
+
+    @contextmanager
+    def admit(self, request_class: str):
+        """Hold one slot of ``request_class`` for the duration of the block.
+
+        Raises :class:`Overloaded` (→ 429) when the class budget is full;
+        admission never blocks, so a saturated server answers in constant
+        time instead of stacking threads.
+        """
+        with self._lock:
+            if self._in_flight[request_class] >= self._limits[request_class]:
+                self._shed[request_class] += 1
+                raise Overloaded(request_class, self.retry_after_seconds)
+            self._in_flight[request_class] += 1
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._in_flight[request_class] -= 1
+
+    def check_queue_budget(self, pending_jobs: int) -> None:
+        """Backpressure for ``POST /jobs``: shed once the backlog is deep."""
+        if pending_jobs < self.max_pending_jobs:
+            return
+        with self._lock:
+            self._shed["queue_full"] += 1
+        raise Overloaded(
+            WRITE,
+            # A deep backlog drains on job-completion timescales, not
+            # request timescales; hint a proportionally longer retry.
+            max(self.retry_after_seconds, 5.0),
+            code="queue_full",
+        )
+
+    def snapshot(self) -> dict:
+        """Point-in-time budgets for ``/stats``."""
+        with self._lock:
+            return {
+                "limits": dict(self._limits),
+                "in_flight": dict(self._in_flight),
+                "shed": dict(self._shed),
+                "max_pending_jobs": self.max_pending_jobs,
+            }

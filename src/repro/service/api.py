@@ -22,6 +22,14 @@ per-request cost is one profile build plus a sparse matmul, not
 ``(name, version)`` and scoring is serialized per model (the kernel
 vocabulary mutates on first sight of new grams), while different models
 score concurrently under the threading server.
+
+Overload behavior (see :mod:`repro.service.admission`): every route except
+``/health`` passes through admission control — cheap ``GET`` traffic and
+expensive ``POST`` traffic are budgeted separately, and exhausted budgets
+answer with a structured 429 + ``Retry-After`` instead of queueing.  All
+error responses share one JSON shape
+(``{"error": {"code", "message", "retryable"}}``); retried submissions
+carrying an idempotency key are answered from the original job record.
 """
 
 from __future__ import annotations
@@ -32,19 +40,72 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.schema.entity import Entity
+from repro.service.admission import (
+    READ,
+    WRITE,
+    AdmissionController,
+    Deadline,
+    Overloaded,
+)
 from repro.service.metrics import ServiceMetrics
-from repro.service.queue import JobQueue
+from repro.service.queue import JobQueue, PENDING
 from repro.service.registry import ModelRegistry
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
 
+# Default per-request deadlines by admission class; a client may lower
+# (never raise) its own via the X-Request-Deadline header.
+_DEADLINE_SECONDS = {READ: 10.0, WRITE: 120.0}
+
+_STATUS_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    409: "conflict",
+    413: "payload_too_large",
+    429: "overloaded",
+    500: "internal",
+    503: "unavailable",
+}
+
 
 class ApiError(Exception):
-    """An error with an HTTP status, rendered as a JSON body."""
+    """An error with an HTTP status, rendered as a structured JSON body.
 
-    def __init__(self, status: int, message: str):
+    Every error response has the same shape::
+
+        {"error": {"code": "...", "message": "...", "retryable": bool}}
+
+    ``retryable`` tells clients whether backing off and retrying can
+    succeed (shed load, lapsed deadlines, transient storage trouble) or is
+    pointless (validation failures, unknown routes).  ``retry_after``,
+    when set, is surfaced as a ``Retry-After`` header.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        code: str | None = None,
+        retryable: bool | None = None,
+        retry_after: float | None = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.code = code or _STATUS_CODES.get(status, f"http_{status}")
+        self.retryable = (
+            retryable if retryable is not None else status in (429, 503)
+        )
+        self.retry_after = retry_after
+
+    def body(self) -> dict:
+        return {
+            "error": {
+                "code": self.code,
+                "message": str(self),
+                "retryable": self.retryable,
+            }
+        }
 
 
 class LoadedModel:
@@ -110,11 +171,15 @@ class ServiceContext:
         metrics: ServiceMetrics | None = None,
         *,
         worker_pool=None,
+        admission: AdmissionController | None = None,
+        deadline_seconds: dict[str, float] | None = None,
     ):
         self.registry = registry
         self.queue = queue
         self.metrics = metrics or ServiceMetrics()
         self.worker_pool = worker_pool
+        self.admission = admission or AdmissionController()
+        self.deadline_seconds = dict(_DEADLINE_SECONDS, **(deadline_seconds or {}))
         self._models: dict[tuple[str, str], LoadedModel] = {}
         self._models_lock = threading.Lock()
 
@@ -136,6 +201,7 @@ class ServiceContext:
     def stats(self) -> dict:
         snapshot = self.metrics.snapshot()
         snapshot["queue"] = self.queue.depth()
+        snapshot["admission"] = self.admission.snapshot()
         snapshot["models_loaded"] = len(self._models)
         if self.worker_pool is not None:
             snapshot["workers"] = {
@@ -168,11 +234,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
-    def _send_json(self, status: int, payload) -> None:
+    def _send_json(
+        self, status: int, payload, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -189,25 +259,85 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ApiError(400, "request body must be a JSON object")
         return payload
 
+    def _classify(self, method: str, parts: list[str]) -> str | None:
+        """Admission class for a route; ``None`` exempts it (liveness)."""
+        if parts == ["health"]:
+            return None
+        return READ if method == "GET" else WRITE
+
+    def _client_telemetry(self) -> None:
+        """Count retry/circuit telemetry the client piggybacks on requests."""
+        metrics = self.context.metrics
+        try:
+            if int(self.headers.get("X-Retry-Attempt") or 0) > 0:
+                metrics.count("http.retried_requests")
+            opened = int(self.headers.get("X-Circuit-Opened") or 0)
+            if opened > 0:
+                metrics.count("client.circuit_opened", opened)
+        except ValueError:  # garbage headers are not worth a 400
+            pass
+
+    def _deadline(self, request_class: str) -> Deadline:
+        seconds = self.context.deadline_seconds[request_class]
+        try:
+            requested = float(self.headers.get("X-Request-Deadline") or seconds)
+        except ValueError:
+            requested = seconds
+        return Deadline(max(0.0, min(seconds, requested)))
+
     def _dispatch(self, method: str) -> None:
         started = time.perf_counter()
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         parts = [p for p in path.split("/") if p]
+        headers: dict[str, str] = {}
+        self.deadline: Deadline | None = None
         try:
-            status, payload = self._route(method, parts)
+            self._client_telemetry()
+            request_class = self._classify(method, parts)
+            if request_class is None:
+                status, payload = self._route(method, parts)
+            else:
+                with self.context.admission.admit(request_class):
+                    self.deadline = self._deadline(request_class)
+                    status, payload = self._route(method, parts)
+        except Overloaded as error:
+            # Load shed: constant-time 429 with a structured body and a
+            # retry hint — never a hang, never a 500.
+            status = 429
+            shed = ApiError(
+                429, str(error), code=error.code, retryable=True,
+                retry_after=error.retry_after,
+            )
+            payload = shed.body()
+            headers["Retry-After"] = f"{error.retry_after:g}"
+            self.context.metrics.count(f"admission.shed.{error.code}")
         except ApiError as error:
-            status, payload = error.status, {"error": str(error)}
+            status, payload = error.status, error.body()
+            if error.retry_after is not None:
+                headers["Retry-After"] = f"{error.retry_after:g}"
         except (BrokenPipeError, ConnectionResetError):  # client went away
             return
+        except OSError as error:
+            # Disk trouble (ENOSPC and friends).  The write was atomic —
+            # nothing partial is on disk — so the operation is safely
+            # retryable once space/IO recovers.
+            status = 503
+            payload = ApiError(
+                503, f"storage error: {error}", code="storage_error",
+                retryable=True,
+            ).body()
+            self.context.metrics.count("http.storage_errors")
         except Exception as error:  # noqa: BLE001 - never kill the server
             status = 500
-            payload = {"error": f"{type(error).__name__}: {error}"}
+            payload = ApiError(
+                500, f"{type(error).__name__}: {error}", retryable=False
+            ).body()
         self.context.metrics.count(f"http.{method}.{parts[0] if parts else 'root'}")
         self.context.metrics.observe(
             "request_seconds", time.perf_counter() - started
         )
         try:
-            self._send_json(status, payload)
+            self._send_json(status, payload, headers)
         except (BrokenPipeError, ConnectionResetError):
             pass
 
@@ -269,13 +399,29 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             value = payload.get(size_key)
             if value is not None and (not isinstance(value, int) or value < 1):
                 raise ApiError(400, f"{size_key!r} must be a positive integer")
+        idempotency_key = (
+            payload.get("idempotency_key")
+            or self.headers.get("Idempotency-Key")
+            or None
+        )
+        if idempotency_key is not None and not isinstance(idempotency_key, str):
+            raise ApiError(400, "'idempotency_key' must be a string")
+        # Backpressure before the write: a deep pending backlog means the
+        # workers are behind, and accepting more only hides the problem.
+        depth = self.context.queue.depth()
+        self.context.admission.check_queue_budget(depth.get(PENDING, 0))
         job = self.context.queue.submit(
             model,
             version=entry.version,
             n_a=payload.get("n_a"),
             n_b=payload.get("n_b"),
             seed=payload.get("seed"),
+            idempotency_key=idempotency_key,
         )
+        if getattr(job, "duplicate", False):
+            # A retried submission: the original record answers it.
+            self.context.metrics.count("jobs.deduplicated")
+            return 200, job.to_dict()
         self.context.metrics.count("jobs.submitted")
         return 201, job.to_dict()
 
@@ -287,6 +433,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             )
         from repro.schema.io import load_saved_dataset
 
+        self._check_deadline()
         dataset = load_saved_dataset(job.result["dataset_dir"])
         return 200, {
             "name": dataset.name,
@@ -305,12 +452,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             "non_matches": [list(p) for p in dataset.non_matches],
         }
 
+    def _check_deadline(self) -> None:
+        if self.deadline is not None and self.deadline.expired:
+            raise ApiError(
+                503,
+                f"request deadline of {self.deadline.seconds:.1f}s lapsed "
+                "before the work could start",
+                code="deadline_exceeded",
+                retryable=True,
+                retry_after=1.0,
+            )
+
     def _score(self, model_name: str, *, mode: str) -> tuple[int, dict]:
         payload = self._read_body()
         pairs = payload.get("pairs")
         if not isinstance(pairs, list) or not pairs:
             raise ApiError(400, "'pairs' must be a non-empty array of pairs")
         loaded = self.context.model(model_name, payload.get("version"))
+        # The batch matmul is the expensive part; give up before it rather
+        # than burn compute on an answer the client stopped waiting for.
+        self._check_deadline()
         started = time.perf_counter()
         scored = loaded.score_pairs(pairs)
         seconds = time.perf_counter() - started

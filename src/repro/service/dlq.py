@@ -1,0 +1,71 @@
+"""Operator interface to the job queue's dead-letter state.
+
+A job that exhausts its attempt budget — crash loop, repeated stalls, a
+deterministic exception — is *dead-lettered*: its record flips to
+``failed`` and a forensics bundle is frozen under ``<queue>/dlq/<id>/``
+capturing everything an operator needs to diagnose it without the worker
+that died:
+
+- the job record and error at the moment of death,
+- the full per-job event history (every claim, reclaim, requeue, revoke),
+- a pointer to the surviving S2 checkpoint (so a requeued job resumes
+  rather than restarts),
+- the last health report, when any attempt got far enough to write one.
+
+:class:`DeadLetterQueue` wraps the three operator verbs — ``list``,
+``inspect``, ``requeue`` — used by the ``repro dlq`` CLI command and the
+chaos smoke test; the bundle itself is written by the queue at
+dead-letter time (see :meth:`repro.service.queue.JobQueue._dead_letter`).
+"""
+
+from __future__ import annotations
+
+from repro.service.queue import Job, JobQueue
+
+
+class DeadLetterQueue:
+    """List, inspect and requeue dead-lettered jobs of one queue."""
+
+    def __init__(self, queue: JobQueue | str):
+        self.queue = queue if isinstance(queue, JobQueue) else JobQueue(queue)
+
+    def list(self) -> list[Job]:
+        return self.queue.dead_letters()
+
+    def inspect(self, job_id: str) -> dict:
+        return self.queue.forensics(job_id)
+
+    def requeue(self, job_id: str) -> Job:
+        return self.queue.requeue(job_id)
+
+    def depth(self) -> int:
+        return len(self.list())
+
+    # ------------------------------------------------------------------
+    # CLI rendering
+    # ------------------------------------------------------------------
+    @staticmethod
+    def describe(job: Job) -> str:
+        """One ``dlq list`` row: id, model, attempts, first error line."""
+        error = (job.error or "").splitlines()
+        return (
+            f"{job.id}  model={job.model}  "
+            f"attempts={job.attempts}/{job.max_attempts}  "
+            f"error={error[0][:80] if error else '-'}"
+        )
+
+    @staticmethod
+    def summarize(forensics: dict) -> str:
+        """Compact ``dlq inspect`` header ahead of the full JSON bundle."""
+        checkpoint = forensics.get("checkpoint") or {}
+        history = forensics.get("history") or []
+        lines = [
+            f"reason:     {forensics.get('reason')}",
+            f"worker:     {forensics.get('worker')}",
+            f"attempts:   {forensics.get('attempts')}/{forensics.get('max_attempts')}",
+            f"checkpoint: {checkpoint.get('dir')} "
+            f"({'resumable' if checkpoint.get('exists') else 'none'})",
+            f"history:    {len(history)} event(s): "
+            + " -> ".join(e.get("event", "?") for e in history[-8:]),
+        ]
+        return "\n".join(lines)

@@ -10,9 +10,27 @@ atomic I/O, so the queue survives any process dying at any instant:
   lease expires.  Created with ``O_CREAT | O_EXCL`` so exactly one worker
   wins; renewed in place (atomic replace) by the owner's heartbeat.
 - ``events.jsonl`` — append-only audit log (submitted, claimed, reclaimed,
-  heartbeats are elided, completed, failed, released).
+  heartbeats are elided, completed, failed, released, revoked,
+  dead_lettered, dlq_requeued).
 - ``results/<id>/`` — the job's working directory: its S2 checkpoint and,
   on completion, the synthesized dataset bundle + health report.
+- ``dlq/<id>/forensics.json`` — the dead-letter forensics bundle written
+  when a job exhausts its attempt budget: the job record at death, its
+  full event history, the last error, and pointers to whatever checkpoint
+  and health state the attempts left behind (see
+  :mod:`repro.service.dlq`).
+
+Submissions may carry an *idempotency key*: the job id is then derived
+from the key and the record is created with an atomic create-if-absent, so
+a client that retries ``POST /jobs`` after a timeout can never enqueue the
+same work twice — the retry observes the first submission's record.
+
+A note on clocks: lease expiry (``expires_unix``) is deliberately
+*wall-clock* time because it is compared across processes and machines —
+``time.monotonic`` has no cross-process meaning.  Leases therefore assume
+loosely synchronized clocks and tolerate skew up to the lease length;
+in-process deadline math (client waits, backoff, the stall watchdog)
+uses the monotonic clock instead.
 
 Crash recovery needs no janitor process: a claim whose lease expired *is*
 the crash signal.  :meth:`JobQueue.claim` treats such jobs as claimable
@@ -25,12 +43,14 @@ resumes the job bit-identically instead of starting over.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
 import uuid
 from dataclasses import dataclass, field
 
+from repro.runtime import faults
 from repro.runtime.io import as_path, atomic_write_json, read_json
 
 PENDING = "pending"
@@ -60,6 +80,7 @@ class Job:
     worker: str | None = None
     error: str | None = None
     result: dict = field(default_factory=dict)
+    idempotency_key: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -78,6 +99,7 @@ class Job:
             "worker": self.worker,
             "error": self.error,
             "result": dict(self.result),
+            "idempotency_key": self.idempotency_key,
         }
 
     @classmethod
@@ -98,7 +120,10 @@ class JobQueue:
         self.jobs_dir = self.root / "jobs"
         self.claims_dir = self.root / "claims"
         self.results_dir = self.root / "results"
-        for directory in (self.jobs_dir, self.claims_dir, self.results_dir):
+        self.dlq_dir = self.root / "dlq"
+        for directory in (
+            self.jobs_dir, self.claims_dir, self.results_dir, self.dlq_dir
+        ):
             directory.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -125,16 +150,21 @@ class JobQueue:
         return Job.from_dict(read_json(path, what=f"job record {job_id!r}"))
 
     def jobs(self) -> list[Job]:
-        """All job records, submission order (ids embed a timestamp)."""
+        """All job records, submission order.
+
+        Sorted by submission timestamp (ids derived from idempotency keys
+        carry no timestamp, so the record field is authoritative), with the
+        id as a deterministic tie-break.
+        """
         records = []
-        for path in sorted(self.jobs_dir.glob("*.json")):
+        for path in self.jobs_dir.glob("*.json"):
             try:
                 records.append(
                     Job.from_dict(read_json(path, what="job record"))
                 )
             except (ValueError, KeyError, TypeError):  # foreign/corrupt file
                 continue
-        return records
+        return sorted(records, key=lambda job: (job.submitted_unix, job.id))
 
     def depth(self) -> dict:
         """Queue composition for ``/stats`` (claimable counts expired leases)."""
@@ -146,6 +176,9 @@ class JobQueue:
             if self._claimable(job, now):
                 claimable += 1
         counts["claimable"] = claimable
+        # Failed means attempt-budget-exhausted, i.e. dead-lettered; the
+        # alias makes the DLQ depth visible by name in /stats.
+        counts["dlq"] = counts[FAILED]
         return counts
 
     # ------------------------------------------------------------------
@@ -160,10 +193,24 @@ class JobQueue:
         n_b: int | None = None,
         seed: int | None = None,
         max_attempts: int = 3,
+        idempotency_key: str | None = None,
     ) -> Job:
+        """Enqueue a job; returns the (possibly pre-existing) record.
+
+        With an ``idempotency_key`` the job id is derived from the key and
+        the record is created atomically only if absent: a retried
+        submission of the same key returns the original record (marked with
+        a transient ``duplicate=True`` attribute) instead of enqueueing the
+        work twice.
+        """
         now = time.time()
+        if idempotency_key:
+            digest = hashlib.sha256(idempotency_key.encode("utf-8")).hexdigest()
+            job_id = f"jk{digest[:20]}"
+        else:
+            job_id = f"j{int(now * 1000):013d}-{uuid.uuid4().hex[:6]}"
         job = Job(
-            id=f"j{int(now * 1000):013d}-{uuid.uuid4().hex[:6]}",
+            id=job_id,
             model=model,
             version=version,
             n_a=n_a,
@@ -171,10 +218,46 @@ class JobQueue:
             seed=seed,
             submitted_unix=now,
             max_attempts=max_attempts,
+            idempotency_key=idempotency_key,
         )
-        self._write(job)
+        job.duplicate = False
+        if idempotency_key:
+            if not self._create_if_absent(job):
+                existing = self.get(job.id)
+                existing.duplicate = True
+                return existing
+        else:
+            self._write(job)
         self._log("submitted", job.id, model=model)
         return job
+
+    def _create_if_absent(self, job: Job) -> bool:
+        """Publish a job record only if its id is unclaimed (atomic).
+
+        Same ``os.link``-from-staged trick as claim acquisition: the record
+        appears with its full content in one step, and exactly one of any
+        number of racing submitters wins.
+        """
+        path = self._job_path(job.id)
+        staged = self.jobs_dir / f".submit-{job.id}-{uuid.uuid4().hex[:8]}.tmp"
+        descriptor = os.open(staged, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                payload = json.dumps(job.to_dict(), indent=2).encode("utf-8")
+                faults.maybe_disk_fault(
+                    "queue.submit.write",
+                    partial=lambda: handle.write(payload[: len(payload) // 2]),
+                )
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            try:
+                os.link(staged, path)
+            except FileExistsError:
+                return False
+            return True
+        finally:
+            os.unlink(staged)
 
     # ------------------------------------------------------------------
     # Claims
@@ -209,15 +292,19 @@ class JobQueue:
         path = self._claim_path(job_id)
         staged = self.claims_dir / f".acquire-{job_id}-{uuid.uuid4().hex[:8]}"
         descriptor = os.open(staged, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        with os.fdopen(descriptor, "wb") as handle:
-            handle.write(
-                json.dumps(
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                payload = json.dumps(
                     {"worker": worker, "expires_unix": time.time() + lease_seconds}
                 ).encode("utf-8")
-            )
-            handle.flush()
-            os.fsync(handle.fileno())
-        try:
+                faults.maybe_disk_fault(
+                    "queue.claim.write",
+                    partial=lambda: handle.write(payload[: len(payload) // 2]),
+                )
+                handle.write(payload)
+                handle.flush()
+                faults.maybe_disk_fault("queue.claim.fsync")
+                os.fsync(handle.fileno())
             for _ in range(2):  # fresh attempt, then one steal attempt
                 try:
                     os.link(staged, path)
@@ -231,6 +318,7 @@ class JobQueue:
                     # link attempt, where only one of them can win again.
                     tombstone = self.claims_dir / f".stale-{job_id}-{uuid.uuid4().hex[:8]}"
                     try:
+                        faults.maybe_disk_fault("queue.claim.steal")
                         os.rename(path, tombstone)
                     except FileNotFoundError:
                         continue
@@ -267,15 +355,12 @@ class JobQueue:
             reclaimed = job.status == RUNNING
             if reclaimed and job.attempts >= job.max_attempts:
                 # Crash-looping job: every attempt died without reporting.
-                job.status = FAILED
                 job.error = job.error or (
                     f"worker crashed {job.attempts} time(s); attempt budget "
                     "exhausted"
                 )
-                job.finished_unix = time.time()
-                self._write(job)
+                self._dead_letter(job, worker=worker, reason="crash_loop")
                 self._release_claim(job.id)
-                self._log("failed", job.id, worker=worker, error=job.error)
                 continue
             job.status = RUNNING
             job.worker = worker
@@ -307,13 +392,48 @@ class JobQueue:
         except FileNotFoundError:
             pass
 
+    def revoke(self, job_id: str, *, reason: str = "revoked") -> bool:
+        """Forcibly break the current claim (the stall watchdog's lever).
+
+        The claim is atomically renamed away, so the owner's next heartbeat
+        — and any later attempt to complete/fail/release — raises
+        :class:`ClaimLost`, while the job immediately becomes reclaimable
+        by a healthy worker.  Returns ``False`` when there was no claim to
+        revoke.
+        """
+        tombstone = self.claims_dir / f".revoked-{job_id}-{uuid.uuid4().hex[:8]}"
+        try:
+            os.rename(self._claim_path(job_id), tombstone)
+        except FileNotFoundError:
+            return False
+        try:
+            os.unlink(tombstone)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        self._log("revoked", job_id, reason=reason)
+        return True
+
     # ------------------------------------------------------------------
     # Completion paths (claim holder only)
     # ------------------------------------------------------------------
     def _require_ownership(self, job_id: str, worker: str) -> None:
-        """A worker whose lease was stolen must not clobber the new owner."""
+        """A worker whose lease was stolen must not clobber the new owner.
+
+        Ownership means *currently holding the claim file*.  A missing
+        claim is also a loss: it means another worker stole the lease and
+        already finished (completion removes the claim) or a watchdog
+        revoked it — in either case this worker's result must be discarded,
+        or it would resurrect/overwrite a job someone else owns the
+        outcome of.
+        """
         claim = self._read_claim(job_id)
-        if claim is not None and claim.get("worker") != worker:
+        if claim is None:
+            raise ClaimLost(
+                f"worker {worker!r} no longer holds a claim on {job_id!r} "
+                "(lease revoked or the job was finished by another owner); "
+                "its result is discarded"
+            )
+        if claim.get("worker") != worker:
             raise ClaimLost(
                 f"worker {worker!r} lost the claim on {job_id!r} to "
                 f"{claim.get('worker')!r}; its result is discarded"
@@ -333,19 +453,17 @@ class JobQueue:
         return job
 
     def fail(self, job_id: str, worker: str, error: str) -> Job:
-        """Record a failure; requeue while attempts remain, else fail hard."""
+        """Record a failure; requeue while attempts remain, else dead-letter."""
         self._require_ownership(job_id, worker)
         job = self.get(job_id)
         job.worker = worker
         job.error = str(error)
         if job.attempts < job.max_attempts:
             job.status = PENDING
+            self._write(job)
             self._log("requeued", job_id, worker=worker, error=str(error)[:500])
         else:
-            job.status = FAILED
-            job.finished_unix = time.time()
-            self._log("failed", job_id, worker=worker, error=str(error)[:500])
-        self._write(job)
+            job = self._dead_letter(job, worker=worker, reason="attempts_exhausted")
         self._release_claim(job_id)
         return job
 
@@ -357,12 +475,112 @@ class JobQueue:
         """
         self._require_ownership(job_id, worker)
         job = self.get(job_id)
+        if job.status != RUNNING:
+            # Terminal or already-requeued record: releasing must never
+            # regress it (e.g. resurrect a completed job back to pending).
+            raise ClaimLost(
+                f"job {job_id!r} is {job.status!r}; worker {worker!r} has "
+                "nothing to release"
+            )
         job.status = PENDING
         job.worker = None
         job.attempts = max(0, job.attempts - 1)
         self._write(job)
         self._release_claim(job_id)
         self._log("released", job_id, worker=worker)
+        return job
+
+    # ------------------------------------------------------------------
+    # Dead-letter queue
+    # ------------------------------------------------------------------
+    def _dead_letter(self, job: Job, *, worker: str | None, reason: str) -> Job:
+        """Terminal failure: record forensics, then flip the job to failed.
+
+        Order matters for crash safety: the forensics bundle is written
+        *before* the status flip (the commit point), so a crash in between
+        leaves a pending bundle next to a still-running record — harmless —
+        never a failed job with no forensics.
+        """
+        forensics = {
+            "reason": reason,
+            "worker": worker,
+            "error": job.error,
+            "died_unix": time.time(),
+            "job": job.to_dict(),
+            "attempts": job.attempts,
+            "max_attempts": job.max_attempts,
+            "history": [e for e in self.events() if e.get("job") == job.id],
+            "checkpoint": self._checkpoint_pointer(job.id),
+            "health": self._last_health(job.id),
+        }
+        atomic_write_json(
+            self.dlq_dir / job.id / "forensics.json", forensics, indent=2
+        )
+        job.status = FAILED
+        job.finished_unix = time.time()
+        self._write(job)
+        self._log(
+            "dead_lettered", job.id, worker=worker, reason=reason,
+            error=(job.error or "")[:500],
+        )
+        return job
+
+    def _checkpoint_pointer(self, job_id: str) -> dict:
+        """Where (and whether) the job's S2 progress checkpoint survives."""
+        directory = self.results_dir / job_id / "checkpoint"
+        manifest = directory / "manifest.json"
+        pointer = {"dir": str(directory), "exists": manifest.exists()}
+        if pointer["exists"]:
+            try:
+                pointer["stages"] = sorted(
+                    read_json(manifest, what="checkpoint manifest")
+                    .get("stages", {})
+                )
+            except (ValueError, OSError):
+                pointer["stages"] = None  # torn/corrupt manifest: note it
+        return pointer
+
+    def _last_health(self, job_id: str) -> dict | None:
+        path = self.results_dir / job_id / "health.json"
+        if not path.exists():
+            return None
+        try:
+            return read_json(path, what="health report")
+        except (ValueError, OSError):
+            return None
+
+    def dead_letters(self) -> list[Job]:
+        """Jobs that exhausted their attempt budget (the DLQ, oldest first)."""
+        return [job for job in self.jobs() if job.status == FAILED]
+
+    def forensics(self, job_id: str) -> dict:
+        """The forensics bundle recorded when ``job_id`` was dead-lettered."""
+        path = self.dlq_dir / job_id / "forensics.json"
+        if not path.exists():
+            raise KeyError(
+                f"no forensics bundle for job {job_id!r} (is it dead-lettered?)"
+            )
+        return read_json(path, what=f"forensics bundle for {job_id!r}")
+
+    def requeue(self, job_id: str) -> Job:
+        """Return a dead-lettered job to pending with a fresh attempt budget.
+
+        The forensics bundle is left in place for the audit trail; the
+        job's surviving S2 checkpoint (if any) means the retried run
+        resumes rather than starting over.
+        """
+        job = self.get(job_id)
+        if job.status != FAILED:
+            raise ValueError(
+                f"job {job_id!r} is {job.status!r}, not dead-lettered"
+            )
+        job.status = PENDING
+        job.worker = None
+        job.error = None
+        job.attempts = 0
+        job.finished_unix = None
+        self._write(job)
+        self._log("dlq_requeued", job_id)
         return job
 
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.core.config import SERDConfig
 from repro.core.serd import SERDSynthesizer
+from repro.runtime import faults
 from repro.runtime.io import as_path, atomic_write_json, read_json
 from repro.schema.dataset import ERDataset
 from repro.schema.io import load_saved_dataset, save_dataset
@@ -167,6 +168,7 @@ class ModelRegistry:
                 meta["version"] = version
                 atomic_write_json(staging / "meta.json", meta, indent=2)
                 try:
+                    faults.maybe_disk_fault("registry.publish")
                     os.replace(staging, model_dir / version)
                     break
                 except OSError:

@@ -9,6 +9,12 @@ job queue, worker pool and HTTP front end — and owns their lifecycle:
   the workers (each commits its S2 checkpoint and releases its job back
   to pending), and exit — nothing in flight is lost, everything resumes
   on the next start because all queue/registry state is on disk.
+
+The service also owns its overload and liveness guards: an
+:class:`~repro.service.admission.AdmissionController` in front of the API
+(per-class in-flight budgets, pending-queue backpressure) and a
+:class:`~repro.service.worker.StallWatchdog` behind it (revokes jobs whose
+checkpoint stops advancing so a healthy worker can resume them).
 """
 
 from __future__ import annotations
@@ -17,11 +23,12 @@ import os
 import threading
 
 from repro.runtime.cancellation import CancellationToken
+from repro.service.admission import AdmissionController
 from repro.service.api import ServiceContext, make_server
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import JobQueue
 from repro.service.registry import ModelRegistry
-from repro.service.worker import WorkerPool
+from repro.service.worker import StallWatchdog, WorkerPool
 
 
 class SynthesisService:
@@ -36,13 +43,29 @@ class SynthesisService:
         port: int = 8765,
         n_workers: int = 2,
         lease_seconds: float = 30.0,
+        read_slots: int = 64,
+        write_slots: int = 8,
+        max_pending_jobs: int = 512,
+        stall_seconds: float | None = None,
     ):
         self.registry = ModelRegistry(registry_dir)
         self.queue = JobQueue(queue_dir)
         self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(
+            read_slots=read_slots,
+            write_slots=write_slots,
+            max_pending_jobs=max_pending_jobs,
+        )
         self.pool: WorkerPool | None = None
+        self.watchdog: StallWatchdog | None = None
         self.n_workers = int(n_workers)
         self.lease_seconds = float(lease_seconds)
+        # Stall detection has to be slower than honest checkpoint cadence;
+        # several lease periods is a safe default when not configured.
+        self.stall_seconds = (
+            float(stall_seconds) if stall_seconds is not None
+            else 4.0 * self.lease_seconds
+        )
         self._host = host
         self._port = int(port)
         self._server = None
@@ -70,8 +93,15 @@ class SynthesisService:
                 on_restart=lambda _code: self.metrics.count("workers.restarts"),
             )
             self.pool.start()
+        self.watchdog = StallWatchdog(
+            self.queue, stall_seconds=self.stall_seconds, metrics=self.metrics
+        ).start()
         context = ServiceContext(
-            self.registry, self.queue, self.metrics, worker_pool=self.pool
+            self.registry,
+            self.queue,
+            self.metrics,
+            worker_pool=self.pool,
+            admission=self.admission,
         )
         self._server = make_server(context, self._host, self._port)
         self._serve_thread = threading.Thread(
@@ -89,6 +119,9 @@ class SynthesisService:
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
             self._serve_thread = None
+        if self.watchdog is not None:
+            self.watchdog.stop()
+            self.watchdog = None
         if self.pool is not None:
             self.pool.drain(timeout=drain_timeout)
             self.pool = None

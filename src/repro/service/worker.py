@@ -17,7 +17,20 @@ buys the whole crash story:
 - on SIGTERM the worker drains gracefully: the cancellation token makes
   ``synthesize`` commit a final checkpoint and raise
   :class:`~repro.runtime.cancellation.SynthesisInterrupted`, and the job
-  is released back to pending with its progress intact.
+  is released back to pending with its progress intact;
+- each job runs under a :class:`~repro.runtime.cancellation.LinkedCancellationToken`
+  scoped to that job: the heartbeat thread trips it the moment the lease
+  is lost, so a worker that fell behind stops burning CPU on a job that
+  now belongs to someone else instead of racing the new owner to the
+  finish line.
+
+Heartbeats prove the *process* is alive, not that the *job* is making
+progress — a worker wedged inside a native call keeps heartbeating
+forever.  :class:`StallWatchdog` closes that gap: it fingerprints each
+running job's S2 progress checkpoint and, when a fingerprint stops
+advancing for ``stall_seconds``, revokes the claim so another worker can
+resume from the last committed checkpoint (the stalled worker's linked
+token aborts it if it ever wakes up).
 
 :class:`WorkerPool` runs N workers as separate OS processes (synthesis is
 CPU-bound; threads would fight the GIL), restarts any that die, and
@@ -37,11 +50,15 @@ import uuid
 
 import numpy as np
 
-from repro.runtime.cancellation import CancellationToken, SynthesisInterrupted
+from repro.runtime.cancellation import (
+    CancellationToken,
+    LinkedCancellationToken,
+    SynthesisInterrupted,
+)
 from repro.runtime.faults import InjectedInterrupt
 from repro.runtime.io import atomic_write_json
 from repro.schema.io import save_dataset
-from repro.service.queue import ClaimLost, Job, JobQueue
+from repro.service.queue import RUNNING, ClaimLost, Job, JobQueue
 from repro.service.registry import ModelRegistry
 
 
@@ -66,7 +83,9 @@ class Worker:
     # ------------------------------------------------------------------
     # Heartbeats
     # ------------------------------------------------------------------
-    def _heartbeat_loop(self, job_id: str, halt: threading.Event) -> None:
+    def _heartbeat_loop(
+        self, job_id: str, halt: threading.Event, job_stop: CancellationToken
+    ) -> None:
         interval = max(0.05, self.lease_seconds / 3.0)
         while not halt.wait(interval):
             try:
@@ -74,8 +93,11 @@ class Worker:
                     job_id, self.worker_id, lease_seconds=self.lease_seconds
                 )
             except Exception:
-                # Lease stolen or queue gone: stop renewing; the synthesis
-                # result of a stolen job is discarded at completion time.
+                # Lease stolen (or revoked by the stall watchdog): trip the
+                # job's token so synthesis aborts at its next safe point
+                # instead of finishing work that now belongs to another
+                # worker; ownership checks at completion reject us anyway.
+                job_stop.request("lease lost")
                 return
 
     # ------------------------------------------------------------------
@@ -87,14 +109,19 @@ class Worker:
         if job is None:
             return False
         halt = threading.Event()
+        # Job-scoped cancellation: trips with the worker's drain token OR
+        # for job-local reasons (heartbeat discovering the lease was lost).
+        job_stop = LinkedCancellationToken(self.stop)
         beater = threading.Thread(
-            target=self._heartbeat_loop, args=(job.id, halt), daemon=True
+            target=self._heartbeat_loop, args=(job.id, halt, job_stop), daemon=True
         )
         beater.start()
         try:
-            self._run_job(job)
+            self._run_job(job, job_stop)
         except SynthesisInterrupted:
             # Graceful drain: progress is checkpointed; give the job back.
+            # (If we stopped because the lease was lost, release raises
+            # ClaimLost — the job already has a new owner; walk away.)
             try:
                 self.queue.release(job.id, self.worker_id)
             except ClaimLost:
@@ -121,7 +148,7 @@ class Worker:
             beater.join(timeout=2.0)
         return True
 
-    def _run_job(self, job: Job) -> None:
+    def _run_job(self, job: Job, stop: CancellationToken | None = None) -> None:
         result_dir = self.queue.result_dir(job.id)
         synthesizer, entry = self.registry.load(job.model, job.version)
         if job.seed is not None:
@@ -134,7 +161,7 @@ class Worker:
             job.n_a,
             job.n_b,
             checkpoint_dir=result_dir / "checkpoint",
-            stop=self.stop,
+            stop=stop if stop is not None else self.stop,
         )
         dataset_dir = save_dataset(output.dataset, result_dir / "dataset")
         atomic_write_json(result_dir / "health.json", output.health, indent=2)
@@ -165,6 +192,108 @@ class Worker:
             else:
                 self.stop.wait(poll_seconds)
         return completed
+
+
+class StallWatchdog:
+    """Revokes jobs whose S2 progress checkpoint has stopped advancing.
+
+    Liveness (heartbeats) and progress are different properties: a worker
+    wedged in a native call, an NFS hang, or a pathological model keeps
+    its lease fresh while doing nothing.  The watchdog fingerprints each
+    running job's ``stage_s2_progress.json`` — ``(attempts, mtime_ns,
+    size)`` — and when a fingerprint holds still for ``stall_seconds`` it
+    revokes the claim.  The job's record stays ``running`` with no claim,
+    which to the queue looks exactly like an expired lease: the next
+    ``claim()`` reclaims it (attempt budget enforced, so a job that stalls
+    every attempt eventually dead-letters), and resume starts from the
+    last committed checkpoint.  If the hung worker ever wakes, its
+    heartbeat fails, its linked token trips, and ownership checks reject
+    anything it tries to write.
+
+    ``scan()`` is the whole algorithm and is callable directly from tests;
+    ``start()`` just runs it on a timer thread.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        *,
+        stall_seconds: float = 120.0,
+        poll_seconds: float | None = None,
+        metrics=None,
+        clock=time.monotonic,
+    ):
+        self.queue = queue
+        self.stall_seconds = float(stall_seconds)
+        self.poll_seconds = (
+            float(poll_seconds) if poll_seconds is not None
+            else max(0.25, self.stall_seconds / 4.0)
+        )
+        self.metrics = metrics
+        self.reclaimed = 0
+        self._clock = clock
+        # job id -> (fingerprint, monotonic time the fingerprint last changed)
+        self._seen: dict[str, tuple[tuple, float]] = {}
+        self._halt = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _fingerprint(self, job: Job) -> tuple:
+        progress = (
+            self.queue.result_dir(job.id) / "checkpoint" / "stage_s2_progress.json"
+        )
+        try:
+            stat = progress.stat()
+            return (job.attempts, stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            # No checkpoint yet: "not started" is itself a fingerprint — a
+            # job that never writes its first checkpoint is also stalled.
+            return (job.attempts, "no-checkpoint")
+
+    def scan(self) -> list[str]:
+        """One sweep; returns the ids of jobs revoked as stalled."""
+        now = self._clock()
+        running: dict[str, Job] = {
+            job.id: job for job in self.queue.jobs() if job.status == RUNNING
+        }
+        for gone in set(self._seen) - set(running):
+            del self._seen[gone]
+        revoked: list[str] = []
+        for job_id, job in running.items():
+            fingerprint = self._fingerprint(job)
+            seen = self._seen.get(job_id)
+            if seen is None or seen[0] != fingerprint:
+                self._seen[job_id] = (fingerprint, now)
+                continue
+            if now - seen[1] < self.stall_seconds:
+                continue
+            if self.queue.revoke(job_id, reason="stalled"):
+                self.reclaimed += 1
+                revoked.append(job_id)
+                del self._seen[job_id]
+                if self.metrics is not None:
+                    self.metrics.count("stall.reclaims")
+        return revoked
+
+    def start(self) -> "StallWatchdog":
+        self._halt.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._halt.wait(self.poll_seconds):
+            try:
+                self.scan()
+            except Exception:
+                # The watchdog must never take the service down; a torn
+                # read this sweep is retried next sweep.
+                continue
+
+    def stop(self) -> None:
+        self._halt.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
 
 
 class WorkerPool:

@@ -1,0 +1,201 @@
+"""Disk-fault injection: every durable write is atomic or absent.
+
+Arms :class:`DiskFault` plans (ENOSPC mid-write / failed fsync / failed
+rename) at each durable commit point — ``atomic_write_bytes``, stage
+checkpoint commits, queue claim acquisition and stale-lease steal, job
+record writes, registry version publish — and asserts the two properties
+the failure model promises:
+
+1. **old-or-new**: after the fault, readers see the complete previous
+   state (or nothing, for first writes) — never a torn file;
+2. **retryable**: the same operation succeeds once the fault clears, with
+   no leftover temp/staging debris in the way.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.runtime import DiskFault, FaultPlan, FaultSpec, inject_faults
+from repro.runtime.checkpoint import StageCheckpointer
+from repro.runtime.io import atomic_write_json, read_json
+from repro.service import JobQueue
+
+pytestmark = pytest.mark.fault_injection
+
+_IO_SITES = ("io.write", "io.fsync", "io.rename")
+
+
+def _tmp_debris(directory):
+    return [p.name for p in directory.iterdir() if p.name.startswith(".")]
+
+
+class TestAtomicWrite:
+    @pytest.mark.parametrize("site", _IO_SITES)
+    def test_fault_preserves_previous_content(self, tmp_path, site):
+        target = tmp_path / "state.json"
+        atomic_write_json(target, {"generation": 1})
+        with inject_faults(FaultPlan(FaultSpec(site, at_calls=(1,)))) as plan:
+            with pytest.raises(DiskFault):
+                atomic_write_json(target, {"generation": 2})
+        assert plan.fired(site) == 1
+        # Old-or-new: the reader still sees generation 1, bit-exact.
+        assert read_json(target) == {"generation": 1}
+        # Retryable: no temp debris, and the clean retry lands.
+        assert _tmp_debris(tmp_path) == []
+        atomic_write_json(target, {"generation": 2})
+        assert read_json(target) == {"generation": 2}
+
+    @pytest.mark.parametrize("site", _IO_SITES)
+    def test_fault_on_first_write_leaves_nothing(self, tmp_path, site):
+        target = tmp_path / "fresh.json"
+        with inject_faults(FaultPlan(FaultSpec(site, at_calls=(1,)))):
+            with pytest.raises(DiskFault):
+                atomic_write_json(target, {"generation": 1})
+        assert not target.exists()
+        assert _tmp_debris(tmp_path) == []
+
+    def test_torn_write_is_never_observable(self, tmp_path):
+        # The io.write fault flushes *half* the payload into the temp file
+        # before raising — the torn-write scenario.  The publish path must
+        # ensure those bytes are never visible at the target path.
+        target = tmp_path / "state.json"
+        atomic_write_json(target, {"generation": 1})
+        with inject_faults(FaultPlan(FaultSpec("io.write", at_calls=(1,)))):
+            with pytest.raises(DiskFault):
+                atomic_write_json(target, {"generation": 2, "pad": "x" * 256})
+        json.loads(target.read_text())  # parseable == not torn
+
+    def test_payload_selects_errno(self, tmp_path):
+        plan = FaultPlan(FaultSpec("io.write", at_calls=(1,), payload=errno.EIO))
+        with inject_faults(plan):
+            with pytest.raises(DiskFault) as excinfo:
+                atomic_write_json(tmp_path / "x.json", {})
+        assert excinfo.value.errno == errno.EIO
+        assert "EIO" in str(excinfo.value)
+
+    def test_default_errno_is_enospc(self, tmp_path):
+        with inject_faults(FaultPlan(FaultSpec("io.fsync", at_calls=(1,)))):
+            with pytest.raises(DiskFault) as excinfo:
+                atomic_write_json(tmp_path / "x.json", {})
+        assert excinfo.value.errno == errno.ENOSPC
+
+
+class TestCheckpointCommit:
+    def test_fault_mid_commit_keeps_previous_stage_payload(self, tmp_path):
+        checkpointer = StageCheckpointer(tmp_path / "ckpt")
+        checkpointer.commit("s2", {"accepted": 10})
+        # Call 1 of io.write inside commit() is the payload write.
+        with inject_faults(FaultPlan(FaultSpec("io.write", at_calls=(1,)))):
+            with pytest.raises(DiskFault):
+                checkpointer.commit("s2", {"accepted": 20})
+        reopened = StageCheckpointer(tmp_path / "ckpt")
+        assert reopened.has("s2")
+        assert reopened.load("s2") == {"accepted": 10}
+        reopened.commit("s2", {"accepted": 20})
+        assert reopened.load("s2") == {"accepted": 20}
+
+    def test_fault_on_manifest_write_keeps_commit_invisible(self, tmp_path):
+        # The manifest write (call 2) is the commit point; failing it must
+        # leave the new payload unpublished to `has()` readers.
+        checkpointer = StageCheckpointer(tmp_path / "ckpt")
+        with inject_faults(FaultPlan(FaultSpec("io.write", at_calls=(2,)))):
+            with pytest.raises(DiskFault):
+                checkpointer.commit("s2", {"accepted": 10})
+        reopened = StageCheckpointer(tmp_path / "ckpt")
+        assert not reopened.has("s2")
+
+
+class TestQueueClaims:
+    @pytest.fixture
+    def queue(self, tmp_path):
+        return JobQueue(tmp_path / "queue")
+
+    @pytest.mark.parametrize("site", ("queue.claim.write", "queue.claim.fsync"))
+    def test_claim_fault_leaves_job_claimable(self, queue, site):
+        job = queue.submit("m")
+        with inject_faults(FaultPlan(FaultSpec(site, at_calls=(1,)))):
+            with pytest.raises(DiskFault):
+                queue.claim("w1")
+        # The failed acquisition left no claim file and no staged debris;
+        # the job record is untouched and a healthy worker claims it.
+        assert queue.get(job.id).status == "pending"
+        assert _tmp_debris(queue.claims_dir) == []
+        claimed = queue.claim("w2")
+        assert claimed is not None and claimed.worker == "w2"
+
+    def test_steal_fault_keeps_stale_claim_intact(self, queue):
+        import time
+
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.1)
+        with inject_faults(FaultPlan(FaultSpec("queue.claim.steal", at_calls=(1,)))):
+            with pytest.raises(DiskFault):
+                queue.claim("w2")
+        # The steal never happened: w1's (stale) claim file is still the
+        # one on disk, so a later steal retry starts from a clean slate.
+        assert queue._read_claim(job.id)["worker"] == "w1"
+        reclaimed = queue.claim("w2")
+        assert reclaimed is not None and reclaimed.worker == "w2"
+        assert reclaimed.attempts == 2
+
+    def test_complete_under_disk_fault_is_retryable(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1")
+        with inject_faults(FaultPlan(FaultSpec("io.write", at_calls=(1,)))):
+            with pytest.raises(DiskFault):
+                queue.complete(job.id, "w1", {"n_a": 5})
+        # The record write failed before the claim was released: the job
+        # still reads as running/owned, and the retry completes it.
+        record = queue.get(job.id)
+        assert record.status == "running" and record.worker == "w1"
+        done = queue.complete(job.id, "w1", {"n_a": 5})
+        assert done.status == "done" and done.result == {"n_a": 5}
+
+    def test_enospc_burst_during_submissions(self, queue):
+        # Several consecutive submissions hit ENOSPC; each failed submit
+        # must be invisible (no half-registered job) and the queue keeps
+        # working once space returns.
+        spec = FaultSpec("queue.submit.write", at_calls=(1, 2, 3))
+        accepted, rejected = [], 0
+        with inject_faults(FaultPlan(spec)):
+            for index in range(6):
+                try:
+                    accepted.append(queue.submit("m", idempotency_key=f"k{index}"))
+                except DiskFault:
+                    rejected += 1
+        assert rejected == 3 and len(accepted) == 3
+        assert len(queue.jobs()) == 3
+        # The rejected submissions retry cleanly with the same keys and
+        # dedup against nothing — they never made it in the first time.
+        retried = [queue.submit("m", idempotency_key=f"k{i}") for i in range(3)]
+        assert all(not job.duplicate for job in retried)
+        assert len(queue.jobs()) == 6
+
+
+class TestRegistryPublish:
+    def test_publish_fault_leaves_no_version(self, tmp_path, tiny_restaurant):
+        from repro.core import SERDConfig
+        from repro.service import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "registry")
+        config = SERDConfig(seed=5, checkpoint_every=5)
+        with inject_faults(FaultPlan(FaultSpec("registry.publish", at_calls=(1,)))):
+            with pytest.raises(DiskFault):
+                registry.register(
+                    "restaurant", tiny_restaurant, config, train_gan=False
+                )
+        # Atomic publish: the failed registration is fully invisible — no
+        # version listed, no staging directory left behind.
+        assert registry.versions("restaurant") == []
+        model_dir = tmp_path / "registry" / "restaurant"
+        assert not any(model_dir.glob(".staging-*"))
+        # And the clean retry publishes v1 loadable as usual.
+        entry = registry.register(
+            "restaurant", tiny_restaurant, config, train_gan=False
+        )
+        assert entry.version == "v1"
+        synthesizer, loaded = registry.load("restaurant")
+        assert loaded.version == "v1"

@@ -1,0 +1,317 @@
+"""Overload behavior: admission control, retrying client, circuit breaker.
+
+The serving stack's promise under stress: saturated budgets shed with
+structured 429s (reads keep working while writes are saturated), every
+error body is machine-readable, retried submissions are idempotent, the
+client backs off with jitter and fails fast once the circuit opens, and
+all deadline math survives wall-clock jumps.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.service import JobQueue
+from repro.service.admission import READ, WRITE, AdmissionController, Deadline
+from repro.service.api import ServiceContext, make_server
+from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+
+
+def _no_retry(url):
+    """A client that surfaces the first response verbatim (no retries)."""
+    return ServiceClient(url, retry_policy=RetryPolicy(max_attempts=1))
+
+
+@pytest.fixture
+def overloadable(service_registry, tmp_path):
+    """A live API with tiny, manually holdable admission budgets."""
+    queue = JobQueue(tmp_path / "queue")
+    admission = AdmissionController(
+        read_slots=2, write_slots=1, max_pending_jobs=3,
+        retry_after_seconds=0.05,
+    )
+    context = ServiceContext(service_registry, queue, admission=admission)
+    server = make_server(context, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        yield url, queue, context, admission
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestAdmissionSheds:
+    def test_saturated_writes_shed_429_with_retry_after(self, overloadable):
+        url, _, _, admission = overloadable
+        client = _no_retry(url)
+        with admission.admit(WRITE):  # the one write slot is taken
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit("restaurant")
+        error = excinfo.value
+        assert error.status == 429
+        assert error.code == "overloaded"
+        assert error.retryable is True
+        assert error.retry_after is not None  # Retry-After header made it
+
+    def test_reads_keep_working_under_write_saturation(self, overloadable):
+        url, _, _, admission = overloadable
+        client = _no_retry(url)
+        with admission.admit(WRITE):
+            assert client.models()  # cheap reads are not starved
+            assert client.stats()["admission"]["in_flight"][WRITE] == 1
+
+    def test_health_is_exempt_from_admission(self, overloadable):
+        url, _, _, admission = overloadable
+        client = _no_retry(url)
+        with admission.admit(READ), admission.admit(READ):  # reads full
+            with pytest.raises(ServiceError) as excinfo:
+                client.models()
+            assert excinfo.value.status == 429
+            assert client.health() == {"status": "ok"}  # liveness still up
+
+    def test_deep_backlog_sheds_submissions(self, overloadable):
+        url, queue, _, _ = overloadable
+        client = _no_retry(url)
+        for _ in range(3):  # fill the pending budget
+            client.submit("restaurant")
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("restaurant")
+        error = excinfo.value
+        assert error.status == 429 and error.code == "queue_full"
+        assert error.retry_after >= 5.0  # backlog drains slowly; back off
+        assert len(queue.jobs()) == 3
+
+    def test_shed_counters_surface_in_stats(self, overloadable):
+        url, _, context, admission = overloadable
+        client = _no_retry(url)
+        with admission.admit(WRITE):
+            with pytest.raises(ServiceError):
+                client.submit("restaurant")
+        stats = client.stats()
+        assert stats["admission"]["shed"][WRITE] == 1
+        assert stats["counters"]["admission.shed.overloaded"] == 1
+
+
+class TestStructuredErrors:
+    def test_error_body_shape(self, overloadable):
+        url, _, _, _ = overloadable
+        import json
+        import urllib.error
+        import urllib.request
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{url}/nope")
+        body = json.loads(excinfo.value.read().decode("utf-8"))
+        assert set(body) == {"error"}
+        assert body["error"]["code"] == "not_found"
+        assert body["error"]["retryable"] is False
+        assert "no route" in body["error"]["message"]
+
+    def test_client_raises_typed_error_with_code(self, overloadable):
+        url, _, _, _ = overloadable
+        client = _no_retry(url)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("no-such-model")
+        error = excinfo.value
+        assert (error.status, error.code, error.retryable) == (404, "not_found", False)
+
+    def test_lapsed_deadline_is_retryable_503(self, overloadable, service_real):
+        url, _, context, _ = overloadable
+        context.deadline_seconds[WRITE] = 0.0  # every write deadline lapses
+        client = _no_retry(url)
+        a_id, b_id = service_real.matches[0]
+        pair = [
+            list(service_real.table_a[a_id].values),
+            list(service_real.table_b[b_id].values),
+        ]
+        with pytest.raises(ServiceError) as excinfo:
+            client.label("restaurant", [pair])
+        error = excinfo.value
+        assert error.status == 503
+        assert error.code == "deadline_exceeded"
+        assert error.retryable is True
+
+
+class TestRetryingClient:
+    def test_retry_recovers_once_the_slot_frees(self, overloadable):
+        url, queue, context, admission = overloadable
+        client = ServiceClient(
+            url,
+            retry_policy=RetryPolicy(max_attempts=12, base_delay=0.02, max_delay=0.1),
+            rng=random.Random(7),
+        )
+        hold = admission.admit(WRITE)
+        hold.__enter__()
+        threading.Timer(0.3, lambda: hold.__exit__(None, None, None)).start()
+        job = client.submit("restaurant")  # shed at first, lands on retry
+        assert job["status"] == "pending"
+        assert client.metrics["retries"] >= 1
+        assert client.metrics["shed_responses"] >= 1
+        # The retried request carried X-Retry-Attempt; the server counted it.
+        assert context.metrics.snapshot()["counters"]["http.retried_requests"] >= 1
+
+    def test_non_retryable_errors_are_not_retried(self, overloadable):
+        url, _, _, _ = overloadable
+        client = ServiceClient(
+            url, retry_policy=RetryPolicy(max_attempts=6, base_delay=0.02)
+        )
+        with pytest.raises(ServiceError):
+            client.submit("no-such-model")
+        assert client.metrics["retries"] == 0
+
+    def test_idempotent_submit_never_double_enqueues(self, overloadable):
+        url, queue, context, _ = overloadable
+        client = _no_retry(url)
+        first = client.submit("restaurant", idempotency_key="retry-me")
+        second = client.submit("restaurant", idempotency_key="retry-me")
+        assert second["id"] == first["id"]
+        assert len(queue.jobs()) == 1
+        counters = context.metrics.snapshot()["counters"]
+        assert counters["jobs.deduplicated"] == 1
+
+    def test_auto_generated_keys_differ(self, overloadable):
+        url, queue, _, _ = overloadable
+        client = _no_retry(url)
+        assert client.submit("restaurant")["id"] != client.submit("restaurant")["id"]
+        assert len(queue.jobs()) == 2
+
+    def test_concurrent_flood_exactly_once(self, service_registry, tmp_path):
+        # A flood of retrying clients against one write slot: every
+        # submission eventually lands, and lands exactly once (distinct
+        # idempotency keys -> distinct jobs; retries never duplicate).
+        queue = JobQueue(tmp_path / "queue")
+        admission = AdmissionController(
+            write_slots=1, max_pending_jobs=100, retry_after_seconds=0.02
+        )
+        context = ServiceContext(service_registry, queue, admission=admission)
+        server = make_server(context, "127.0.0.1", 0)
+        serve = threading.Thread(target=server.serve_forever, daemon=True)
+        serve.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        results, errors = [], []
+
+        def flood(index: int) -> None:
+            client = ServiceClient(
+                url,
+                retry_policy=RetryPolicy(
+                    max_attempts=30, base_delay=0.01, max_delay=0.05
+                ),
+                circuit=CircuitBreaker(failure_threshold=1000),
+                rng=random.Random(index),
+            )
+            try:
+                # Two sends per logical submission — a deliberate client
+                # "retry" of the same key after the first already landed.
+                job = client.submit("restaurant", idempotency_key=f"flood-{index}")
+                dup = client.submit("restaurant", idempotency_key=f"flood-{index}")
+                results.append((job["id"], dup["id"]))
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=flood, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        server.shutdown()
+        server.server_close()
+        serve.join(timeout=5)
+        assert errors == []
+        assert all(first == second for first, second in results)
+        assert len({first for first, _ in results}) == 8
+        assert len(queue.jobs()) == 8  # exactly once each, no extras
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures_and_fails_fast(self):
+        # Nothing listens on this port: every call is a transport error.
+        client = ServiceClient(
+            "http://127.0.0.1:9",
+            timeout=0.2,
+            retry_policy=RetryPolicy(max_attempts=1),
+            circuit=CircuitBreaker(failure_threshold=2, cooldown_seconds=60.0),
+        )
+        for _ in range(2):
+            with pytest.raises(ServiceError):
+                client.health()
+        assert client.circuit.is_open
+        started = time.monotonic()
+        with pytest.raises(CircuitOpenError):
+            client.health()
+        assert time.monotonic() - started < 0.1  # no connect attempt
+        assert client.circuit.opens == 1
+
+    def test_half_open_probe_closes_on_success(self):
+        clock = [0.0]
+        circuit = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10.0, clock=lambda: clock[0]
+        )
+        circuit.record(success=False)
+        with pytest.raises(CircuitOpenError):
+            circuit.before_request()
+        clock[0] = 11.0
+        circuit.before_request()  # the half-open probe is admitted
+        circuit.record(success=True)
+        assert not circuit.is_open
+        circuit.before_request()  # fully closed again
+
+    def test_failed_probe_rearms_the_cooldown(self):
+        clock = [0.0]
+        circuit = CircuitBreaker(
+            failure_threshold=1, cooldown_seconds=10.0, clock=lambda: clock[0]
+        )
+        circuit.record(success=False)
+        clock[0] = 11.0
+        circuit.before_request()
+        circuit.record(success=False)  # probe failed
+        clock[0] = 12.0
+        with pytest.raises(CircuitOpenError):  # cooldown restarted at t=11
+            circuit.before_request()
+
+
+class TestClockDiscipline:
+    """Satellite of the lease audit: in-process deadlines are monotonic."""
+
+    def test_wait_survives_wall_clock_jumps(self, overloadable, monkeypatch):
+        url, queue, _, _ = overloadable
+        client = _no_retry(url)
+        job = client.submit("restaurant")
+
+        real_time = time.time
+        jumps = [0]
+
+        def jumpy() -> float:
+            # Every wall-clock read lands one more hour in the future — an
+            # NTP step / suspend-resume storm while the client waits.
+            jumps[0] += 1
+            return real_time() + jumps[0] * 3600.0
+
+        def finish() -> None:
+            claimed = queue.claim("w1", lease_seconds=3600)
+            queue.complete(claimed.id, "w1", {"n_a": 1})
+
+        monkeypatch.setattr(time, "time", jumpy)
+        threading.Timer(0.4, finish).start()
+        # A wall-clock-based deadline would read hours as already elapsed
+        # and raise TimeoutError instantly; the monotonic one waits out
+        # the real 0.4s and sees the job finish.
+        record = client.wait(job["id"], timeout=30.0, poll_seconds=0.1)
+        assert record["status"] == "done"
+
+    def test_deadline_uses_monotonic_clock(self, monkeypatch):
+        real_time = time.time
+        monkeypatch.setattr(time, "time", lambda: real_time() + 7200.0)
+        deadline = Deadline(5.0)
+        assert not deadline.expired
+        assert 4.0 < deadline.remaining <= 5.0

@@ -4,7 +4,7 @@ import time
 
 import pytest
 
-from repro.service import JobQueue
+from repro.service import DeadLetterQueue, JobQueue
 from repro.service.queue import ClaimLost
 
 
@@ -143,3 +143,162 @@ class TestCompletion:
         events = queue.events()
         assert [e["event"] for e in events] == ["submitted", "claimed", "completed"]
         assert all(e["job"] == job.id for e in events)
+
+
+class TestIdempotentSubmission:
+    def test_same_key_returns_same_job(self, queue):
+        first = queue.submit("m", idempotency_key="k1")
+        retry = queue.submit("m", idempotency_key="k1")
+        assert retry.id == first.id
+        assert not first.duplicate and retry.duplicate
+        assert len(queue.jobs()) == 1
+
+    def test_different_keys_are_distinct_jobs(self, queue):
+        first = queue.submit("m", idempotency_key="k1")
+        second = queue.submit("m", idempotency_key="k2")
+        assert first.id != second.id
+        assert len(queue.jobs()) == 2
+
+    def test_retry_after_completion_sees_the_result(self, queue):
+        # The ambiguous-failure scenario: the client's first POST landed
+        # and even finished, then the retry arrives.  It must observe the
+        # completed job, not enqueue a second run.
+        job = queue.submit("m", idempotency_key="k1")
+        queue.claim("w1")
+        queue.complete(job.id, "w1", {"n_a": 5})
+        retry = queue.submit("m", idempotency_key="k1")
+        assert retry.id == job.id
+        assert retry.status == "done"
+        assert retry.result == {"n_a": 5}
+
+    def test_keyless_submissions_never_collide(self, queue):
+        assert queue.submit("m").id != queue.submit("m").id
+
+
+class TestRevoke:
+    def test_revoke_makes_job_reclaimable(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=300)
+        assert queue.revoke(job.id, reason="stalled")
+        reclaimed = queue.claim("w2")
+        assert reclaimed is not None and reclaimed.worker == "w2"
+        assert reclaimed.attempts == 2
+        assert "revoked" in [e["event"] for e in queue.events()]
+
+    def test_revoked_owner_loses_every_verb(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=300)
+        queue.revoke(job.id)
+        with pytest.raises(ClaimLost):
+            queue.heartbeat(job.id, "w1")
+        with pytest.raises(ClaimLost):
+            queue.complete(job.id, "w1", {})
+        with pytest.raises(ClaimLost):
+            queue.fail(job.id, "w1", "boom")
+
+    def test_revoke_without_claim_is_noop(self, queue):
+        job = queue.submit("m")
+        assert not queue.revoke(job.id)
+
+
+class TestAdversarialStealTiming:
+    """A stale worker waking up mid/post-steal must always lose."""
+
+    def test_resumed_heartbeats_after_steal_are_rejected(self, queue):
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.1)  # w1 wedges; its lease lapses
+        queue.claim("w2", lease_seconds=300)
+        # w1 un-wedges and tries to carry on exactly as before: renew the
+        # lease, then report its (now stale) result.  Every verb must fail
+        # and none may disturb w2's ownership.
+        with pytest.raises(ClaimLost):
+            queue.heartbeat(job.id, "w1", lease_seconds=300)
+        with pytest.raises(ClaimLost):
+            queue.complete(job.id, "w1", {"winner": "w1"})
+        record = queue.get(job.id)
+        assert record.status == "running" and record.worker == "w2"
+        done = queue.complete(job.id, "w2", {"winner": "w2"})
+        assert done.result == {"winner": "w2"}
+
+    def test_stale_worker_cannot_resurrect_a_finished_job(self, queue):
+        # Hardest timing: the thief already *finished* (completion removes
+        # the claim file), so the stale worker sees no claim at all.  A
+        # missing claim must read as "you lost", never as "unclaimed, go
+        # ahead" — otherwise the done job is resurrected or overwritten.
+        job = queue.submit("m")
+        queue.claim("w1", lease_seconds=0.05)
+        time.sleep(0.1)
+        queue.claim("w2", lease_seconds=300)
+        queue.complete(job.id, "w2", {"winner": "w2"})
+        with pytest.raises(ClaimLost):
+            queue.complete(job.id, "w1", {"winner": "w1"})
+        with pytest.raises(ClaimLost):
+            queue.release(job.id, "w1")
+        with pytest.raises(ClaimLost):
+            queue.fail(job.id, "w1", "boom")
+        record = queue.get(job.id)
+        assert record.status == "done"
+        assert record.result == {"winner": "w2"}
+        events = [e["event"] for e in queue.events()]
+        assert events.count("completed") == 1  # exactly one owner finished
+
+
+class TestDeadLetterQueue:
+    def test_exhausted_failures_dead_letter_with_forensics(self, queue):
+        job = queue.submit("m", max_attempts=1)
+        queue.claim("w1")
+        failed = queue.fail(job.id, "w1", "ValueError: boom")
+        assert failed.status == "failed"
+        bundle = queue.forensics(job.id)
+        assert bundle["reason"] == "attempts_exhausted"
+        assert bundle["worker"] == "w1"
+        assert "boom" in bundle["error"]
+        assert [e["event"] for e in bundle["history"]] == ["submitted", "claimed"]
+        assert bundle["checkpoint"]["exists"] is False
+        assert "dead_lettered" in [e["event"] for e in queue.events()]
+        assert queue.depth()["dlq"] == 1
+
+    def test_crash_loop_dead_letters(self, queue):
+        job = queue.submit("m", max_attempts=1)
+        queue.claim("w1", lease_seconds=0.01)
+        time.sleep(0.05)
+        assert queue.claim("w2") is None  # refuses, dead-letters instead
+        assert queue.forensics(job.id)["reason"] == "crash_loop"
+
+    def test_forensics_missing_raises(self, queue):
+        job = queue.submit("m")
+        with pytest.raises(KeyError, match="forensics"):
+            queue.forensics(job.id)
+
+    def test_requeue_resets_the_attempt_budget(self, queue):
+        job = queue.submit("m", max_attempts=1)
+        queue.claim("w1")
+        queue.fail(job.id, "w1", "boom")
+        requeued = queue.requeue(job.id)
+        assert requeued.status == "pending"
+        assert requeued.attempts == 0 and requeued.error is None
+        reclaimed = queue.claim("w2")
+        assert reclaimed.id == job.id
+        queue.complete(job.id, "w2", {})
+        # The forensics bundle survives the requeue as an audit trail.
+        assert queue.forensics(job.id)["reason"] == "attempts_exhausted"
+
+    def test_requeue_refuses_non_dead_jobs(self, queue):
+        job = queue.submit("m")
+        with pytest.raises(ValueError, match="not dead-lettered"):
+            queue.requeue(job.id)
+
+    def test_operator_wrapper(self, queue, tmp_path):
+        job = queue.submit("m", max_attempts=1)
+        queue.claim("w1")
+        queue.fail(job.id, "w1", "boom")
+        dlq = DeadLetterQueue(queue)
+        assert dlq.depth() == 1
+        assert [j.id for j in dlq.list()] == [job.id]
+        assert job.id in DeadLetterQueue.describe(dlq.list()[0])
+        summary = DeadLetterQueue.summarize(dlq.inspect(job.id))
+        assert "attempts_exhausted" in summary
+        assert dlq.requeue(job.id).status == "pending"
+        # Opening by path (the CLI's entry point) sees the same queue.
+        assert DeadLetterQueue(queue.root).depth() == 0

@@ -1,0 +1,202 @@
+"""Stall watchdog: hung-but-heartbeating workers are detected and reclaimed.
+
+The scenario heartbeat liveness cannot catch: a worker wedges mid-S2 (the
+``synthesize.stall`` fault blocks it on an Event) while its heartbeat
+thread keeps the lease perfectly fresh.  The watchdog must notice the
+progress checkpoint has stopped advancing, revoke the claim, and let a
+healthy worker resume from the last committed checkpoint — bit-identical
+to an uninterrupted run.  If the hung worker ever wakes, it must abandon:
+the job is never completed twice.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.faults import FaultPlan, FaultSpec, inject_faults
+from repro.schema.io import load_saved_dataset
+from repro.service import DeadLetterQueue, JobQueue, StallWatchdog, Worker
+
+pytestmark = pytest.mark.fault_injection
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+def _baseline_dataset(registry, seed, n_a, n_b):
+    synthesizer, _ = registry.load("restaurant")
+    synthesizer.rng = np.random.default_rng(seed)
+    with pytest.warns(RuntimeWarning):  # tiny scale livelocks; expected
+        return synthesizer.synthesize(n_a, n_b).dataset
+
+
+def _assert_same_dataset(actual, expected):
+    assert [e.values for e in actual.table_a] == [e.values for e in expected.table_a]
+    assert [e.values for e in actual.table_b] == [e.values for e in expected.table_b]
+    assert actual.matches == expected.matches
+    assert actual.non_matches == expected.non_matches
+
+
+def _start_hung_worker(queue, registry, hang, *, stall_at, lease_seconds=1.0):
+    """Run one worker in a thread that will wedge at S2 step ``stall_at``.
+
+    Returns ``(thread, worker, plan)``; the caller owns ``hang.set()`` and
+    must join the thread.  The fault plan stays armed for the whole test
+    (plans are process-global), but the one-shot call index means a
+    resuming worker — whose site counter continues past ``stall_at`` —
+    never re-triggers it.
+    """
+    worker = Worker(
+        queue, registry, worker_id="wedged", lease_seconds=lease_seconds
+    )
+    plan = FaultPlan(
+        FaultSpec("synthesize.stall", at_calls=(stall_at,), payload=hang.wait)
+    )
+    thread = threading.Thread(target=worker.run_once, daemon=True)
+    return thread, worker, plan
+
+
+def _wait_for(predicate, *, timeout=60.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise AssertionError(f"timed out waiting for {message}")
+        time.sleep(0.05)
+
+
+class TestStallDetection:
+    def test_hung_worker_detected_reclaimed_bit_identical(
+        self, queue, service_registry
+    ):
+        expected = _baseline_dataset(service_registry, seed=7, n_a=20, n_b=20)
+        job = queue.submit("restaurant", n_a=20, n_b=20, seed=7)
+        hang = threading.Event()
+        thread, worker, plan = _start_hung_worker(
+            queue, service_registry, hang, stall_at=12
+        )
+        try:
+            with inject_faults(plan):
+                thread.start()
+                _wait_for(
+                    lambda: plan.fired("synthesize.stall") == 1,
+                    message="the worker to wedge at step 12",
+                )
+
+                # The wedged worker is *alive*: its heartbeats outlast the
+                # 1s lease, so lease expiry alone never frees the job.
+                time.sleep(2.0)
+                assert queue.claim("probe") is None
+
+                # The watchdog sees what heartbeats cannot: the progress
+                # fingerprint froze.  First scan records it, a later scan
+                # past the stall budget revokes the claim.
+                watchdog = StallWatchdog(queue, stall_seconds=0.5)
+                assert watchdog.scan() == []
+                time.sleep(0.7)
+                assert watchdog.scan() == [job.id]
+                assert watchdog.reclaimed == 1
+                assert "revoked" in [e["event"] for e in queue.events()]
+
+                # A healthy worker reclaims and resumes from the step-10
+                # checkpoint the wedged worker committed before freezing.
+                rescuer = Worker(
+                    queue, service_registry, worker_id="rescuer", lease_seconds=30
+                )
+                with pytest.warns(RuntimeWarning):
+                    assert rescuer.run_once()
+        finally:
+            hang.set()
+            thread.join(timeout=30)
+
+        record = queue.get(job.id)
+        assert record.status == "done"
+        assert record.worker == "rescuer"
+        assert record.attempts == 2
+        _assert_same_dataset(
+            load_saved_dataset(record.result["dataset_dir"]), expected
+        )
+        # The wedged worker woke up after the finish line and abandoned:
+        # exactly one completion, and the rescuer's result was untouched.
+        assert not thread.is_alive()
+        events = [e["event"] for e in queue.events()]
+        assert events.count("completed") == 1
+        assert queue.get(job.id).worker == "rescuer"
+
+    def test_scan_tolerates_progress_and_idle_queues(self, queue):
+        watchdog = StallWatchdog(queue, stall_seconds=0.2)
+        assert watchdog.scan() == []  # empty queue: nothing to do
+        queue.submit("m")
+        assert watchdog.scan() == []  # pending jobs are not watched
+        queue.claim("w1", lease_seconds=300)
+        assert watchdog.scan() == []  # first sighting only fingerprints
+        # Within the stall budget the claim is left alone.
+        assert watchdog.scan() == []
+        assert watchdog.reclaimed == 0
+
+    def test_watchdog_thread_start_stop(self, queue):
+        watchdog = StallWatchdog(queue, stall_seconds=60.0, poll_seconds=0.05)
+        watchdog.start()
+        time.sleep(0.2)  # a few scans of an empty queue must be harmless
+        watchdog.stop()
+        assert watchdog.reclaimed == 0
+
+
+class TestStallToDeadLetter:
+    def test_repeated_stalls_dead_letter_then_requeue_recovers(
+        self, queue, service_registry
+    ):
+        job = queue.submit("restaurant", n_a=16, n_b=16, seed=3, max_attempts=1)
+        hang = threading.Event()
+        thread, worker, plan = _start_hung_worker(
+            queue, service_registry, hang, stall_at=8
+        )
+        try:
+            with inject_faults(plan):
+                thread.start()
+                _wait_for(
+                    lambda: plan.fired("synthesize.stall") == 1,
+                    message="the worker to wedge at step 8",
+                )
+                watchdog = StallWatchdog(queue, stall_seconds=0.3)
+                watchdog.scan()
+                time.sleep(0.5)
+                assert watchdog.scan() == [job.id]
+
+                # The only attempt is spent: the reclaim attempt refuses to
+                # rerun it and dead-letters instead.
+                assert queue.claim("w2") is None
+                record = queue.get(job.id)
+                assert record.status == "failed"
+                bundle = queue.forensics(job.id)
+                assert bundle["reason"] == "crash_loop"
+                assert "revoked" in [e["event"] for e in bundle["history"]]
+                # The wedged attempt's committed checkpoint survives into
+                # the forensics pointer — a requeue resumes, not restarts.
+                assert bundle["checkpoint"]["exists"] is True
+
+                # Operator requeues from the DLQ; a healthy worker resumes
+                # from the stalled attempt's checkpoint and finishes.
+                DeadLetterQueue(queue).requeue(job.id)
+                rescuer = Worker(
+                    queue, service_registry, worker_id="rescuer", lease_seconds=30
+                )
+                with pytest.warns(RuntimeWarning):
+                    assert rescuer.run_once()
+        finally:
+            hang.set()
+            thread.join(timeout=30)
+
+        record = queue.get(job.id)
+        assert record.status == "done"
+        assert record.worker == "rescuer"
+        health_path = queue.result_dir(job.id) / "health.json"
+        assert health_path.exists()
+        import json
+
+        health = json.loads(health_path.read_text())
+        (s2,) = [s for s in health["stages"] if s["name"] == "s2_synthesis"]
+        assert s2["counters"]["resumed_entities"] > 0
