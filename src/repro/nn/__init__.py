@@ -16,7 +16,8 @@ Layout mirrors the familiar torch API at miniature scale:
 - :mod:`repro.nn.losses` — cross entropy (with padding mask), BCE.
 """
 
-from repro.nn.attention import MultiHeadAttention
+from repro.nn.attention import LayerKVCache, MultiHeadAttention
+from repro.nn.grad_sample import per_sample_grads
 from repro.nn.layers import (
     Dropout,
     Embedding,
@@ -28,15 +29,25 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.losses import binary_cross_entropy, cross_entropy
+from repro.nn.losses import (
+    binary_cross_entropy,
+    cross_entropy,
+    cross_entropy_per_example,
+)
 from repro.nn.optim import SGD, Adam, Optimizer
 from repro.nn.tensor import Tensor, no_grad
-from repro.nn.transformer import Seq2SeqTransformer, TransformerConfig
+from repro.nn.transformer import (
+    DecodeCache,
+    Seq2SeqTransformer,
+    TransformerConfig,
+)
 
 __all__ = [
     "Adam",
+    "DecodeCache",
     "Dropout",
     "Embedding",
+    "LayerKVCache",
     "LayerNorm",
     "Linear",
     "Module",
@@ -52,5 +63,7 @@ __all__ = [
     "TransformerConfig",
     "binary_cross_entropy",
     "cross_entropy",
+    "cross_entropy_per_example",
     "no_grad",
+    "per_sample_grads",
 ]

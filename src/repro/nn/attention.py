@@ -56,19 +56,79 @@ class MultiHeadAttention(Module):
         Shapes: query ``(batch, q_len, d_model)``, key/value ``(batch, k_len,
         d_model)``; returns ``(batch, q_len, d_model)``.
         """
-        batch, q_len, _ = query.shape
-        k_len = key.shape[1]
-        q = self._split_heads(self.query_proj(query), batch, q_len)
+        batch, k_len, _ = key.shape
         k = self._split_heads(self.key_proj(key), batch, k_len)
         v = self._split_heads(self.value_proj(value), batch, k_len)
+        return self.attend(query, k, v, mask)
 
-        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+    def project_kv(self, source: Tensor) -> tuple[np.ndarray, np.ndarray]:
+        """Split-head K/V projections of ``source`` as raw arrays.
+
+        Shape ``(batch, heads, src_len, d_head)`` each — the cacheable half
+        of attention.  Intended for inference (``no_grad``): the returned
+        arrays carry no autograd history.
+        """
+        batch, length, _ = source.shape
+        k = self._split_heads(self.key_proj(source), batch, length)
+        v = self._split_heads(self.value_proj(source), batch, length)
+        return k.data, v.data
+
+    def attend(
+        self,
+        query: Tensor,
+        k: Tensor | np.ndarray,
+        v: Tensor | np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Project ``query`` and attend over already-projected ``k``/``v``.
+
+        ``k``/``v`` have shape ``(batch, heads, k_len, d_head)`` — either
+        fresh from :meth:`project_kv` or replayed from a decode cache.  The
+        key batch may be 1 with a larger query batch (broadcast), which is
+        how cached cross-attention serves several samples per source.
+        """
+        batch, q_len, _ = query.shape
+        k = Tensor._coerce(k)
+        v = Tensor._coerce(v)
+        q = self._split_heads(self.query_proj(query), batch, q_len)
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.d_head))
         if mask is not None:
             scores = scores.masked_fill(mask, -1e9)
         weights = self.dropout(scores.softmax(axis=-1))
         context = weights @ v  # (batch, heads, q_len, d_head)
         merged = context.transpose(0, 2, 1, 3).reshape(batch, q_len, self.d_model)
         return self.out_proj(merged)
+
+
+class LayerKVCache:
+    """Decode-time K/V state for one decoder layer.
+
+    ``self_k``/``self_v`` grow append-only as tokens are emitted
+    (``(batch, heads, t, d_head)``); ``cross_k``/``cross_v`` are projected
+    once from the encoder memory and never change.
+    """
+
+    __slots__ = ("self_k", "self_v", "cross_k", "cross_v")
+
+    def __init__(self) -> None:
+        self.self_k: np.ndarray | None = None
+        self.self_v: np.ndarray | None = None
+        self.cross_k: np.ndarray | None = None
+        self.cross_v: np.ndarray | None = None
+
+    def append_self(self, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Append freshly projected K/V for the newly fed token(s)."""
+        if self.self_k is None:
+            self.self_k, self.self_v = k_new, v_new
+        else:
+            self.self_k = np.concatenate([self.self_k, k_new], axis=2)
+            self.self_v = np.concatenate([self.self_v, v_new], axis=2)
+
+    def reorder(self, indices: np.ndarray) -> None:
+        """Re-gather the self-attention rows (beam-search survivor select)."""
+        if self.self_k is not None:
+            self.self_k = self.self_k[indices]
+            self.self_v = self.self_v[indices]
 
 
 def padding_mask(token_ids: np.ndarray, pad_id: int) -> np.ndarray:

@@ -12,6 +12,7 @@ from collections.abc import Iterator
 
 import numpy as np
 
+from repro.nn import grad_sample as gs
 from repro.nn.tensor import Tensor
 
 
@@ -129,10 +130,42 @@ class Linear(Module):
         )
 
     def forward(self, inputs: Tensor) -> Tensor:
+        if gs.is_per_sample_enabled():
+            return self._forward_grad_sample(inputs)
         out = inputs @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def _forward_grad_sample(self, inputs: Tensor) -> Tensor:
+        """Batched forward that records per-example weight/bias gradients.
+
+        The leading axis of ``inputs`` is the example axis; middle axes
+        (sequence positions) are summed *within* each example:
+        ``gs_W[b] = sum_t x[b,t,:] ⊗ g[b,t,:]``.
+        """
+        weight, bias = self.weight, self.bias
+        data = inputs.data @ weight.data
+        if bias is not None:
+            data = data + bias.data
+
+        def backward(grad: np.ndarray) -> None:
+            if inputs.requires_grad:
+                inputs._accumulate(grad @ weight.data.T)
+            batch = grad.shape[0]
+            grad_flat = grad.reshape(batch, -1, weight.data.shape[1])
+            if weight.requires_grad:
+                in_flat = inputs.data.reshape(batch, -1, weight.data.shape[0])
+                per_sample = np.einsum("bti,bto->bio", in_flat, grad_flat)
+                gs.accumulate_grad_sample(weight, per_sample)
+                weight._accumulate(per_sample.sum(axis=0))
+            if bias is not None and bias.requires_grad:
+                per_sample_b = grad_flat.sum(axis=1)
+                gs.accumulate_grad_sample(bias, per_sample_b)
+                bias._accumulate(per_sample_b.sum(axis=0))
+
+        parents = (inputs, weight) if bias is None else (inputs, weight, bias)
+        return Tensor._make(data, parents, backward)
 
 
 class Embedding(Module):
@@ -148,7 +181,30 @@ class Embedding(Module):
         )
 
     def forward(self, token_ids: np.ndarray) -> Tensor:
-        return self.weight.take_rows(np.asarray(token_ids, dtype=np.int64))
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if gs.is_per_sample_enabled():
+            return self._forward_grad_sample(token_ids)
+        return self.weight.take_rows(token_ids)
+
+    def _forward_grad_sample(self, token_ids: np.ndarray) -> Tensor:
+        """Lookup that scatter-adds per-example gradients onto the table."""
+        weight = self.weight
+        data = weight.data[token_ids]
+
+        def backward(grad: np.ndarray) -> None:
+            if not weight.requires_grad:
+                return
+            batch = token_ids.shape[0]
+            dim = weight.data.shape[1]
+            ids_flat = token_ids.reshape(batch, -1)
+            grad_flat = grad.reshape(batch, -1, dim)
+            per_sample = np.zeros((batch,) + weight.data.shape)
+            rows = np.broadcast_to(np.arange(batch)[:, None], ids_flat.shape)
+            np.add.at(per_sample, (rows, ids_flat), grad_flat)
+            gs.accumulate_grad_sample(weight, per_sample)
+            weight._accumulate(per_sample.sum(axis=0))
+
+        return Tensor._make(data, (weight,), backward)
 
 
 class LayerNorm(Module):
@@ -164,7 +220,37 @@ class LayerNorm(Module):
         mean = inputs.mean(axis=-1, keepdims=True)
         variance = inputs.var(axis=-1, keepdims=True)
         normalized = (inputs - mean) / ((variance + self.eps) ** 0.5)
+        if gs.is_per_sample_enabled():
+            return self._affine_grad_sample(normalized)
         return normalized * self.gamma + self.beta
+
+    def _affine_grad_sample(self, normalized: Tensor) -> Tensor:
+        """The gamma/beta affine with per-example gradient recording.
+
+        The normalization itself has no parameters, so only this final
+        affine needs instrumentation: ``gs_gamma[b] = sum_t g[b,t] * x̂[b,t]``
+        and ``gs_beta[b] = sum_t g[b,t]``.
+        """
+        gamma, beta = self.gamma, self.beta
+        data = normalized.data * gamma.data + beta.data
+
+        def backward(grad: np.ndarray) -> None:
+            if normalized.requires_grad:
+                normalized._accumulate(grad * gamma.data)
+            batch = grad.shape[0]
+            dim = gamma.data.shape[0]
+            grad_flat = grad.reshape(batch, -1, dim)
+            if gamma.requires_grad:
+                scaled = (grad * normalized.data).reshape(batch, -1, dim)
+                per_sample = scaled.sum(axis=1)
+                gs.accumulate_grad_sample(gamma, per_sample)
+                gamma._accumulate(per_sample.sum(axis=0))
+            if beta.requires_grad:
+                per_sample_b = grad_flat.sum(axis=1)
+                gs.accumulate_grad_sample(beta, per_sample_b)
+                beta._accumulate(per_sample_b.sum(axis=0))
+
+        return Tensor._make(data, (normalized, gamma, beta), backward)
 
 
 class Dropout(Module):

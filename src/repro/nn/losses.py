@@ -54,6 +54,43 @@ def cross_entropy(
     raise ValueError(f"unknown reduction {reduction!r}")
 
 
+def cross_entropy_per_example(
+    logits: Tensor,
+    targets: np.ndarray,
+    *,
+    ignore_index: int | None = None,
+) -> Tensor:
+    """Per-example mean token cross entropy, shape ``(batch,)``.
+
+    Row ``b`` equals ``cross_entropy(logits[b], targets[b],
+    ignore_index=...)`` with ``reduction="mean"`` — each example is averaged
+    over its OWN non-ignored token count.  This is the batched loss DP-SGD
+    needs: the gradient of row ``b`` w.r.t. the parameters is exactly the
+    per-example gradient the per-example loop would have computed.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.shape != logits.shape[:-1]:
+        raise ValueError(
+            f"targets shape {targets.shape} does not match logits {logits.shape}"
+        )
+    if targets.ndim < 1:
+        raise ValueError("per-example loss needs a leading batch axis")
+    batch = targets.shape[0]
+    vocab = logits.shape[-1]
+    flat_logits = logits.reshape(-1, vocab)
+    flat_targets = targets.reshape(-1)
+    log_probs = flat_logits.log_softmax(axis=-1)
+    picked = log_probs[np.arange(flat_targets.size), flat_targets]
+    per_position = (-picked).reshape(batch, -1)
+    if ignore_index is not None:
+        keep = (targets.reshape(batch, -1) != ignore_index).astype(np.float64)
+        per_position = per_position * Tensor(keep)
+        counts = np.maximum(1.0, keep.sum(axis=1))
+    else:
+        counts = np.full(batch, per_position.shape[1], dtype=np.float64)
+    return per_position.sum(axis=1) * Tensor(1.0 / counts)
+
+
 def binary_cross_entropy(
     probabilities: Tensor, targets: np.ndarray, *, eps: float = 1e-7
 ) -> Tensor:

@@ -55,7 +55,7 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """An autograd-tracked numpy array."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("data", "grad", "grad_sample", "requires_grad", "_backward", "_parents")
 
     def __init__(self, data, requires_grad: bool = False):
         if isinstance(data, Tensor):
@@ -63,6 +63,9 @@ class Tensor:
         self.data = np.asarray(data, dtype=np.float64)
         self.requires_grad = bool(requires_grad) and _grad_enabled
         self.grad: np.ndarray | None = None
+        # Per-example gradients (batch, *param_shape), populated only when a
+        # grad-sample-instrumented layer runs under nn.grad_sample mode.
+        self.grad_sample: np.ndarray | None = None
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
 
@@ -99,6 +102,7 @@ class Tensor:
 
     def zero_grad(self) -> None:
         self.grad = None
+        self.grad_sample = None
 
     # ------------------------------------------------------------------
     # Graph construction helper

@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.nn.attention import MultiHeadAttention, causal_mask, padding_mask
+from repro.nn.attention import (
+    LayerKVCache,
+    MultiHeadAttention,
+    causal_mask,
+    padding_mask,
+)
 from repro.nn.layers import Dropout, Embedding, LayerNorm, Linear, Module
 from repro.nn.tensor import Tensor, no_grad
 
@@ -42,6 +47,65 @@ class TransformerConfig:
             raise ValueError("vocab must include PAD/BOS/EOS/UNK at minimum")
         if self.d_model % self.n_heads:
             raise ValueError("d_model must be divisible by n_heads")
+
+
+def _sample_next_tokens(
+    logits: np.ndarray,
+    *,
+    temperature: float,
+    rng: np.random.Generator,
+    greedy: bool,
+) -> np.ndarray:
+    """Vectorized next-token selection for a whole batch of logit rows.
+
+    ``logits`` is ``(batch, vocab)`` with forbidden ids already at ``-inf``.
+    Sampling draws ONE uniform per row and inverts the cumulative
+    distribution (`cumsum` + threshold count) — replacing the per-row
+    ``rng.choice`` loop with the same O(batch · vocab) arithmetic done in
+    numpy, and consuming a fixed amount of RNG state per step regardless of
+    the probabilities (which is what makes cached and uncached decoding
+    byte-identical under a shared generator).
+    """
+    if greedy or temperature <= 0:
+        return logits.argmax(axis=-1).astype(np.int64)
+    scaled = logits / temperature
+    scaled -= scaled.max(axis=-1, keepdims=True)
+    probs = np.exp(scaled)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    cumulative = np.cumsum(probs, axis=-1)
+    # nextafter keeps a draw of exactly 0.0 from landing on a zero-probability
+    # leading bin (PAD); the distribution shift is one ulp.
+    draws = np.nextafter(rng.random(logits.shape[0]), 1.0)
+    next_ids = (cumulative < draws[:, None]).sum(axis=1)
+    return np.minimum(next_ids, logits.shape[1] - 1).astype(np.int64)
+
+
+def _log_probs(logits: np.ndarray) -> np.ndarray:
+    """Row-wise log-softmax for beam scoring; ``-inf`` entries stay ``-inf``."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+class DecodeCache:
+    """Incremental-decode state for one ``generate`` call.
+
+    Holds a :class:`LayerKVCache` per decoder layer (append-only
+    self-attention K/V plus the cross-attention K/V projected once from the
+    encoder memory) and the number of target tokens fed so far, which is the
+    positional-encoding offset for the next step.
+    """
+
+    __slots__ = ("layers", "memory_mask", "length")
+
+    def __init__(self, layers: list[LayerKVCache], memory_mask: np.ndarray):
+        self.layers = layers
+        self.memory_mask = memory_mask
+        self.length = 0
+
+    def reorder(self, indices: np.ndarray) -> None:
+        """Re-gather self-attention rows (beam-search survivor selection)."""
+        for layer in self.layers:
+            layer.reorder(indices)
 
 
 def sinusoidal_positions(max_length: int, d_model: int) -> np.ndarray:
@@ -122,6 +186,33 @@ class DecoderLayer(Module):
         fed = self.feed_forward(targets)
         return self.norm_feed_forward(targets + self.dropout(fed))
 
+    def forward_step(
+        self,
+        targets: Tensor,
+        cache: LayerKVCache,
+        memory_mask: np.ndarray | None,
+        self_mask: np.ndarray | None = None,
+    ) -> Tensor:
+        """Incremental decode: attend the new token(s) over the cached prefix.
+
+        Projects K/V only for ``targets`` (the newly fed tokens), appends
+        them to the cache, and reuses the cross-attention K/V projected once
+        from the encoder memory — O(prefix) work per step instead of
+        O(prefix²).
+        """
+        k_new, v_new = self.self_attention.project_kv(targets)
+        cache.append_self(k_new, v_new)
+        attended = self.self_attention.attend(
+            targets, cache.self_k, cache.self_v, self_mask
+        )
+        targets = self.norm_self(targets + self.dropout(attended))
+        crossed = self.cross_attention.attend(
+            targets, cache.cross_k, cache.cross_v, memory_mask
+        )
+        targets = self.norm_cross(targets + self.dropout(crossed))
+        fed = self.feed_forward(targets)
+        return self.norm_feed_forward(targets + self.dropout(fed))
+
 
 class Seq2SeqTransformer(Module):
     """Character-level encoder-decoder transformer.
@@ -148,6 +239,14 @@ class Seq2SeqTransformer(Module):
         self.output_proj = Linear(config.d_model, config.vocab_size, rng)
         self.embed_dropout = Dropout(config.dropout, rng)
         self.scale = float(np.sqrt(config.d_model))
+        # Operator-visible decode telemetry (surfaced through the service
+        # /stats endpoint): how many generate calls ran cached vs. uncached
+        # and how many token steps each path produced.
+        self.decode_stats: dict[str, int] = {
+            "generate_calls": 0,
+            "cached_tokens": 0,
+            "uncached_tokens": 0,
+        }
 
     # ------------------------------------------------------------------
     # Forward pieces
@@ -187,6 +286,59 @@ class Seq2SeqTransformer(Module):
         return self.decode(target_ids, memory, memory_mask)
 
     # ------------------------------------------------------------------
+    # KV-cached incremental decoding
+    # ------------------------------------------------------------------
+    def start_decode_cache(
+        self, memory: Tensor, memory_mask: np.ndarray
+    ) -> DecodeCache:
+        """Fresh decode cache: cross-attention K/V projected once per layer."""
+        caches = []
+        for layer in self.decoder_layers:
+            cache = LayerKVCache()
+            cache.cross_k, cache.cross_v = layer.cross_attention.project_kv(memory)
+            caches.append(cache)
+        return DecodeCache(caches, memory_mask)
+
+    def decode_step(self, new_ids: np.ndarray, cache: DecodeCache) -> np.ndarray:
+        """Decode only the newly fed token(s); returns last-position logits.
+
+        ``new_ids`` is ``(batch, n_new)`` — during generation ``n_new`` is 1
+        (the token emitted by the previous step); a longer block acts as a
+        prefill with an internal causal mask.  The query batch may exceed the
+        cached cross-attention batch when the memory is shared (beam rows
+        over one source); numpy broadcasting handles the fan-out.
+
+        No explicit padding mask is applied to the cached prefix: rows only
+        ever contain PAD after they have emitted EOS, and ``generate``
+        discards everything such rows produce, so the unmasked values never
+        reach an output (the equivalence tests pin this down).
+        """
+        new_ids = np.asarray(new_ids, dtype=np.int64)
+        position = cache.length
+        length = new_ids.shape[1]
+        if position + length > self.config.max_length:
+            raise ValueError(
+                f"decode length {position + length} exceeds max_length "
+                f"{self.config.max_length}"
+            )
+        embedded = self.token_embedding(new_ids) * self.scale
+        embedded = embedded + Tensor(self.positions[position : position + length])
+        hidden = self.embed_dropout(embedded)
+        self_mask = None
+        if length > 1:
+            # Prefill: block attention to positions after each new token.
+            blocked = np.triu(
+                np.ones((length, position + length), dtype=bool), k=position + 1
+            )
+            self_mask = blocked[None, None, :, :]
+        for layer, layer_cache in zip(self.decoder_layers, cache.layers):
+            hidden = layer.forward_step(
+                hidden, layer_cache, cache.memory_mask, self_mask
+            )
+        cache.length = position + length
+        return self.output_proj(hidden).data[:, -1, :]
+
+    # ------------------------------------------------------------------
     # Autoregressive generation
     # ------------------------------------------------------------------
     def generate(
@@ -197,41 +349,65 @@ class Seq2SeqTransformer(Module):
         temperature: float = 1.0,
         rng: np.random.Generator | None = None,
         greedy: bool = False,
+        use_cache: bool = True,
+        samples_per_source: int = 1,
+        min_new_tokens: int = 0,
     ) -> list[list[int]]:
         """Sample output token ids for each source row.
 
         Sampling (not beam search) is deliberate: the paper draws several
         candidate strings per input and picks the one whose similarity is
         closest to the target (Section VI, Inference).
+
+        ``samples_per_source`` decodes that many sequences per source row
+        from ONE encoder pass (outputs are row-major: all samples of source
+        0, then source 1, ...).  ``use_cache=False`` re-runs the full
+        decoder every step — the slow reference path kept as the
+        equivalence oracle; both paths produce byte-identical sequences
+        under a shared RNG.  ``min_new_tokens`` blocks EOS for the first
+        ``n`` steps (used by benchmarks to pin the decoded length).
         """
         rng = rng or self.rng
+        if samples_per_source < 1:
+            raise ValueError(f"samples_per_source must be >= 1, got {samples_per_source}")
         was_training = self.training
         self.eval()
         try:
             with no_grad():
-                batch = source_ids.shape[0]
                 limit = max_new_tokens or (self.config.max_length - 1)
                 memory, memory_mask = self.encode(source_ids)
+                if samples_per_source > 1:
+                    memory = Tensor(
+                        np.repeat(memory.data, samples_per_source, axis=0)
+                    )
+                    memory_mask = np.repeat(memory_mask, samples_per_source, axis=0)
+                batch = memory.shape[0]
                 sequences = np.full((batch, 1), self.BOS, dtype=np.int64)
                 finished = np.zeros(batch, dtype=bool)
-                for _ in range(limit):
-                    logits = self.decode(sequences, memory, memory_mask)
-                    last = logits.data[:, -1, :].copy()  # (batch, vocab)
+                cache = (
+                    self.start_decode_cache(memory, memory_mask)
+                    if use_cache
+                    else None
+                )
+                self.decode_stats["generate_calls"] += 1
+                token_key = "cached_tokens" if use_cache else "uncached_tokens"
+                for step in range(limit):
+                    if cache is not None:
+                        last = self.decode_step(sequences[:, -1:], cache).copy()
+                    else:
+                        logits = self.decode(sequences, memory, memory_mask)
+                        last = logits.data[:, -1, :].copy()  # (batch, vocab)
                     # Never emit PAD or BOS mid-sequence.
                     last[:, self.PAD] = -np.inf
                     last[:, self.BOS] = -np.inf
-                    if greedy or temperature <= 0:
-                        next_ids = last.argmax(axis=-1)
-                    else:
-                        scaled = last / temperature
-                        scaled -= scaled.max(axis=-1, keepdims=True)
-                        probs = np.exp(scaled)
-                        probs /= probs.sum(axis=-1, keepdims=True)
-                        next_ids = np.array(
-                            [rng.choice(len(p), p=p) for p in probs], dtype=np.int64
-                        )
+                    if step < min_new_tokens:
+                        last[:, self.EOS] = -np.inf
+                    next_ids = _sample_next_tokens(
+                        last, temperature=temperature, rng=rng, greedy=greedy
+                    )
                     next_ids = np.where(finished, self.PAD, next_ids)
                     sequences = np.concatenate([sequences, next_ids[:, None]], axis=1)
+                    self.decode_stats[token_key] += batch
                     finished |= next_ids == self.EOS
                     if finished.all():
                         break
@@ -257,6 +433,7 @@ class Seq2SeqTransformer(Module):
         beam_width: int = 4,
         max_new_tokens: int | None = None,
         length_penalty: float = 0.7,
+        use_cache: bool = True,
     ) -> list[list[int]]:
         """Beam-search decode; returns the best sequence per source row.
 
@@ -264,6 +441,11 @@ class Seq2SeqTransformer(Module):
         but beam search is the standard decoding for seq2seq quality checks
         and is exposed for library completeness.  Scores are length-
         normalized by ``len ** length_penalty``.
+
+        The default path runs all live beams as ONE batched, KV-cached
+        decode step and re-gathers the cache rows of the surviving beams;
+        ``use_cache=False`` keeps the one-full-decode-per-beam-per-step
+        reference used by the equivalence tests.
         """
         if beam_width < 1:
             raise ValueError(f"beam width must be >= 1, got {beam_width}")
@@ -271,45 +453,14 @@ class Seq2SeqTransformer(Module):
         was_training = self.training
         self.eval()
         outputs: list[list[int]] = []
+        search = self._beam_search_cached if use_cache else self._beam_search_reference
         try:
             with no_grad():
                 for row in np.atleast_2d(source_ids):
                     memory, memory_mask = self.encode(row[None, :])
-                    # Each beam: (token ids including BOS, total log prob,
-                    # finished flag).
-                    beams: list[tuple[list[int], float, bool]] = [
-                        ([self.BOS], 0.0, False)
-                    ]
-                    for _ in range(limit):
-                        if all(finished for _, _, finished in beams):
-                            break
-                        expansions: list[tuple[list[int], float, bool]] = []
-                        for tokens, score, finished in beams:
-                            if finished:
-                                expansions.append((tokens, score, True))
-                                continue
-                            logits = self.decode(
-                                np.asarray([tokens], dtype=np.int64),
-                                memory, memory_mask,
-                            ).data[0, -1].copy()
-                            # Never emit PAD or BOS mid-sequence.
-                            logits[self.PAD] = -np.inf
-                            logits[self.BOS] = -np.inf
-                            shifted = logits - logits[np.isfinite(logits)].max()
-                            log_probs = shifted - np.log(np.exp(shifted).sum())
-                            top = np.argsort(log_probs)[-beam_width:]
-                            for token in top:
-                                expansions.append((
-                                    tokens + [int(token)],
-                                    score + float(log_probs[token]),
-                                    int(token) == self.EOS,
-                                ))
-                        expansions.sort(
-                            key=lambda b: b[1] / (len(b[0]) ** length_penalty),
-                            reverse=True,
-                        )
-                        beams = expansions[:beam_width]
-                    best_tokens = beams[0][0]
+                    best_tokens = search(
+                        memory, memory_mask, beam_width, limit, length_penalty
+                    )
                     cleaned: list[int] = []
                     for token in best_tokens[1:]:
                         if token in (self.EOS, self.PAD):
@@ -320,3 +471,110 @@ class Seq2SeqTransformer(Module):
             if was_training:
                 self.train()
         return outputs
+
+    def _beam_top_expansions(
+        self,
+        beams: list[tuple[list[int], float, bool]],
+        log_prob_rows: dict[int, np.ndarray],
+        beam_width: int,
+        length_penalty: float,
+    ) -> list[tuple[list[int], float, bool, int | None]]:
+        """Expand + rank beams; shared by the cached and reference paths.
+
+        ``log_prob_rows`` maps beam index -> its next-token log-probs.
+        Returned tuples carry the *parent beam index* (None for carried-over
+        finished beams) so the cached path can re-gather K/V rows.
+        """
+        expansions: list[tuple[list[int], float, bool, int | None]] = []
+        for index, (tokens, score, finished) in enumerate(beams):
+            if finished:
+                expansions.append((tokens, score, True, None))
+                continue
+            log_probs = log_prob_rows[index]
+            top = np.argsort(log_probs)[-beam_width:]
+            for token in top:
+                expansions.append((
+                    tokens + [int(token)],
+                    score + float(log_probs[token]),
+                    int(token) == self.EOS,
+                    index,
+                ))
+        expansions.sort(
+            key=lambda b: b[1] / (len(b[0]) ** length_penalty),
+            reverse=True,
+        )
+        return expansions[:beam_width]
+
+    def _beam_search_cached(
+        self,
+        memory: Tensor,
+        memory_mask: np.ndarray,
+        beam_width: int,
+        limit: int,
+        length_penalty: float,
+    ) -> list[int]:
+        """One batched decode step per iteration over all live beams."""
+        beams: list[tuple[list[int], float, bool]] = [([self.BOS], 0.0, False)]
+        cache = self.start_decode_cache(memory, memory_mask)
+        # cache self-attention rows correspond, in order, to `active`.
+        active = [0]
+        for _ in range(limit):
+            if not active:
+                break
+            fed = np.asarray(
+                [[beams[i][0][-1]] for i in active], dtype=np.int64
+            )
+            logits = self.decode_step(fed, cache)
+            logits[:, self.PAD] = -np.inf
+            logits[:, self.BOS] = -np.inf
+            log_prob_rows = {
+                beam_index: _log_probs(logits[row : row + 1])[0]
+                for row, beam_index in enumerate(active)
+            }
+            # Map each surviving beam to the cache row of its parent.
+            row_of_beam = {beam_index: row for row, beam_index in enumerate(active)}
+            selected = self._beam_top_expansions(
+                beams, log_prob_rows, beam_width, length_penalty
+            )
+            beams = [(tokens, score, fin) for tokens, score, fin, _ in selected]
+            survivors = [
+                (position, row_of_beam[parent])
+                for position, (_, _, fin, parent) in enumerate(selected)
+                if not fin and parent is not None
+            ]
+            active = [position for position, _ in survivors]
+            if survivors:
+                cache.reorder(np.asarray([row for _, row in survivors]))
+            if all(finished for _, _, finished in beams):
+                break
+        return beams[0][0]
+
+    def _beam_search_reference(
+        self,
+        memory: Tensor,
+        memory_mask: np.ndarray,
+        beam_width: int,
+        limit: int,
+        length_penalty: float,
+    ) -> list[int]:
+        """The uncached oracle: full decoder re-run per beam per step."""
+        beams: list[tuple[list[int], float, bool]] = [([self.BOS], 0.0, False)]
+        for _ in range(limit):
+            if all(finished for _, _, finished in beams):
+                break
+            log_prob_rows: dict[int, np.ndarray] = {}
+            for index, (tokens, _, finished) in enumerate(beams):
+                if finished:
+                    continue
+                logits = self.decode(
+                    np.asarray([tokens], dtype=np.int64), memory, memory_mask
+                ).data[0, -1].copy()
+                # Never emit PAD or BOS mid-sequence.
+                logits[self.PAD] = -np.inf
+                logits[self.BOS] = -np.inf
+                log_prob_rows[index] = _log_probs(logits[None, :])[0]
+            selected = self._beam_top_expansions(
+                beams, log_prob_rows, beam_width, length_penalty
+            )
+            beams = [(tokens, score, fin) for tokens, score, fin, _ in selected]
+        return beams[0][0]

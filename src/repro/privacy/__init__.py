@@ -10,7 +10,7 @@
 """
 
 from repro.privacy.accountant import RDPAccountant, noise_scale_for_epsilon
-from repro.privacy.dpsgd import DPSGDConfig, dp_sgd_step
+from repro.privacy.dpsgd import DPSGDConfig, dp_sgd_step, dp_sgd_step_vectorized
 from repro.privacy.metrics import distance_to_closest_record, hitting_rate
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "RDPAccountant",
     "distance_to_closest_record",
     "dp_sgd_step",
+    "dp_sgd_step_vectorized",
     "hitting_rate",
     "noise_scale_for_epsilon",
 ]

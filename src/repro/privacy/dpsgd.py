@@ -6,9 +6,16 @@ divide by the batch size, and take a descent step.  This is exactly the
 paper's Algorithm 1 (which follows Abadi et al., "Deep Learning with
 Differential Privacy").
 
-The per-example loop is the honest implementation on an autograd engine
-without vectorized per-sample gradients; model sizes in this reproduction are
-chosen so it stays fast.
+Two implementations ship:
+
+- :func:`dp_sgd_step` — the reference per-example loop (one forward/backward
+  per example), kept as the equivalence oracle.
+- :func:`dp_sgd_step_vectorized` — ONE batched forward/backward under
+  :func:`repro.nn.grad_sample.per_sample_grads`, with per-example L2 norms
+  and clip factors computed vectorized.  The clipped-and-summed gradient
+  matches the loop to ~1e-10 and the noise draw has identical shape and
+  ordering, so the privacy accounting is byte-for-byte the same (same
+  sampling rate, same sigma, same number of releases).
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.nn.grad_sample import collect_grad_samples, per_sample_grads
 from repro.nn.layers import Module
 from repro.nn.tensor import Tensor
 
@@ -115,3 +123,82 @@ def dp_sgd_step(
         offset += param.size
     model.zero_grad()
     return total_loss / len(examples)
+
+
+def dp_sgd_step_vectorized(
+    model: Module,
+    examples: Sequence,
+    batch_loss: Callable[[Module, Sequence], Tensor],
+    config: DPSGDConfig,
+    rng: np.random.Generator,
+) -> float:
+    """One DP-SGD step with vectorized per-sample gradients (Algorithm 1).
+
+    Parameters
+    ----------
+    model:
+        The module whose parameters are updated in place.  Every parameter
+        must receive gradient through the grad-sample-instrumented layers
+        (``Linear``/``Embedding``/``LayerNorm``) — :func:`collect_grad_samples`
+        raises otherwise rather than silently corrupting the clip bound.
+    examples:
+        The minibatch, passed through to ``batch_loss`` untouched.
+    batch_loss:
+        Computes a ``(len(examples),)`` Tensor of per-example scalar losses
+        in ONE batched forward; row ``b``'s gradient is the per-example
+        gradient ``g(s_b, s'_b)`` that gets clipped.
+    config:
+        Noise scale ``sigma``, clip norm ``V``, learning rate ``eta``.
+    rng:
+        Source of the Gaussian noise (and nothing else) — consumed exactly
+        like :func:`dp_sgd_step` (one draw of total-parameter size).
+
+    Returns
+    -------
+    float
+        The mean (pre-clipping) loss over the batch, for logging.
+    """
+    if not examples:
+        raise ValueError("empty minibatch")
+    parameters = model.parameters()
+    model.zero_grad()
+    with per_sample_grads():
+        losses = batch_loss(model, examples)
+        if losses.shape != (len(examples),):
+            raise ValueError(
+                f"batch_loss must return shape ({len(examples)},), "
+                f"got {losses.shape}"
+            )
+        losses.sum().backward()
+    grad_samples = collect_grad_samples(parameters)
+    batch = len(examples)
+    # Line 8 vectorized: per-example L2 norms and clip factors.
+    squared_norms = np.zeros(batch)
+    for sample in grad_samples:
+        flat = sample.reshape(batch, -1)
+        squared_norms += np.einsum("bp,bp->b", flat, flat)
+    norms = np.sqrt(squared_norms)
+    factors = np.where(
+        norms > config.clip_norm,
+        config.clip_norm / np.maximum(norms, np.finfo(np.float64).tiny),
+        1.0,
+    )
+    summed = np.concatenate([
+        np.einsum("b,bp->p", factors, sample.reshape(batch, -1))
+        for sample in grad_samples
+    ])
+    # Line 9: add N(0, sigma^2 V^2 I) and average — identical draw to the loop.
+    if config.noise_scale > 0:
+        summed += rng.normal(
+            0.0, config.noise_scale * config.clip_norm, size=summed.shape
+        )
+    averaged = summed / batch
+    # Line 10: descend.
+    offset = 0
+    for param in parameters:
+        piece = averaged[offset : offset + param.size].reshape(param.data.shape)
+        param.data -= config.learning_rate * piece
+        offset += param.size
+    mean_loss = float(losses.data.mean())
+    model.zero_grad()
+    return mean_loss

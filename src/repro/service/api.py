@@ -23,6 +23,12 @@ per-request cost is one profile build plus a sparse matmul, not
 vocabulary mutates on first sight of new grams), while different models
 score concurrently under the threading server.
 
+``label``/``score`` bodies also accept ``"generation_cache": true|false``
+— an operator switch that flips the loaded model's transformer text
+backends between KV-cached incremental decoding and the uncached fallback
+decode path at runtime, without redeploying or refitting; per-path token
+counters appear under ``generation`` in ``GET /stats``.
+
 Overload behavior (see :mod:`repro.service.admission`): every route except
 ``/health`` passes through admission control — cheap ``GET`` traffic and
 expensive ``POST`` traffic are budgeted separately, and exhausted budgets
@@ -115,6 +121,47 @@ class LoadedModel:
         self.synthesizer = synthesizer
         self.entry = entry
         self.lock = threading.Lock()
+
+    def set_generation_cache(self, enabled: bool) -> int:
+        """Flip KV-cached decoding on this model's transformer text backends.
+
+        Returns how many backends accepted the switch (0 for rule-backed
+        models) — operators use this to flip to the uncached fallback path
+        without redeploying or refitting.
+        """
+        toggled = 0
+        backends = getattr(self.synthesizer, "_text_backends", {}) or {}
+        with self.lock:
+            for backend in backends.values():
+                switch = getattr(backend, "set_generation_cache", None)
+                if switch is not None:
+                    switch(bool(enabled))
+                    toggled += 1
+        return toggled
+
+    def generation_stats(self) -> dict | None:
+        """Aggregate decode-cache telemetry across this model's backends."""
+        totals = {
+            "generate_calls": 0,
+            "cached_tokens": 0,
+            "uncached_tokens": 0,
+            "cache_enabled_backends": 0,
+            "backends": 0,
+        }
+        backends = getattr(self.synthesizer, "_text_backends", {}) or {}
+        seen = False
+        for backend in backends.values():
+            stats_fn = getattr(backend, "generation_stats", None)
+            if stats_fn is None:
+                continue
+            seen = True
+            stats = stats_fn()
+            totals["backends"] += 1
+            if stats.get("cache_enabled"):
+                totals["cache_enabled_backends"] += 1
+            for key in ("generate_calls", "cached_tokens", "uncached_tokens"):
+                totals[key] += int(stats.get(key, 0))
+        return totals if seen else None
 
     def score_pairs(self, pairs_payload: list) -> dict:
         """Batch-score raw record pairs; returns vectors + posteriors."""
@@ -215,7 +262,27 @@ class ServiceContext:
         ]
         if latencies:
             snapshot["job_latency_seconds"] = ServiceMetrics._summarize(latencies)
+        snapshot["generation"] = self._generation_snapshot()
         return snapshot
+
+    def _generation_snapshot(self) -> dict:
+        """Decode-cache counters summed over every loaded model."""
+        totals = {
+            "generate_calls": 0,
+            "cached_tokens": 0,
+            "uncached_tokens": 0,
+            "cache_enabled_backends": 0,
+            "backends": 0,
+        }
+        with self._models_lock:
+            loaded = list(self._models.values())
+        for model in loaded:
+            stats = model.generation_stats()
+            if stats is None:
+                continue
+            for key in totals:
+                totals[key] += int(stats.get(key, 0))
+        return totals
 
 
 class ServiceRequestHandler(BaseHTTPRequestHandler):
@@ -469,6 +536,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         if not isinstance(pairs, list) or not pairs:
             raise ApiError(400, "'pairs' must be a non-empty array of pairs")
         loaded = self.context.model(model_name, payload.get("version"))
+        if "generation_cache" in payload:
+            flag = payload["generation_cache"]
+            if not isinstance(flag, bool):
+                raise ApiError(400, "'generation_cache' must be a boolean")
+            toggled = loaded.set_generation_cache(flag)
+            self.context.metrics.count("generation_cache.toggles")
+            if not flag:
+                self.context.metrics.count("generation_cache.disables")
+            if toggled == 0:
+                self.context.metrics.count("generation_cache.no_backend")
         # The batch matmul is the expensive part; give up before it rather
         # than burn compute on an answer the client stopped waiting for.
         self._check_deadline()

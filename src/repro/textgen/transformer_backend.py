@@ -17,15 +17,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nn.losses import cross_entropy
+from repro.nn.losses import cross_entropy, cross_entropy_per_example
 from repro.nn.optim import Adam
 from repro.nn.tensor import Tensor
 from repro.nn.transformer import Seq2SeqTransformer, TransformerConfig
 from repro.privacy.accountant import RDPAccountant
-from repro.privacy.dpsgd import DPSGDConfig, dp_sgd_step
+from repro.privacy.dpsgd import DPSGDConfig, dp_sgd_step, dp_sgd_step_vectorized
 from repro.runtime import faults
 from repro.runtime.guards import TrainingGuard
-from repro.similarity.ngram import qgram_jaccard
+from repro.similarity.ngram import jaccard, qgram_jaccard, qgrams
 from repro.textgen.backend import SynthesisResult
 from repro.textgen.buckets import SimilarityBuckets, build_bucket_training_pairs
 from repro.textgen.vocab import CharVocab
@@ -53,6 +53,15 @@ class TransformerTextSynthesizerConfig:
     dropout: float = 0.1
     learning_rate: float = 3e-3
     dp: DPSGDConfig | None = None
+    # Train DP buckets with ONE batched forward/backward per step (vectorized
+    # per-sample gradients) instead of the per-example loop; both produce the
+    # same clipped-and-noised update (see tests/test_privacy_grad_sample.py).
+    dp_vectorized: bool = True
+    # KV-cached incremental decoding for candidate generation.  The initial
+    # value seeds a *mutable* runtime switch on the synthesizer
+    # (set_generation_cache) so operators can flip to the uncached fallback
+    # without refitting or redeploying.
+    generation_cache: bool = True
     temperature: float = 0.8
     # Numeric-guard knobs: non-finite training steps are rolled back with
     # the learning rate decayed; after guard_max_retries rollbacks the
@@ -85,6 +94,22 @@ class TransformerTextSynthesizer:
         self.accountant = RDPAccountant() if self.config.dp is not None else None
         self._background: list[str] = []
         self.health: dict[str, int] = {"nan_events": 0, "rollbacks": 0}
+        self.generation_cache: bool = self.config.generation_cache
+
+    def set_generation_cache(self, enabled: bool) -> None:
+        """Flip KV-cached decoding on/off at runtime (no refit needed)."""
+        self.generation_cache = bool(enabled)
+
+    def generation_stats(self) -> dict:
+        """Aggregate decode telemetry across bucket models (for /stats)."""
+        totals = {"generate_calls": 0, "cached_tokens": 0, "uncached_tokens": 0}
+        for record in self._models:
+            if record is None:
+                continue
+            for key in totals:
+                totals[key] += record.model.decode_stats.get(key, 0)
+        totals["cache_enabled"] = bool(self.generation_cache)
+        return totals
 
     @property
     def is_fitted(self) -> bool:
@@ -99,6 +124,33 @@ class TransformerTextSynthesizer:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
+    def _variant_scorer(self, text: str) -> Callable[[str], float]:
+        """similarity(text, ·) with the fixed-source work hoisted out.
+
+        For the default q-gram Jaccard, the source's q-gram set is profiled
+        ONCE instead of on every perturbation iteration; either way, variant
+        scores are memoized (the perturb walk revisits the same strings as
+        deletions and re-insertions cancel out).
+        """
+        memo: dict[str, float] = {}
+        if self.similarity is qgram_jaccard:
+            source_grams = qgrams(text)
+
+            def score(variant: str) -> float:
+                found = memo.get(variant)
+                if found is None:
+                    found = memo[variant] = jaccard(source_grams, qgrams(variant))
+                return found
+        else:
+
+            def score(variant: str) -> float:
+                found = memo.get(variant)
+                if found is None:
+                    found = memo[variant] = self.similarity(text, variant)
+                return found
+
+        return score
+
     def _perturb_toward_bucket(
         self, text: str, bucket_index: int, rng: np.random.Generator
     ) -> tuple[str, str] | None:
@@ -113,9 +165,10 @@ class TransformerTextSynthesizer:
         words = text.split()
         if not words:
             return None
+        scorer = self._variant_scorer(text)
         variant = list(words)
         for _ in range(24):
-            score = self.similarity(text, " ".join(variant))
+            score = scorer(" ".join(variant))
             if low <= score < high or (bucket_index == self.buckets.k - 1 and score >= low):
                 return text, " ".join(variant)
             if score >= high:
@@ -203,14 +256,40 @@ class TransformerTextSynthesizer:
         label = f"transformer bucket {bucket_index}"
 
         if self.config.dp is not None:
+            vocab = self._vocab
 
-            def per_example_loss(module, example):
-                src, tgt_in, tgt_out = example
-                logits = module(
-                    np.asarray([src], dtype=np.int64),
-                    np.asarray([tgt_in], dtype=np.int64),
-                )
-                return cross_entropy(logits, np.asarray([tgt_out]), ignore_index=0)
+            if self.config.dp_vectorized:
+
+                def batch_loss(module, batch):
+                    sources = vocab.pad_batch([b[0] for b in batch])
+                    targets_in = vocab.pad_batch([b[1] for b in batch])
+                    targets_out = vocab.pad_batch([b[2] for b in batch])
+                    logits = module(sources, targets_in)
+                    return cross_entropy_per_example(
+                        logits, targets_out, ignore_index=0
+                    )
+
+                def dp_step(batch):
+                    return dp_sgd_step_vectorized(
+                        model, batch, batch_loss, self.config.dp, rng
+                    )
+
+            else:
+
+                def per_example_loss(module, example):
+                    src, tgt_in, tgt_out = example
+                    logits = module(
+                        np.asarray([src], dtype=np.int64),
+                        np.asarray([tgt_in], dtype=np.int64),
+                    )
+                    return cross_entropy(
+                        logits, np.asarray([tgt_out]), ignore_index=0
+                    )
+
+                def dp_step(batch):
+                    return dp_sgd_step(
+                        model, batch, per_example_loss, self.config.dp, rng
+                    )
 
             guard = TrainingGuard(
                 (model,), (),
@@ -224,9 +303,7 @@ class TransformerTextSynthesizer:
                     size = min(self.config.batch_size, len(encoded))
                     picks = rng.choice(len(encoded), size=size, replace=False)
                     batch = [encoded[i] for i in picks]
-                    loss = dp_sgd_step(
-                        model, batch, per_example_loss, self.config.dp, rng
-                    )
+                    loss = dp_step(batch)
                     loss = faults.corrupt("transformer.nan_loss", loss)
                     # Account every attempt: the per-example gradients were
                     # computed on real background data whether or not the
@@ -308,19 +385,25 @@ class TransformerTextSynthesizer:
         record = self._model_for(target_similarity)
         assert self._vocab is not None
         src_ids = self._vocab.encode(source[: self.config.max_length], add_eos=True)
-        batch = np.asarray([src_ids] * self.config.n_candidates, dtype=np.int64)
+        # One generate call draws all k candidates: the encoder runs ONCE on
+        # the single source row and the decoder fans the memory out across
+        # the candidate samples (KV-cached unless the operator flipped the
+        # runtime switch to the uncached fallback).
         generated = record.model.generate(
-            batch,
+            np.asarray([src_ids], dtype=np.int64),
             temperature=self.config.temperature,
             rng=rng,
             max_new_tokens=self.config.max_length,
+            samples_per_source=self.config.n_candidates,
+            use_cache=self.generation_cache,
         )
+        scorer = self._variant_scorer(source)
         best_text, best_gap, best_sim = None, np.inf, 0.0
         for token_ids in generated:
             text = self._vocab.decode(token_ids)
             if not text.strip():
                 continue
-            score = self.similarity(source, text)
+            score = scorer(text)
             gap = abs(score - target_similarity)
             if gap < best_gap:
                 best_text, best_gap, best_sim = text, gap, score

@@ -1,0 +1,264 @@
+"""Vectorized per-sample gradients vs. the per-example DP-SGD loop.
+
+`dp_sgd_step_vectorized` must produce the SAME parameter update as the
+reference `dp_sgd_step` loop — same clipped per-example gradients, same
+noise draw — to `atol=1e-10`, across layer types and (batch, seq) shapes
+(hypothesis property test, derandomized).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+    per_sample_grads,
+)
+from repro.nn.losses import (
+    cross_entropy,
+    cross_entropy_per_example,
+    mse_loss,
+)
+from repro.nn.transformer import Seq2SeqTransformer, TransformerConfig
+from repro.privacy import DPSGDConfig, dp_sgd_step, dp_sgd_step_vectorized
+
+SETTINGS = settings(max_examples=25, deadline=None, derandomize=True)
+
+
+def _ragged_seq2seq_examples(rng, batch, max_len, vocab):
+    examples = []
+    for _ in range(batch):
+        src_len = int(rng.integers(2, max_len))
+        tgt_len = int(rng.integers(2, max_len))
+        src = list(rng.integers(4, vocab, size=src_len)) + [2]
+        tgt = [1] + list(rng.integers(4, vocab, size=tgt_len)) + [2]
+        examples.append((src, tgt[:-1], tgt[1:]))
+    return examples
+
+
+def _pad(seqs):
+    width = max(len(s) for s in seqs)
+    out = np.zeros((len(seqs), width), dtype=np.int64)
+    for row, seq in enumerate(seqs):
+        out[row, : len(seq)] = seq
+    return out
+
+
+def _transformer_pair(seed, vocab=15):
+    config = TransformerConfig(
+        vocab_size=vocab, d_model=8, n_heads=2, n_encoder_layers=1,
+        n_decoder_layers=1, d_feedforward=16, dropout=0.0, max_length=16,
+    )
+    return (
+        Seq2SeqTransformer(config, np.random.default_rng(seed)),
+        Seq2SeqTransformer(config, np.random.default_rng(seed)),
+    )
+
+
+def _per_example_seq_loss(module, example):
+    src, tgt_in, tgt_out = example
+    logits = module(
+        np.asarray([src], dtype=np.int64), np.asarray([tgt_in], dtype=np.int64)
+    )
+    return cross_entropy(logits, np.asarray([tgt_out]), ignore_index=0)
+
+
+def _batch_seq_loss(module, batch):
+    logits = module(_pad([b[0] for b in batch]), _pad([b[1] for b in batch]))
+    return cross_entropy_per_example(
+        logits, _pad([b[2] for b in batch]), ignore_index=0
+    )
+
+
+class TestLayerGradSamples:
+    """Per-example gradients of each instrumented layer against autograd."""
+
+    def _check_layer(self, module, forward, batch_inputs):
+        with per_sample_grads():
+            out = forward(module, batch_inputs)
+            (out * out).sum().backward()
+        recorded = {
+            name: param.grad_sample.copy()
+            for name, param in module.named_parameters()
+        }
+        for name, param in module.named_parameters():
+            assert recorded[name].shape == (len(batch_inputs),) + param.data.shape
+        # Reference: one backward per example, leading axis kept.
+        for index in range(len(batch_inputs)):
+            module.zero_grad()
+            single = forward(module, batch_inputs[index : index + 1])
+            (single * single).sum().backward()
+            for name, param in module.named_parameters():
+                np.testing.assert_allclose(
+                    recorded[name][index], param.grad, atol=1e-10,
+                    err_msg=f"{name} example {index}",
+                )
+        module.zero_grad()
+
+    def test_linear(self, rng):
+        layer = Linear(4, 3, rng)
+        inputs = rng.normal(size=(5, 6, 4))
+        self._check_layer(layer, lambda m, x: m(Tensor(x)), inputs)
+
+    def test_linear_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        inputs = rng.normal(size=(3, 4))
+        self._check_layer(layer, lambda m, x: m(Tensor(x)), inputs)
+
+    def test_embedding(self, rng):
+        layer = Embedding(11, 6, rng)
+        tokens = rng.integers(0, 11, size=(4, 7))
+        self._check_layer(layer, lambda m, x: m(x), tokens)
+
+    def test_embedding_repeated_tokens_accumulate(self, rng):
+        layer = Embedding(5, 3, rng)
+        tokens = np.asarray([[2, 2, 2, 1]])
+        self._check_layer(layer, lambda m, x: m(x), tokens)
+
+    def test_layer_norm(self, rng):
+        layer = LayerNorm(6)
+        inputs = rng.normal(size=(4, 5, 6))
+        self._check_layer(layer, lambda m, x: m(Tensor(x)), inputs)
+
+    def test_stacked_modules(self, rng):
+        stack = Sequential(Linear(4, 8, rng), LayerNorm(8), Linear(8, 2, rng))
+        inputs = rng.normal(size=(6, 3, 4))
+        self._check_layer(stack, lambda m, x: m(Tensor(x)), inputs)
+
+    def test_grad_sample_cleared_by_zero_grad(self, rng):
+        layer = Linear(3, 2, rng)
+        with per_sample_grads():
+            layer(Tensor(rng.normal(size=(2, 3)))).sum().backward()
+        assert layer.weight.grad_sample is not None
+        layer.zero_grad()
+        assert layer.weight.grad_sample is None
+        assert layer.weight.grad is None
+
+    def test_missing_grad_sample_raises(self, rng):
+        model = Linear(3, 1, rng)
+        examples = [(rng.normal(size=3), 0.5)]
+
+        def bad_batch_loss(module, batch):
+            # Forward OUTSIDE grad-sample instrumentation: raw matmul.
+            x = Tensor(np.stack([b[0] for b in batch]))
+            out = x @ module.weight
+            return (out * out).sum(axis=1)
+
+        with pytest.raises(RuntimeError, match="grad_sample"):
+            dp_sgd_step_vectorized(
+                model, examples, bad_batch_loss,
+                DPSGDConfig(noise_scale=0.0), np.random.default_rng(0),
+            )
+
+
+class TestDPSGDVectorizedEquivalence:
+    def test_linear_regression_matches_loop(self, rng):
+        loop_model = Linear(3, 1, np.random.default_rng(8))
+        fast_model = Linear(3, 1, np.random.default_rng(8))
+        features = rng.normal(size=(16, 3))
+        targets = features @ np.array([1.0, -1.0, 2.0])
+        examples = list(zip(features, targets))
+
+        def per_example(module, example):
+            x, y = example
+            return mse_loss(module(Tensor(x[None, :])), np.array([[y]]))
+
+        def batched(module, batch):
+            x = Tensor(np.stack([b[0] for b in batch]))
+            y = np.asarray([b[1] for b in batch])
+            diff = module(x).reshape(-1) - Tensor(y)
+            return diff * diff
+
+        config = DPSGDConfig(noise_scale=0.8, clip_norm=0.3, learning_rate=0.2)
+        for step in range(4):
+            loss_loop = dp_sgd_step(
+                loop_model, examples, per_example, config,
+                np.random.default_rng(step),
+            )
+            loss_fast = dp_sgd_step_vectorized(
+                fast_model, examples, batched, config,
+                np.random.default_rng(step),
+            )
+            assert loss_loop == pytest.approx(loss_fast, abs=1e-10)
+        for slow, fast in zip(loop_model.parameters(), fast_model.parameters()):
+            np.testing.assert_allclose(slow.data, fast.data, atol=1e-10)
+
+    @SETTINGS
+    @given(
+        batch=st.integers(min_value=1, max_value=6),
+        max_len=st.integers(min_value=3, max_value=9),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        noise=st.sampled_from([0.0, 0.5, 2.0]),
+        clip=st.sampled_from([0.05, 0.5, 5.0]),
+    )
+    def test_transformer_matches_loop(self, batch, max_len, seed, noise, clip):
+        """The property the tentpole rests on: one batched forward/backward
+        over ragged, padded seq2seq examples produces the identical DP
+        update as the per-example reference loop."""
+        loop_model, fast_model = _transformer_pair(seed)
+        examples = _ragged_seq2seq_examples(
+            np.random.default_rng(seed + 1), batch, max_len, vocab=15
+        )
+        config = DPSGDConfig(
+            noise_scale=noise, clip_norm=clip, learning_rate=0.05
+        )
+        loss_loop = dp_sgd_step(
+            loop_model, examples, _per_example_seq_loss, config,
+            np.random.default_rng(seed + 2),
+        )
+        loss_fast = dp_sgd_step_vectorized(
+            fast_model, examples, _batch_seq_loss, config,
+            np.random.default_rng(seed + 2),
+        )
+        assert loss_loop == pytest.approx(loss_fast, abs=1e-10)
+        for (name, slow), (_, fast) in zip(
+            loop_model.named_parameters(), fast_model.named_parameters()
+        ):
+            np.testing.assert_allclose(
+                slow.data, fast.data, atol=1e-10, err_msg=name
+            )
+
+    def test_multi_step_trajectory_matches(self):
+        loop_model, fast_model = _transformer_pair(4)
+        examples = _ragged_seq2seq_examples(
+            np.random.default_rng(5), 5, 7, vocab=15
+        )
+        config = DPSGDConfig(noise_scale=1.0, clip_norm=0.5, learning_rate=0.1)
+        loop_rng = np.random.default_rng(6)
+        fast_rng = np.random.default_rng(6)
+        for _ in range(5):
+            dp_sgd_step(loop_model, examples, _per_example_seq_loss, config, loop_rng)
+            dp_sgd_step_vectorized(
+                fast_model, examples, _batch_seq_loss, config, fast_rng
+            )
+        for slow, fast in zip(loop_model.parameters(), fast_model.parameters()):
+            np.testing.assert_allclose(slow.data, fast.data, atol=1e-10)
+        # The two paths consumed the noise stream identically.
+        assert loop_rng.random() == fast_rng.random()
+
+    def test_empty_batch_rejected(self):
+        model, _ = _transformer_pair(0)
+        with pytest.raises(ValueError):
+            dp_sgd_step_vectorized(
+                model, [], _batch_seq_loss, DPSGDConfig(),
+                np.random.default_rng(0),
+            )
+
+    def test_batch_loss_shape_checked(self, rng):
+        model = Linear(2, 1, rng)
+
+        def wrong_shape(module, batch):
+            x = Tensor(np.stack([b for b in batch]))
+            return (module(x) * module(x)).sum()  # scalar, not (B,)
+
+        with pytest.raises(ValueError, match="batch_loss"):
+            dp_sgd_step_vectorized(
+                model, [np.zeros(2), np.ones(2)], wrong_shape,
+                DPSGDConfig(), np.random.default_rng(0),
+            )

@@ -189,3 +189,65 @@ class TestStats:
         assert stats["queue"]["done"] == 1
         assert stats["job_latency_seconds"]["count"] == 1
         assert stats["models_loaded"] == 1
+
+
+class TestGenerationCacheSwitch:
+    def test_label_accepts_cache_switch(self, served, service_real):
+        """Rule-backed models accept the flag as a no-op (no_backend)."""
+        client, _, context = served
+        pairs = _record_pairs(service_real, count=2)
+        response = client._request(
+            "POST",
+            "/models/restaurant/label",
+            {"pairs": pairs, "generation_cache": False},
+        )
+        assert len(response["labels"]) == 2
+        counters = context.stats()["counters"]
+        assert counters["generation_cache.toggles"] == 1
+        assert counters["generation_cache.disables"] == 1
+        assert counters["generation_cache.no_backend"] == 1
+
+    def test_non_boolean_switch_400(self, served, service_real):
+        client, _, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST",
+                "/models/restaurant/label",
+                {
+                    "pairs": _record_pairs(service_real, count=1),
+                    "generation_cache": "yes",
+                },
+            )
+        assert excinfo.value.status == 400
+
+    def test_stats_expose_generation_block(self, served, service_real):
+        client, _, _ = served
+        client.label("restaurant", _record_pairs(service_real, count=1))
+        generation = client.stats()["generation"]
+        for key in (
+            "generate_calls",
+            "cached_tokens",
+            "uncached_tokens",
+            "cache_enabled_backends",
+            "backends",
+        ):
+            assert generation[key] == 0  # rule backend: nothing to count
+
+    def test_switch_reaches_transformer_backends(self):
+        """LoadedModel flips every transformer text backend it can find."""
+        from types import SimpleNamespace
+
+        from repro.service.api import LoadedModel
+        from repro.textgen.transformer_backend import TransformerTextSynthesizer
+
+        backend = TransformerTextSynthesizer()
+        assert backend.generation_cache is True
+        synthesizer = SimpleNamespace(_text_backends={"name": backend})
+        loaded = LoadedModel(synthesizer, entry=None)
+        assert loaded.set_generation_cache(False) == 1
+        assert backend.generation_cache is False
+        stats = loaded.generation_stats()
+        assert stats["backends"] == 1
+        assert stats["cache_enabled_backends"] == 0
+        assert loaded.set_generation_cache(True) == 1
+        assert backend.generation_cache is True
