@@ -73,6 +73,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="commit durable stage checkpoints to DIR; an interrupted run "
         "can be continued with 'repro resume --checkpoint DIR'",
     )
+    synthesize.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition S2 into N deterministic shards (run sequentially "
+        "here; use the service to fan shards across a worker pool)",
+    )
 
     resume = commands.add_parser(
         "resume", help="continue an interrupted checkpointed synthesize run"
@@ -88,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--scale", type=float, default=0.1)
     resume.add_argument("--seed", type=int, default=7)
     resume.add_argument("--out", required=True, help="output directory")
+    resume.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count of the interrupted run (must match its "
+        "'synthesize --shards')",
+    )
 
     evaluate = commands.add_parser(
         "evaluate", help="Exp-2/Exp-3 matcher evaluation on one dataset"
@@ -172,6 +186,12 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--n-b", type=int, default=None)
     submit.add_argument("--seed", type=int, default=None)
     submit.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="fan the S2 loop out over N shard sub-jobs across the pool",
+    )
+    submit.add_argument(
         "--wait", action="store_true", help="poll until the job finishes"
     )
     submit.add_argument("--timeout", type=float, default=600.0)
@@ -234,8 +254,8 @@ def _cmd_synthesize(args) -> int:
     token, restore = _graceful_token()
     try:
         synthesizer.fit(real, checkpoint_dir=args.checkpoint, stop=token)
-        output = synthesizer.synthesize(
-            checkpoint_dir=args.checkpoint, stop=token
+        output = synthesizer.synthesize_sharded(
+            n_shards=args.shards, checkpoint_dir=args.checkpoint, stop=token
         )
     except SynthesisInterrupted as error:
         return _report_interrupted(error)
@@ -268,8 +288,8 @@ def _cmd_resume(args) -> int:
     token, restore = _graceful_token()
     try:
         synthesizer = SERDSynthesizer.resume(args.checkpoint, real)
-        output = synthesizer.synthesize(
-            checkpoint_dir=args.checkpoint, stop=token
+        output = synthesizer.synthesize_sharded(
+            n_shards=args.shards, checkpoint_dir=args.checkpoint, stop=token
         )
     except SynthesisInterrupted as error:
         return _report_interrupted(error)
@@ -408,8 +428,10 @@ def _cmd_submit(args) -> int:
         n_a=args.n_a,
         n_b=args.n_b,
         seed=args.seed,
+        shards=args.shards,
     )
-    print(f"Submitted job {job['id']} ({job['model']})")
+    shard_note = f" shards={job.get('shards')}" if (job.get("shards") or 1) > 1 else ""
+    print(f"Submitted job {job['id']} ({job['model']}{shard_note})")
     if args.wait:
         job = client.wait(job["id"], timeout=args.timeout)
         print(json.dumps(job, indent=2))

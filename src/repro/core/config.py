@@ -113,7 +113,13 @@ class SERDConfig:
         is skipped) instead of failing.  ``False`` re-raises.
     checkpoint_every:
         Accepted entities between S2 progress checkpoints when
-        ``synthesize`` is given a checkpoint directory.
+        ``synthesize`` is given a checkpoint directory.  In sharded runs
+        this is also the cadence of the O_syn publish/steer exchange with
+        the coordinator's stats bus.
+    labeling_chunk_size:
+        Cross pairs scored per batch during S3 labeling and rows buffered
+        per chunk during dataset export — the streaming memory bound; peak
+        RSS of both stages grows with this, not with ``n_a * n_b``.
     dp:
         DP-SGD settings for transformer training; ``None`` trains the
         transformer non-privately (the rule backend is unaffected — it never
@@ -156,6 +162,7 @@ class SERDConfig:
     degrade_text_on_divergence: bool = True
     degrade_gan_on_divergence: bool = True
     checkpoint_every: int = 50
+    labeling_chunk_size: int = 4096
     dp: DPSGDConfig | None = None
     gan: TabularGANConfig = field(default_factory=TabularGANConfig)
     transformer: TransformerTextSynthesizerConfig = field(
@@ -183,6 +190,8 @@ class SERDConfig:
             )
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.labeling_chunk_size < 1:
+            raise ValueError("labeling_chunk_size must be >= 1")
 
     def without_rejection(self) -> "SERDConfig":
         """The SERD- ablation: same settings, rejection disabled."""

@@ -19,6 +19,7 @@ resumed run is bit-identical to an uninterrupted one with the same seed.
 from __future__ import annotations
 
 import os
+import resource
 import time
 import warnings
 from collections.abc import Callable
@@ -30,6 +31,14 @@ from repro.core.cold_start import cold_start_entity
 from repro.core.config import SERDConfig
 from repro.core.labeling import label_all_pairs
 from repro.core.rejection import DistributionTracker, RejectionPolicy
+from repro.core.sharding import (
+    ShardRun,
+    ShardSpec,
+    ShardStatsBus,
+    merged_o_syn,
+    plan_shards,
+    shard_rng,
+)
 from repro.core.synthesis import EntityFactory
 from repro.distributions.divergence import pair_distribution_jsd
 from repro.distributions.mixture import PairDistribution
@@ -653,18 +662,200 @@ class SERDSynthesizer:
         checkpointer = (
             StageCheckpointer(checkpoint_dir) if checkpoint_dir is not None else None
         )
-        record = self.health.stage("s2_synthesis")
+        spec = plan_shards(n_a, n_b, 1, self.config.seed)[0]
+        run = self._run_s2_shard(
+            spec, rng=self.rng, checkpointer=checkpointer, stop=stop
+        )
+        return self._assemble(
+            [run], n_a, n_b, checkpointer=checkpointer, started=started
+        )
+
+    def synthesize_sharded(
+        self,
+        n_a: int | None = None,
+        n_b: int | None = None,
+        *,
+        n_shards: int = 1,
+        checkpoint_dir: str | os.PathLike | None = None,
+        stop: Callable[[], bool] | None = None,
+    ) -> SynthesisOutput:
+        """Run S2 as a sequence of shards, then merge and label.
+
+        The in-process coordinator: the target sizes are split by
+        :func:`~repro.core.sharding.plan_shards`, each shard runs the S2
+        loop on its own RNG stream, completed shards feed their merged
+        O_syn drift forward to later shards (the same steering signal the
+        distributed coordinator broadcasts), and the merged pools go
+        through one S3 labeling pass.  Shards execute sequentially here —
+        the run is fully deterministic and resumable — while the service
+        path (``repro submit --shards N``) fans the same shard jobs out
+        across the worker pool.
+
+        With ``n_shards=1`` this *is* :meth:`synthesize` — same RNG
+        stream, same entity ids, bit-identical output.
+
+        With ``checkpoint_dir``, each completed shard commits a
+        ``s2_shard<k>_result`` stage and an in-flight shard checkpoints
+        progress as ``s2_progress_shard<k>``; resuming skips completed
+        shards entirely and continues the interrupted one mid-loop.
+        """
+        if self.o_real is None or self.factory is None or self._real is None:
+            raise RuntimeError("synthesizer is not fitted; call fit() first")
+        started = time.perf_counter()
+        real = self._real
+        n_a = n_a if n_a is not None else len(real.table_a)
+        n_b = n_b if n_b is not None else len(real.table_b)
+        if n_a < 1 or n_b < 1:
+            raise ValueError("both synthetic tables need at least one entity")
+        plan = plan_shards(n_a, n_b, n_shards, self.config.seed)
+        checkpointer = (
+            StageCheckpointer(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        if len(plan) == 1:
+            run = self._run_s2_shard(
+                plan[0], rng=self.rng, checkpointer=checkpointer, stop=stop
+            )
+            return self._assemble(
+                [run], n_a, n_b, checkpointer=checkpointer, started=started
+            )
+        runs: list[ShardRun] = []
+        for spec in plan:
+            result_stage = f"s2_shard{spec.index}_result"
+            if checkpointer is not None and checkpointer.has(result_stage):
+                runs.append(
+                    ShardRun.from_payload(checkpointer.load(result_stage), real.schema)
+                )
+                continue
+            run = self._run_s2_shard(
+                spec,
+                rng=shard_rng(spec),
+                checkpointer=checkpointer,
+                stage=f"s2_progress_shard{spec.index}",
+                stop=stop,
+                peer_feedback=self._peer_feedback(runs),
+                record_name=f"s2_synthesis_shard{spec.index}",
+            )
+            if checkpointer is not None:
+                checkpointer.commit(result_stage, run.to_payload())
+            runs.append(run)
+        return self._assemble(
+            runs, n_a, n_b, checkpointer=checkpointer, started=started
+        )
+
+    def synthesize_shard(
+        self,
+        spec: ShardSpec,
+        *,
+        checkpoint_dir: str | os.PathLike | None = None,
+        stop: Callable[[], bool] | None = None,
+        bus: ShardStatsBus | None = None,
+        peer_feedback: tuple[float, int] | None = None,
+    ) -> ShardRun:
+        """Run the S2 loop for one shard only (no S3, no dataset assembly).
+
+        This is the unit of work a shard *worker* executes: the shard's RNG
+        stream is derived from its spec (single-shard specs reuse the master
+        RNG, preserving sequential bit-identity), progress checkpoints go to
+        ``checkpoint_dir`` under the standard ``s2_progress`` stage, and
+        ``bus`` — when given — carries the periodic O_syn publish/steer
+        exchange with the coordinator.
+        """
+        if self.o_real is None or self.factory is None or self._real is None:
+            raise RuntimeError("synthesizer is not fitted; call fit() first")
+        rng = self.rng if spec.n_shards == 1 else shard_rng(spec)
+        checkpointer = (
+            StageCheckpointer(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        return self._run_s2_shard(
+            spec,
+            rng=rng,
+            checkpointer=checkpointer,
+            stop=stop,
+            bus=bus,
+            peer_feedback=peer_feedback,
+        )
+
+    def assemble_shard_runs(
+        self,
+        runs: list[ShardRun],
+        n_a: int,
+        n_b: int,
+        *,
+        checkpoint_dir: str | os.PathLike | None = None,
+    ) -> SynthesisOutput:
+        """Merge completed shard runs into the final labeled dataset (S3).
+
+        The coordinator's second half: concatenates the shard entity pools
+        (shard order, so the merge is deterministic), runs the streaming S3
+        labeling pass over the merged tables, and computes the final JSD
+        from the *merged* O_syn.  ``online_seconds`` covers only assembly;
+        per-shard loop timings live in each run.
+        """
+        if self.o_real is None or self._real is None:
+            raise RuntimeError("synthesizer is not fitted; call fit() first")
+        checkpointer = (
+            StageCheckpointer(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        return self._assemble(
+            runs, n_a, n_b, checkpointer=checkpointer, started=time.perf_counter()
+        )
+
+    def _peer_feedback(self, runs: list[ShardRun]) -> tuple[float, int] | None:
+        """Steering signal for the next shard: merged drift of finished ones."""
+        if not runs:
+            return None
+        states = [run.tracker_state for run in runs]
+        merged = merged_o_syn(states)
+        if merged is None:
+            return None
+        jsd = pair_distribution_jsd(
+            merged, self.o_labeling,
+            seed=self.config.seed + 23, n_samples=self.config.jsd_samples,
+        )
+        n_pairs = sum(int(s["n_pos"]) + int(s["n_neg"]) for s in states)
+        return jsd, n_pairs
+
+    def _run_s2_shard(
+        self,
+        spec: ShardSpec,
+        *,
+        rng: np.random.Generator,
+        checkpointer: StageCheckpointer | None = None,
+        stage: str = "s2_progress",
+        stop: Callable[[], bool] | None = None,
+        bus: ShardStatsBus | None = None,
+        peer_feedback: tuple[float, int] | None = None,
+        record_name: str = "s2_synthesis",
+    ) -> ShardRun:
+        """The S2 loop over one shard's slice of the target sizes.
+
+        This is the sequential loop, verbatim, parameterized by the shard's
+        RNG stream, id namespace, checkpoint stage and steering inputs — a
+        single-shard spec with the master RNG reproduces the pre-shard loop
+        bit for bit.  Peer feedback is applied only at loop start and at
+        checkpoint boundaries, and the active value is recorded in every
+        progress payload, so a killed shard resumes with exactly the
+        steering signal it was using — that is what keeps crash/resume
+        bit-identical even though the signal itself evolves.
+        """
+        started = time.perf_counter()
+        real = self._real
+        n_a, n_b = spec.n_a, spec.n_b
+        prefix = spec.id_prefix
+        record = self.health.stage(record_name)
         record.status = RUNNING
 
         # Rejection and S3 labeling both score *cross* pairs, so they use the
         # all-pairs prior (see fit()); S2 sampling keeps the labeled-set pi.
-        tracker = DistributionTracker(self.o_labeling, self.config, self.rng)
+        tracker = DistributionTracker(self.o_labeling, self.config, rng)
         policy = RejectionPolicy(
             self.config, tracker,
             self.gan if self.config.reject_entities else None,
             jsd_seed=self.config.seed + 23,
             plausibility_floor=self.plausibility_floor,
         )
+        if peer_feedback is not None:
+            policy.set_peer_feedback(peer_feedback[0], peer_feedback[1])
 
         a_entities: list[Entity] = []
         b_entities: list[Entity] = []
@@ -674,8 +865,8 @@ class SERDSynthesizer:
         matched_ids: set[str] = set()
 
         progress = None
-        if checkpointer is not None and checkpointer.has("s2_progress"):
-            progress = checkpointer.load("s2_progress")
+        if checkpointer is not None and checkpointer.has(stage):
+            progress = checkpointer.load(stage)
             if progress["n_a"] != n_a or progress["n_b"] != n_b:
                 raise ValueError(
                     "s2 progress checkpoint was taken for sizes "
@@ -694,7 +885,11 @@ class SERDSynthesizer:
             policy.stats.update(
                 {k: int(v) for k, v in progress["rejection_stats"].items()}
             )
-            restore_rng(self.rng, progress["rng_state"])
+            if progress.get("peer_jsd") is not None:
+                policy.set_peer_feedback(
+                    progress["peer_jsd"], int(progress.get("peer_pairs", 0))
+                )
+            restore_rng(rng, progress["rng_state"])
             record.increment("resumed_entities", len(a_entities) + len(b_entities))
         else:
             # Cold start: the first A-entity.
@@ -704,8 +899,8 @@ class SERDSynthesizer:
                     self.similarity_model.ranges,
                     self._categorical_values["a"],
                     self._background,
-                    self.rng,
-                    entity_id="sa0",
+                    rng,
+                    entity_id=f"{prefix}a0",
                     gan=self.gan,
                 )
             )
@@ -716,35 +911,40 @@ class SERDSynthesizer:
             if stop is not None and stop():
                 if checkpointer is not None:
                     checkpointer.commit(
-                        "s2_progress",
+                        stage,
                         self._s2_progress_payload(
                             n_a, n_b, a_entities, b_entities,
                             sampled_matches, sampled_non_matches,
                             counter_a, counter_b, matched_ids, tracker, policy,
+                            rng,
                         ),
                     )
                 raise SynthesisInterrupted(
-                    "s2_synthesis", checkpointed=checkpointer is not None
+                    record_name, checkpointed=checkpointer is not None
                 )
             if (
-                checkpointer is not None
-                and accepted_since_checkpoint >= self.config.checkpoint_every
+                accepted_since_checkpoint >= self.config.checkpoint_every
+                and (checkpointer is not None or bus is not None)
             ):
-                checkpointer.commit(
-                    "s2_progress",
-                    self._s2_progress_payload(
-                        n_a, n_b, a_entities, b_entities,
-                        sampled_matches, sampled_non_matches,
-                        counter_a, counter_b, matched_ids, tracker, policy,
-                    ),
-                )
+                if bus is not None:
+                    self._sync_shard_bus(bus, spec, tracker, policy, done=False)
+                if checkpointer is not None:
+                    checkpointer.commit(
+                        stage,
+                        self._s2_progress_payload(
+                            n_a, n_b, a_entities, b_entities,
+                            sampled_matches, sampled_non_matches,
+                            counter_a, counter_b, matched_ids, tracker, policy,
+                            rng,
+                        ),
+                    )
                 accepted_since_checkpoint = 0
             faults.maybe_interrupt("synthesize.step")
             faults.maybe_stall("synthesize.stall")
 
             # S2-2 (label part): decide match vs non-match at the match-edge
             # rate (see fit()).
-            is_match = bool(self.rng.random() < self.match_edge_rate)
+            is_match = bool(rng.random() < self.match_edge_rate)
 
             # S2-1: sample e from the union, restricted to sides whose
             # opposite table still needs entities (Section III, Remark 1).
@@ -769,9 +969,9 @@ class SERDSynthesizer:
                     is_match = False
             weights = np.array([len(pool) for _, pool in sources], dtype=float)
             side, pool = sources[
-                int(self.rng.choice(len(sources), p=weights / weights.sum()))
+                int(rng.choice(len(sources), p=weights / weights.sum()))
             ]
-            anchor = pool[int(self.rng.integers(len(pool)))]
+            anchor = pool[int(rng.integers(len(pool)))]
 
             # S2-2 (vector part): sample the similarity vector from O_real.
             source = (
@@ -779,15 +979,15 @@ class SERDSynthesizer:
                 if is_match
                 else self.o_real.non_match_distribution
             )
-            vector = np.clip(source.sample(1, self.rng)[0], 0.0, 1.0)
+            vector = np.clip(source.sample(1, rng)[0], 0.0, 1.0)
 
             # S2-3 with rejection (Section V): retry until accepted.
             if side == "a":
-                new_id, new_side = f"sb{counter_b}", "b"
+                new_id, new_side = f"{prefix}b{counter_b}", "b"
             else:
-                new_id, new_side = f"sa{counter_a}", "a"
+                new_id, new_side = f"{prefix}a{counter_a}", "a"
             accepted_entity, delta, is_fallback = self._synthesize_with_rejection(
-                anchor, vector, new_id, new_side, pool, policy, is_match
+                anchor, vector, new_id, new_side, pool, policy, is_match, rng
             )
             if is_fallback:
                 policy.record_fallback()
@@ -831,15 +1031,81 @@ class SERDSynthesizer:
 
         if checkpointer is not None:
             # The loop finished; the progress checkpoint is consumed.
-            checkpointer.clear("s2_progress")
+            checkpointer.clear(stage)
+        if bus is not None:
+            self._sync_shard_bus(bus, spec, tracker, policy, done=True)
+
+        for key, value in policy.stats.items():
+            record.increment(key, value)
+        elapsed = time.perf_counter() - started
+        self.health.mark(record_name, COMPLETED, elapsed)
+        return ShardRun(
+            spec=spec,
+            a_entities=a_entities,
+            b_entities=b_entities,
+            sampled_matches=sampled_matches,
+            sampled_non_matches=sampled_non_matches,
+            rejection_stats=dict(policy.stats),
+            tracker_state=tracker.to_dict(),
+            elapsed_seconds=elapsed,
+            peak_rss_kb=int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        )
+
+    def _sync_shard_bus(
+        self,
+        bus: ShardStatsBus,
+        spec: ShardSpec,
+        tracker: DistributionTracker,
+        policy: RejectionPolicy,
+        *,
+        done: bool,
+    ) -> None:
+        """One publish/steer exchange with the coordinator's stats bus.
+
+        Reads the coordinator's latest per-shard feedback (the merged drift
+        of this shard's *peers*) and publishes this shard's live O_syn
+        statistics.  Called only at checkpoint boundaries so the applied
+        feedback is always the one recorded in the next progress payload.
+        """
+        feedback = bus.read_global()
+        if feedback is not None:
+            entry = feedback.get("shard_feedback", {}).get(str(spec.index))
+            if entry is not None and entry.get("jsd") is not None:
+                policy.set_peer_feedback(
+                    float(entry["jsd"]), int(entry.get("n_pairs", 0))
+                )
+        bus.publish_shard(
+            spec.index,
+            {
+                "tracker": tracker.to_dict(),
+                "n_pos": tracker.n_pos,
+                "n_neg": tracker.n_neg,
+                "done": done,
+            },
+        )
+
+    def _assemble(
+        self,
+        runs: list[ShardRun],
+        n_a: int,
+        n_b: int,
+        *,
+        checkpointer: StageCheckpointer | None,
+        started: float,
+    ) -> SynthesisOutput:
+        """Merge shard runs, run S3 over the merged tables, build the output."""
+        real = self._real
+        a_entities = [e for run in runs for e in run.a_entities]
+        b_entities = [e for run in runs for e in run.b_entities]
+        sampled_matches = [p for run in runs for p in run.sampled_matches]
+        sampled_non_matches = [p for run in runs for p in run.sampled_non_matches]
+        rejection_stats: dict[str, int] = {}
+        for run in runs:
+            for key, value in run.rejection_stats.items():
+                rejection_stats[key] = rejection_stats.get(key, 0) + int(value)
 
         table_a = Relation(f"{real.name}_syn_a", real.schema, a_entities)
         table_b = Relation(f"{real.name}_syn_b", real.schema, b_entities)
-        for key, value in policy.stats.items():
-            record.increment(key, value)
-        self.health.mark(
-            "s2_synthesis", COMPLETED, time.perf_counter() - started
-        )
 
         # S3: label all remaining pairs by posterior (Section IV-C).
         labeling_started = time.perf_counter()
@@ -864,6 +1130,7 @@ class SERDSynthesizer:
                 blocker = TokenBlocker(real.schema)
             extra_matches, n_labeled = label_all_pairs(
                 table_a, table_b, known, self.o_labeling, self.similarity_model,
+                batch_size=self.config.labeling_chunk_size,
                 max_matches=budget, blocker=blocker,
             )
             matches.extend(extra_matches)
@@ -878,10 +1145,10 @@ class SERDSynthesizer:
             name=f"{real.name}_syn",
         )
         jsd_final = None
-        current = tracker.current()
-        if current is not None:
+        merged = merged_o_syn([run.tracker_state for run in runs])
+        if merged is not None:
             jsd_final = pair_distribution_jsd(
-                current, self.o_labeling,
+                merged, self.o_labeling,
                 seed=self.config.seed + 23, n_samples=self.config.jsd_samples,
             )
         epsilon = None
@@ -899,10 +1166,22 @@ class SERDSynthesizer:
             atomic_write_json(
                 checkpointer.directory / "health.json", health_payload, indent=2
             )
+        extras = {}
+        if len(runs) > 1:
+            extras["shards"] = [
+                {
+                    "index": run.spec.index,
+                    "n_a": run.spec.n_a,
+                    "n_b": run.spec.n_b,
+                    "elapsed_seconds": run.elapsed_seconds,
+                    "peak_rss_kb": run.peak_rss_kb,
+                }
+                for run in runs
+            ]
         return SynthesisOutput(
             dataset=dataset,
             o_real=self.o_real,
-            rejection_stats=dict(policy.stats),
+            rejection_stats=rejection_stats,
             n_sampled_matches=len(sampled_matches),
             n_sampled_non_matches=len(sampled_non_matches),
             n_posterior_labeled=n_labeled,
@@ -910,6 +1189,7 @@ class SERDSynthesizer:
             offline_seconds=self.offline_seconds,
             online_seconds=time.perf_counter() - started,
             epsilon=epsilon,
+            extras=extras,
             health=health_payload,
         )
 
@@ -939,6 +1219,7 @@ class SERDSynthesizer:
         matched_ids: set[str],
         tracker: DistributionTracker,
         policy: RejectionPolicy,
+        rng: np.random.Generator,
     ) -> dict:
         return {
             "n_a": n_a,
@@ -952,7 +1233,12 @@ class SERDSynthesizer:
             "matched_ids": sorted(matched_ids),
             "tracker": tracker.to_dict(),
             "rejection_stats": dict(policy.stats),
-            "rng_state": rng_state(self.rng),
+            # The steering signal in force when this checkpoint was cut: a
+            # resumed shard re-applies it so the resumed loop replays the
+            # same Eq. 10 decisions the killed one would have made.
+            "peer_jsd": policy.peer_jsd,
+            "peer_pairs": policy.peer_pairs,
+            "rng_state": rng_state(rng),
         }
 
     def _synthesize_with_rejection(
@@ -964,6 +1250,7 @@ class SERDSynthesizer:
         anchor_table: list[Entity],
         policy: RejectionPolicy,
         is_match: bool,
+        rng: np.random.Generator,
     ) -> tuple[Entity, np.ndarray, bool]:
         """S2-3 + Section V: synthesize, evaluate, retry; returns the entity,
         its committed ``Delta X_syn`` vectors, and whether the slot fell back
@@ -972,9 +1259,9 @@ class SERDSynthesizer:
         best_key: tuple[float, float] = (np.inf, np.inf)
         for _ in range(self.config.max_rejection_retries):
             candidate = self.factory.synthesize_entity(
-                anchor, vector, new_id, self.rng, side=new_side
+                anchor, vector, new_id, rng, side=new_side
             )
-            delta = self._delta_vectors(candidate, anchor, anchor_table)
+            delta = self._delta_vectors(candidate, anchor, anchor_table, rng)
             decision = policy.evaluate(
                 candidate, delta, expected_match=is_match, target_vector=vector
             )
@@ -997,7 +1284,11 @@ class SERDSynthesizer:
         return best[0], best[1], True
 
     def _delta_vectors(
-        self, candidate: Entity, anchor: Entity, anchor_table: list[Entity]
+        self,
+        candidate: Entity,
+        anchor: Entity,
+        anchor_table: list[Entity],
+        rng: np.random.Generator,
     ) -> np.ndarray:
         """``Delta X_syn``: candidate vs (a sample of) the anchor's table.
 
@@ -1007,7 +1298,7 @@ class SERDSynthesizer:
         others = [e for e in anchor_table if e.entity_id != anchor.entity_id]
         budget = max(0, self.config.delta_sample_size - 1)
         if len(others) > budget:
-            picks = self.rng.choice(len(others), size=budget, replace=False)
+            picks = rng.choice(len(others), size=budget, replace=False)
             others = [others[int(i)] for i in picks]
         partners = [anchor] + others
         return self.similarity_model.one_vs_many(candidate, partners)

@@ -1,0 +1,268 @@
+"""Shard planning, merging and cross-shard statistics for S2 synthesis.
+
+The sequential S2 loop synthesizes ``n_a + n_b`` entities one at a time.  To
+scale past one core, the target sizes are partitioned into :class:`ShardSpec`
+slices; each shard runs the *same* loop over its slice with its own RNG
+stream, entity-id namespace and progress checkpoint, and the per-shard
+results are merged back into one dataset before S3 labeling.
+
+Single-shard plans are the equivalence oracle: ``plan_shards(n_a, n_b, 1)``
+produces a spec whose id prefix and RNG are exactly the sequential loop's,
+so a one-shard "sharded" run is bit-identical to :meth:`SERDSynthesizer.
+synthesize` by construction.
+
+Cross-shard steering: each shard periodically publishes its live O_syn
+sufficient statistics (:class:`~repro.distributions.incremental.
+IncrementalGMM` dumps) through a :class:`ShardStatsBus`; the coordinator
+merges them into a global mixture (:func:`merged_o_syn`), estimates the
+global drift ``JSD(O_syn_global, O_real)`` and rebroadcasts it, so each
+shard's Eq. 10 baseline blends its local drift with its peers' instead of
+steering toward a purely local optimum.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distributions.gaussian import GaussianComponent
+from repro.distributions.gmm import GaussianMixture
+from repro.distributions.mixture import PairDistribution
+from repro.runtime.io import as_path, atomic_write_json, read_json
+from repro.schema.entity import Entity
+
+# Salt for per-shard RNG streams: keeps shard streams disjoint from every
+# other derived stream in the pipeline (GAN seed+1, background seed+17,
+# JSD seed+23) without colliding for any (seed, index) pair.
+_SHARD_STREAM = 0x5E4D
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a sharded synthesis target.
+
+    ``seed`` is the *parent* run's seed; the shard's own RNG stream is
+    derived from ``(seed, index)`` by :func:`shard_rng`.  A single-shard
+    spec is special-cased everywhere to reuse the master RNG and the
+    sequential loop's ``sa``/``sb`` id namespace — that is what makes
+    one-shard mode bit-identical to the sequential loop.
+    """
+
+    index: int
+    n_shards: int
+    n_a: int
+    n_b: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.n_shards:
+            raise ValueError(
+                f"shard index {self.index} out of range for {self.n_shards} shards"
+            )
+        if self.n_a < 1 or self.n_b < 1:
+            raise ValueError(
+                f"shard {self.index} needs at least one entity per side, "
+                f"got ({self.n_a}, {self.n_b})"
+            )
+
+    @property
+    def id_prefix(self) -> str:
+        """Entity-id namespace: ``sa0``... for one shard, ``s2_a0``... else."""
+        return "s" if self.n_shards == 1 else f"s{self.index}_"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "n_shards": self.n_shards,
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardSpec":
+        return cls(
+            int(payload["index"]),
+            int(payload["n_shards"]),
+            int(payload["n_a"]),
+            int(payload["n_b"]),
+            int(payload["seed"]),
+        )
+
+
+def plan_shards(n_a: int, n_b: int, n_shards: int, seed: int) -> list[ShardSpec]:
+    """Split target sizes ``(n_a, n_b)`` into at most ``n_shards`` slices.
+
+    Sizes are divided as evenly as possible (earlier shards take the
+    remainder).  Every shard must synthesize at least one entity per side —
+    the S2 loop needs both pools non-empty to sample anchors — so the shard
+    count is capped at ``min(n_a, n_b)``.
+    """
+    if n_a < 1 or n_b < 1:
+        raise ValueError("both synthetic tables need at least one entity")
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, n_a, n_b)
+    specs = []
+    for index in range(n_shards):
+        share_a = n_a // n_shards + (1 if index < n_a % n_shards else 0)
+        share_b = n_b // n_shards + (1 if index < n_b % n_shards else 0)
+        specs.append(ShardSpec(index, n_shards, share_a, share_b, int(seed)))
+    return specs
+
+
+def shard_rng(spec: ShardSpec) -> np.random.Generator:
+    """The shard's dedicated RNG stream (multi-shard plans only).
+
+    Single-shard specs must use the master RNG instead — callers
+    special-case them — so this refuses the ambiguity.
+    """
+    if spec.n_shards == 1:
+        raise ValueError("single-shard specs use the master RNG, not a derived stream")
+    return np.random.default_rng([spec.seed, _SHARD_STREAM, spec.index])
+
+
+@dataclass
+class ShardRun:
+    """The S2 loop's output for one shard (entities, edges, O_syn state)."""
+
+    spec: ShardSpec
+    a_entities: list[Entity]
+    b_entities: list[Entity]
+    sampled_matches: list[tuple[str, str]]
+    sampled_non_matches: list[tuple[str, str]]
+    rejection_stats: dict[str, int]
+    tracker_state: dict
+    elapsed_seconds: float = 0.0
+    peak_rss_kb: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        """JSON-serializable dump (shard result files, checkpoint stages)."""
+        return {
+            "spec": self.spec.to_dict(),
+            "a_entities": [[e.entity_id, list(e.values)] for e in self.a_entities],
+            "b_entities": [[e.entity_id, list(e.values)] for e in self.b_entities],
+            "sampled_matches": [list(p) for p in self.sampled_matches],
+            "sampled_non_matches": [list(p) for p in self.sampled_non_matches],
+            "rejection_stats": dict(self.rejection_stats),
+            "tracker": self.tracker_state,
+            "elapsed_seconds": self.elapsed_seconds,
+            "peak_rss_kb": self.peak_rss_kb,
+            "extras": self.extras,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict, schema) -> "ShardRun":
+        return cls(
+            spec=ShardSpec.from_dict(payload["spec"]),
+            a_entities=[
+                Entity(eid, schema, values) for eid, values in payload["a_entities"]
+            ],
+            b_entities=[
+                Entity(eid, schema, values) for eid, values in payload["b_entities"]
+            ],
+            sampled_matches=[tuple(p) for p in payload["sampled_matches"]],
+            sampled_non_matches=[tuple(p) for p in payload["sampled_non_matches"]],
+            rejection_stats={
+                k: int(v) for k, v in payload["rejection_stats"].items()
+            },
+            tracker_state=payload["tracker"],
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            peak_rss_kb=int(payload.get("peak_rss_kb", 0)),
+            extras=dict(payload.get("extras", {})),
+        )
+
+
+def merged_o_syn(tracker_states: list[dict]) -> PairDistribution | None:
+    """Merge per-shard O_syn tracker dumps into one global distribution.
+
+    Each bootstrapped shard contributes its M- and N-side GMMs; the merged
+    side is the pair-count-weighted mixture of mixtures (component ``k`` of
+    shard ``s`` keeps its parameters with weight ``w_k * n_s / n_total``),
+    and the merged ``pi`` is the global positive fraction.  Shards still
+    buffering (not bootstrapped) are skipped; returns ``None`` when no shard
+    has bootstrapped yet.
+
+    For a single state this reproduces ``DistributionTracker.current()``
+    exactly, which is what keeps single-shard diagnostics identical to the
+    sequential loop's.
+    """
+    ready = [
+        s for s in tracker_states
+        if s.get("pos") is not None and s.get("neg") is not None
+    ]
+    if not ready:
+        return None
+    total_pos = sum(int(s["n_pos"]) for s in ready)
+    total_neg = sum(int(s["n_neg"]) for s in ready)
+    sides = {}
+    for side, count_key, total in (
+        ("pos", "n_pos", total_pos),
+        ("neg", "n_neg", total_neg),
+    ):
+        weights: list[float] = []
+        components: list[GaussianComponent] = []
+        for state in ready:
+            mixture = state[side]["mixture"]
+            share = int(state[count_key]) / max(1, total)
+            for w, mean, cov in zip(
+                mixture["weights"], mixture["means"], mixture["covariances"]
+            ):
+                weights.append(float(w) * share)
+                components.append(GaussianComponent(np.array(mean), np.array(cov)))
+        total_weight = sum(weights)
+        if total_weight <= 0:
+            # Degenerate side (e.g. every shard has n_pos == 0): fall back
+            # to uniform component weights rather than dividing by zero.
+            weights = [1.0 / len(weights)] * len(weights)
+        else:
+            weights = [w / total_weight for w in weights]
+        sides[side] = GaussianMixture(np.array(weights), tuple(components))
+    pi = float(np.clip(total_pos / max(1, total_pos + total_neg), 1e-6, 1 - 1e-6))
+    return PairDistribution(pi, sides["pos"], sides["neg"])
+
+
+class ShardStatsBus:
+    """File-based publish/subscribe bus for cross-shard O_syn statistics.
+
+    Shards atomically write their tracker dumps to ``shard_<i>.json``; the
+    coordinator merges whatever is present and writes ``global.json`` back.
+    All writes go through tmp + ``os.replace`` so readers never observe a
+    torn file, and a missing or not-yet-written file simply reads as "no
+    statistics yet" — the bus imposes no ordering on its participants.
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = as_path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def publish_shard(self, index: int, payload: dict) -> None:
+        atomic_write_json(self.directory / f"shard_{index}.json", payload)
+
+    def read_shards(self) -> dict[int, dict]:
+        out: dict[int, dict] = {}
+        for path in sorted(self.directory.glob("shard_*.json")):
+            try:
+                index = int(path.stem.split("_", 1)[1])
+            except ValueError:
+                continue
+            try:
+                out[index] = read_json(path, what="shard statistics")
+            except (ValueError, OSError):
+                continue  # racing writer or vanished file: skip this round
+        return out
+
+    def publish_global(self, payload: dict) -> None:
+        atomic_write_json(self.directory / "global.json", payload)
+
+    def read_global(self) -> dict | None:
+        path = self.directory / "global.json"
+        if not path.exists():
+            return None
+        try:
+            return read_json(path, what="global shard statistics")
+        except (ValueError, OSError):
+            return None

@@ -12,8 +12,21 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import logsumexp
 
-from repro.distributions.gaussian import GaussianComponent, regularize_covariance
+from repro.distributions import fastpath
+from repro.distributions.gaussian import (
+    _LOG_2PI,
+    GaussianComponent,
+    regularize_covariance,
+)
 from repro.runtime import faults
+
+
+def _logsumexp_rows(a: np.ndarray, keepdims: bool = False) -> np.ndarray:
+    """Row-wise log-sum-exp through the active execution path."""
+    if fastpath.enabled():
+        out = fastpath.logsumexp_rows(a)
+        return out[:, None] if keepdims else out
+    return logsumexp(a, axis=1, keepdims=keepdims)
 
 
 @dataclass
@@ -57,18 +70,60 @@ class GaussianMixture:
     # ------------------------------------------------------------------
     # Densities
     # ------------------------------------------------------------------
+    def _stacked(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Stacked whitening parameters for the batched density kernel.
+
+        The Mahalanobis term of component ``k`` is ``||(x - mu_k) L_k^-T||^2
+        = ||x L_k^-T - mu_k L_k^-T||^2``, so concatenating every component's
+        ``L_k^-T`` into one ``(d, g*d)`` matrix turns the whole mixture's
+        whitening into a single BLAS matmul.  Returns ``(basis (d, g*d),
+        shift (g*d,), offsets (g,))`` where ``offsets`` folds each
+        component's log weight and Gaussian normalizer.  Built lazily and
+        cached — mixtures are immutable after construction (EM builds a
+        fresh mixture per iteration).
+        """
+        cached = self.__dict__.get("_stack_cache")
+        if cached is None:
+            basis = np.hstack([c.chol_inverse.T for c in self.components])
+            shift = np.hstack(
+                [c.mean @ c.chol_inverse.T for c in self.components]
+            )
+            offsets = np.array(
+                [
+                    np.log(max(w, 1e-300)) - 0.5 * (c.dim * _LOG_2PI + c.log_det)
+                    for w, c in zip(self.weights, self.components)
+                ]
+            )
+            cached = (basis, shift, offsets)
+            self.__dict__["_stack_cache"] = cached
+        return cached
+
     def component_log_pdf(self, points: np.ndarray) -> np.ndarray:
         """Per-component weighted log densities, shape ``(n, g)``."""
         points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if not fastpath.enabled():
+            return self.component_log_pdf_reference(points)
+        basis, shift, offsets = self._stacked()
+        z = points @ basis
+        z -= shift
+        z *= z
+        mahalanobis = z.reshape(len(points), len(offsets), -1).sum(axis=2)
+        mahalanobis *= -0.5
+        mahalanobis += offsets
+        return mahalanobis
+
+    def component_log_pdf_reference(self, points: np.ndarray) -> np.ndarray:
+        """Scalar oracle for :meth:`component_log_pdf` (per-component loop)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
         columns = [
-            np.log(max(w, 1e-300)) + comp.log_pdf(points)
+            np.log(max(w, 1e-300)) + comp.log_pdf_reference(points)
             for w, comp in zip(self.weights, self.components)
         ]
         return np.column_stack(columns)
 
     def log_pdf(self, points: np.ndarray) -> np.ndarray:
         """Mixture log density at each row of ``points``."""
-        return logsumexp(self.component_log_pdf(points), axis=1)
+        return _logsumexp_rows(self.component_log_pdf(points))
 
     def pdf(self, points: np.ndarray) -> np.ndarray:
         return np.exp(self.log_pdf(points))
@@ -76,7 +131,7 @@ class GaussianMixture:
     def responsibilities(self, points: np.ndarray) -> np.ndarray:
         """E-step posteriors ``gamma_{i,k}`` (Eq. 5), shape ``(n, g)``."""
         log_joint = self.component_log_pdf(points)
-        return np.exp(log_joint - logsumexp(log_joint, axis=1, keepdims=True))
+        return np.exp(log_joint - _logsumexp_rows(log_joint, keepdims=True))
 
     # ------------------------------------------------------------------
     # Sampling & information criteria
@@ -202,7 +257,7 @@ def fit_gmm(
     for _ in range(max_iterations):
         # E-step (Eq. 5)
         log_joint = mixture.component_log_pdf(points)
-        log_norm = logsumexp(log_joint, axis=1, keepdims=True)
+        log_norm = _logsumexp_rows(log_joint, keepdims=True)
         gamma = np.exp(log_joint - log_norm)
         ll = float(log_norm.sum())
         if faults.fire("em.nan"):

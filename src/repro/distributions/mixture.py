@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.special import logsumexp
 
+from repro.distributions import fastpath
 from repro.distributions.gmm import GaussianMixture, select_gmm_by_aic
 
 
@@ -72,6 +73,18 @@ class PairDistribution:
     # ------------------------------------------------------------------
     def log_pdf(self, points: np.ndarray) -> np.ndarray:
         """Mixture log density ``log p(x)`` at each row of ``points``."""
+        if fastpath.enabled():
+            # One log-sum-exp over the union of both GMMs' components —
+            # p(x) is itself a mixture of g_m + g_n Gaussians.
+            joint = np.hstack(
+                [
+                    np.log(self.match_probability)
+                    + self.match_distribution.component_log_pdf(points),
+                    np.log1p(-self.match_probability)
+                    + self.non_match_distribution.component_log_pdf(points),
+                ]
+            )
+            return fastpath.logsumexp_rows(joint)
         log_m = np.log(self.match_probability) + self.match_distribution.log_pdf(points)
         log_n = np.log1p(-self.match_probability) + self.non_match_distribution.log_pdf(
             points

@@ -113,22 +113,31 @@ class Relation:
             self.add(entity)
 
     def add(self, entity: Entity) -> None:
-        """Append ``entity``; ids must be unique within the relation."""
+        """Append ``entity``; ids must be unique within the relation.
+
+        Cached column profiles are *not* discarded: appending is the only
+        mutation a relation supports, so a cached profile stays valid for
+        the rows it covers and consumers extend it with just the new rows
+        (see :meth:`repro.similarity.vector.SimilarityModel.profile`) —
+        growing a relation entity by entity costs O(new rows) of profiling,
+        not a full rebuild per append.
+        """
         if entity.schema is not self.schema and entity.schema != self.schema:
             raise ValueError(f"entity {entity.entity_id!r} has a different schema")
         if entity.entity_id in self._by_id:
             raise ValueError(f"duplicate entity id {entity.entity_id!r} in {self.name!r}")
         self._entities.append(entity)
         self._by_id[entity.entity_id] = entity
-        self._profile_cache.clear()
 
     @property
     def profile_cache(self) -> dict:
         """Mutable cache for derived per-relation artifacts.
 
         :meth:`repro.similarity.vector.SimilarityModel.profile` stores its
-        column profiles here; :meth:`add` clears the cache so stale profiles
-        can never be served after a mutation.
+        column profiles here.  Relations are append-only, so cached entries
+        are never silently wrong — merely behind — and each consumer
+        reconciles by comparing its entry's row count with ``len(self)``
+        and extending over the appended tail.
         """
         return self._profile_cache
 

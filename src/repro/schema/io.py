@@ -103,6 +103,91 @@ def save_dataset(dataset: ERDataset, directory: str | pathlib.Path) -> pathlib.P
     return directory
 
 
+def _saved_schema(meta: dict) -> Schema:
+    return Schema(
+        tuple(
+            Attribute(
+                column["name"], AttributeType(column["type"]), column.get("b_name")
+            )
+            for column in meta["schema"]
+        ),
+        name=meta["name"],
+    )
+
+
+def iter_saved_dataset_json(
+    directory: str | pathlib.Path, *, chunk_rows: int = 1024
+):
+    """Yield a saved dataset's JSON document as a stream of fragments.
+
+    Produces the same document ``GET /jobs/<id>/dataset`` has always
+    served — ``{"name", "schema", "table_a", "table_b", "matches",
+    "non_matches"}`` — but incrementally: the CSVs are read row by row and
+    at most ``chunk_rows`` rows are materialized at a time, so serving an
+    n-entity dataset holds O(chunk_rows) rows in memory instead of O(n).
+    Concatenating the fragments reproduces the full document exactly.
+    """
+    directory = pathlib.Path(directory)
+    meta = json.loads((directory / "schema.json").read_text())
+    schema = _saved_schema(meta)
+    header = {
+        "name": meta["name"],
+        "schema": [
+            {"name": attr.name, "type": attr.attr_type.value} for attr in schema
+        ],
+    }
+    yield json.dumps(header)[:-1]  # hold the document open: strip "}"
+
+    def _rows(path: pathlib.Path):
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            next(reader)  # header
+            for row in reader:
+                entity_id, *raw_values = row
+                yield {
+                    "id": entity_id,
+                    "values": [
+                        _parse_value(raw, attr.attr_type)
+                        for raw, attr in zip(raw_values, schema)
+                    ],
+                }
+
+    def _pair_rows(path: pathlib.Path):
+        if not path.exists():
+            return
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            next(reader)
+            for a_id, b_id in reader:
+                yield [a_id, b_id]
+
+    table_b_csv = (
+        directory / "table_a.csv"
+        if meta.get("single_table")
+        else directory / "table_b.csv"
+    )
+    sections = [
+        ("table_a", _rows(directory / "table_a.csv")),
+        ("table_b", _rows(table_b_csv)),
+        ("matches", _pair_rows(directory / "matches.csv")),
+        ("non_matches", _pair_rows(directory / "non_matches.csv")),
+    ]
+    for key, items in sections:
+        yield f', "{key}": ['
+        first = True
+        buffer: list[str] = []
+        for item in items:
+            buffer.append(json.dumps(item))
+            if len(buffer) >= chunk_rows:
+                yield ("" if first else ", ") + ", ".join(buffer)
+                first = False
+                buffer = []
+        if buffer:
+            yield ("" if first else ", ") + ", ".join(buffer)
+        yield "]"
+    yield "}"
+
+
 def load_saved_dataset(directory: str | pathlib.Path) -> ERDataset:
     """Read a dataset previously written by :func:`save_dataset`."""
     directory = pathlib.Path(directory)

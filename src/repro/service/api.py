@@ -4,10 +4,12 @@ Routes (all JSON in/out):
 
 - ``GET  /health``                 liveness probe
 - ``GET  /models``                 registered model versions + metadata
-- ``POST /jobs``                   submit a synthesis job
+- ``POST /jobs``                   submit a synthesis job (``"shards": N``
+  fans S2 out across the worker pool; see :mod:`repro.core.sharding`)
 - ``GET  /jobs``                   list job records
 - ``GET  /jobs/<id>``              one job record (status, result, error)
-- ``GET  /jobs/<id>/dataset``      the finished synthetic dataset as JSON
+- ``GET  /jobs/<id>/dataset``      the finished synthetic dataset as JSON,
+  streamed with chunked transfer-encoding (server memory stays O(chunk))
 - ``POST /models/<name>/label``    batch-label entity pairs (S3 posterior)
 - ``POST /models/<name>/score``    batch similarity vectors + posteriors
 - ``GET  /stats``                  queue depth, latencies, batch sizes, restarts
@@ -58,6 +60,11 @@ from repro.service.queue import JobQueue, PENDING
 from repro.service.registry import ModelRegistry
 
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+# Sentinel payload: the route already wrote its (streamed) response body.
+_STREAMED = object()
+
+_MAX_SHARDS = 64  # sanity cap on the submit-time fan-out
 
 # Default per-request deadlines by admission class; a client may lower
 # (never raise) its own via the X-Request-Deadline header.
@@ -403,6 +410,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.context.metrics.observe(
             "request_seconds", time.perf_counter() - started
         )
+        if payload is _STREAMED:
+            return  # the route already wrote its chunked response
         try:
             self._send_json(status, payload, headers)
         except (BrokenPipeError, ConnectionResetError):
@@ -466,6 +475,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             value = payload.get(size_key)
             if value is not None and (not isinstance(value, int) or value < 1):
                 raise ApiError(400, f"{size_key!r} must be a positive integer")
+        shards = payload.get("shards", 1)
+        if not isinstance(shards, int) or not 1 <= shards <= _MAX_SHARDS:
+            raise ApiError(
+                400, f"'shards' must be an integer in [1, {_MAX_SHARDS}]"
+            )
         idempotency_key = (
             payload.get("idempotency_key")
             or self.headers.get("Idempotency-Key")
@@ -484,6 +498,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             n_b=payload.get("n_b"),
             seed=payload.get("seed"),
             idempotency_key=idempotency_key,
+            shards=shards,
         )
         if getattr(job, "duplicate", False):
             # A retried submission: the original record answers it.
@@ -492,32 +507,58 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.context.metrics.count("jobs.submitted")
         return 201, job.to_dict()
 
-    def _job_dataset(self, job_id: str) -> tuple[int, dict]:
+    def _job_dataset(self, job_id: str) -> tuple[int, object]:
+        """Stream the finished dataset as one chunked JSON document.
+
+        The export CSVs are read row-wise (``iter_saved_dataset_json``) and
+        framed straight onto the socket with chunked transfer-encoding, so
+        serving an n-entity dataset holds O(chunk) rows in memory — the
+        server's peak RSS no longer scales with the dataset it serves.
+        The document is byte-compatible with the old buffered response.
+        """
         job = self._job_record(job_id)
         if job.status != "done":
             raise ApiError(
                 409, f"job {job_id} is {job.status}; dataset exists once done"
             )
-        from repro.schema.io import load_saved_dataset
+        from repro.schema.io import iter_saved_dataset_json
 
         self._check_deadline()
-        dataset = load_saved_dataset(job.result["dataset_dir"])
-        return 200, {
-            "name": dataset.name,
-            "schema": [
-                {"name": a.name, "type": a.attr_type.value} for a in dataset.schema
-            ],
-            "table_a": [
-                {"id": e.entity_id, "values": list(e.values)}
-                for e in dataset.table_a
-            ],
-            "table_b": [
-                {"id": e.entity_id, "values": list(e.values)}
-                for e in dataset.table_b
-            ],
-            "matches": [list(p) for p in dataset.matches],
-            "non_matches": [list(p) for p in dataset.non_matches],
-        }
+        fragments = iter_saved_dataset_json(job.result["dataset_dir"])
+        try:
+            # Pull the first fragment before committing to a 200: a missing
+            # or corrupt export surfaces as a structured error, not a
+            # half-written stream.
+            first = next(fragments)
+        except (OSError, ValueError, KeyError) as error:
+            raise ApiError(
+                503, f"dataset export unreadable: {error}",
+                code="storage_error", retryable=True,
+            ) from None
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            self._write_chunk(first)
+            for fragment in fragments:
+                self._write_chunk(fragment)
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-stream
+        except OSError:
+            # Storage died mid-stream; the truncated chunked body tells the
+            # client the response is incomplete (no terminating chunk).
+            pass
+        return 200, _STREAMED
+
+    def _write_chunk(self, fragment: str) -> None:
+        data = fragment.encode("utf-8")
+        if not data:
+            return
+        self.wfile.write(f"{len(data):X}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
 
     def _check_deadline(self) -> None:
         if self.deadline is not None and self.deadline.expired:

@@ -284,6 +284,7 @@ class ServiceClient:
         n_a: int | None = None,
         n_b: int | None = None,
         seed: int | None = None,
+        shards: int | None = None,
         idempotency_key: str | None = None,
     ) -> dict:
         """Submit a job, exactly once even across retries.
@@ -292,6 +293,9 @@ class ServiceClient:
         caller supplies none), so a retry after an ambiguous failure — the
         request may or may not have landed — can only ever observe the
         first enqueue, never create a second one.
+
+        ``shards`` > 1 asks the service to fan the S2 loop out across its
+        worker pool (one sub-job per shard).
         """
         payload = {
             "model": model,
@@ -305,6 +309,8 @@ class ServiceClient:
             payload["n_b"] = n_b
         if seed is not None:
             payload["seed"] = seed
+        if shards is not None:
+            payload["shards"] = shards
         return self._request("POST", "/jobs", payload)
 
     def job(self, job_id: str) -> dict:

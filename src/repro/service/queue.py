@@ -63,7 +63,17 @@ _STATUSES = (PENDING, RUNNING, DONE, FAILED)
 
 @dataclass
 class Job:
-    """One synthesis job record (the JSON in ``jobs/<id>.json``)."""
+    """One synthesis job record (the JSON in ``jobs/<id>.json``).
+
+    ``kind`` distinguishes ordinary synthesis jobs from the sharded
+    protocol's records: a ``"synthesize"`` job with ``shards > 1`` is a
+    *coordinator* job (its claimer plans the shards and fans out), and a
+    ``"shard"`` job is one shard's S2 loop, pointing back at its
+    coordinator via ``parent``.  Shard jobs are claimable by any worker —
+    that is the whole point — and their ids derive from
+    ``"<parent>:shard<k>"`` idempotency keys, so a restarted coordinator
+    re-submitting its fan-out can never duplicate a shard.
+    """
 
     id: str
     model: str
@@ -81,6 +91,10 @@ class Job:
     error: str | None = None
     result: dict = field(default_factory=dict)
     idempotency_key: str | None = None
+    kind: str = "synthesize"
+    parent: str | None = None
+    shard_index: int | None = None
+    shards: int = 1
 
     def to_dict(self) -> dict:
         return {
@@ -100,6 +114,10 @@ class Job:
             "error": self.error,
             "result": dict(self.result),
             "idempotency_key": self.idempotency_key,
+            "kind": self.kind,
+            "parent": self.parent,
+            "shard_index": self.shard_index,
+            "shards": self.shards,
         }
 
     @classmethod
@@ -194,6 +212,10 @@ class JobQueue:
         seed: int | None = None,
         max_attempts: int = 3,
         idempotency_key: str | None = None,
+        shards: int = 1,
+        kind: str = "synthesize",
+        parent: str | None = None,
+        shard_index: int | None = None,
     ) -> Job:
         """Enqueue a job; returns the (possibly pre-existing) record.
 
@@ -202,7 +224,13 @@ class JobQueue:
         submission of the same key returns the original record (marked with
         a transient ``duplicate=True`` attribute) instead of enqueueing the
         work twice.
+
+        ``shards > 1`` submits a coordinator job; the claiming worker fans
+        it out into ``shard`` sub-jobs (each submitted through here with
+        ``kind="shard"`` and a ``"<parent>:shard<k>"`` idempotency key).
         """
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         now = time.time()
         if idempotency_key:
             digest = hashlib.sha256(idempotency_key.encode("utf-8")).hexdigest()
@@ -219,6 +247,10 @@ class JobQueue:
             submitted_unix=now,
             max_attempts=max_attempts,
             idempotency_key=idempotency_key,
+            kind=kind,
+            parent=parent,
+            shard_index=shard_index,
+            shards=int(shards),
         )
         job.duplicate = False
         if idempotency_key:
@@ -373,6 +405,55 @@ class JobQueue:
             )
             return job
         return None
+
+    def claim_job(
+        self, job_id: str, worker: str, *, lease_seconds: float = 30.0
+    ) -> Job | None:
+        """Claim one *specific* claimable job, or ``None`` if someone owns it.
+
+        The sharded coordinator uses this to run its own shard sub-jobs
+        inline while it waits: it must never pull arbitrary work off the
+        queue (that could deadlock two coordinators against each other),
+        but racing the pool's workers for its *own* children is safe — the
+        claim file picks exactly one winner either way.
+        """
+        try:
+            job = self.get(job_id)
+        except KeyError:
+            return None
+        if not self._claimable(job, time.time()):
+            return None
+        if not self._try_acquire(job_id, worker, lease_seconds):
+            return None
+        job = self.get(job_id)
+        if job.status not in (PENDING, RUNNING):
+            self._release_claim(job_id)
+            return None
+        reclaimed = job.status == RUNNING
+        if reclaimed and job.attempts >= job.max_attempts:
+            job.error = job.error or (
+                f"worker crashed {job.attempts} time(s); attempt budget exhausted"
+            )
+            self._dead_letter(job, worker=worker, reason="crash_loop")
+            self._release_claim(job_id)
+            return None
+        job.status = RUNNING
+        job.worker = worker
+        job.attempts += 1
+        job.started_unix = time.time()
+        self._write(job)
+        self._log(
+            "reclaimed" if reclaimed else "claimed",
+            job.id, worker=worker, attempt=job.attempts,
+        )
+        return job
+
+    def children(self, parent_id: str) -> list[Job]:
+        """A coordinator's shard sub-jobs, ordered by shard index."""
+        return sorted(
+            (job for job in self.jobs() if job.parent == parent_id),
+            key=lambda job: (job.shard_index or 0, job.id),
+        )
 
     def heartbeat(self, job_id: str, worker: str, *, lease_seconds: float = 30.0) -> None:
         """Renew the owner's lease; raises :class:`ClaimLost` if stolen."""

@@ -40,6 +40,7 @@ SIGTERMs them all for a graceful drain on shutdown.
 from __future__ import annotations
 
 import os
+import random
 import signal
 import subprocess
 import sys
@@ -50,15 +51,17 @@ import uuid
 
 import numpy as np
 
+from repro.core.sharding import ShardRun, ShardSpec, ShardStatsBus, merged_o_syn, plan_shards
+from repro.distributions.divergence import pair_distribution_jsd
 from repro.runtime.cancellation import (
     CancellationToken,
     LinkedCancellationToken,
     SynthesisInterrupted,
 )
 from repro.runtime.faults import InjectedInterrupt
-from repro.runtime.io import atomic_write_json
+from repro.runtime.io import atomic_write_json, read_json
 from repro.schema.io import save_dataset
-from repro.service.queue import RUNNING, ClaimLost, Job, JobQueue
+from repro.service.queue import DONE, FAILED, RUNNING, ClaimLost, Job, JobQueue
 from repro.service.registry import ModelRegistry
 
 
@@ -149,48 +152,292 @@ class Worker:
         return True
 
     def _run_job(self, job: Job, stop: CancellationToken | None = None) -> None:
-        result_dir = self.queue.result_dir(job.id)
+        stop = stop if stop is not None else self.stop
+        if job.kind == "shard":
+            self._run_shard_job(job, stop)
+        elif job.shards > 1:
+            self._run_sharded_job(job, stop)
+        else:
+            self._run_simple_job(job, stop)
+
+    def _load(self, job: Job):
         synthesizer, entry = self.registry.load(job.model, job.version)
         if job.seed is not None:
             # Per-job reproducibility: a fresh master stream derived from
             # the job seed.  (Resume overrides this from the progress
             # checkpoint's recorded RNG position, so reclaims stay exact.)
             synthesizer.rng = np.random.default_rng(int(job.seed))
+        return synthesizer, entry
+
+    def _complete_with_output(self, job: Job, entry, output, started: float) -> None:
+        result_dir = self.queue.result_dir(job.id)
+        dataset_dir = save_dataset(output.dataset, result_dir / "dataset")
+        atomic_write_json(result_dir / "health.json", output.health, indent=2)
+        result = {
+            "dataset_dir": str(dataset_dir),
+            "health_path": str(result_dir / "health.json"),
+            "model_version": entry.version,
+            "n_a": len(output.dataset.table_a),
+            "n_b": len(output.dataset.table_b),
+            "n_matches": len(output.dataset.matches),
+            "n_sampled_matches": output.n_sampled_matches,
+            "n_posterior_labeled": output.n_posterior_labeled,
+            "jsd_final": output.jsd_final,
+            "rejection_stats": output.rejection_stats,
+            "seconds": time.perf_counter() - started,
+        }
+        if output.extras.get("shards"):
+            result["shards"] = output.extras["shards"]
+        self.queue.complete(job.id, self.worker_id, result)
+
+    def _run_simple_job(self, job: Job, stop: CancellationToken) -> None:
+        result_dir = self.queue.result_dir(job.id)
+        synthesizer, entry = self._load(job)
         started = time.perf_counter()
         output = synthesizer.synthesize(
             job.n_a,
             job.n_b,
             checkpoint_dir=result_dir / "checkpoint",
-            stop=stop if stop is not None else self.stop,
+            stop=stop,
         )
-        dataset_dir = save_dataset(output.dataset, result_dir / "dataset")
-        atomic_write_json(result_dir / "health.json", output.health, indent=2)
+        self._complete_with_output(job, entry, output, started)
+
+    # ------------------------------------------------------------------
+    # Sharded synthesis: shard execution + coordination
+    # ------------------------------------------------------------------
+    def _run_shard_job(self, job: Job, stop: CancellationToken) -> None:
+        """Execute one shard's S2 loop; the unit any pool worker can claim.
+
+        The shard's checkpoint lives in the shard job's own result
+        directory under the standard ``s2_progress`` stage — so lease
+        expiry, the stall watchdog and bit-identical resume all work on
+        shard jobs exactly as they do on whole jobs.  The finished
+        :class:`~repro.core.sharding.ShardRun` is written to
+        ``shard_result.json`` for the coordinator to merge.
+        """
+        result_dir = self.queue.result_dir(job.id)
+        synthesizer, entry = self._load(job)
+        seed = int(job.seed) if job.seed is not None else synthesizer.config.seed
+        spec = ShardSpec(
+            int(job.shard_index), int(job.shards), int(job.n_a), int(job.n_b), seed
+        )
+        bus = (
+            ShardStatsBus(self.queue.result_dir(job.parent) / "bus")
+            if job.parent
+            else None
+        )
+        run = synthesizer.synthesize_shard(
+            spec,
+            checkpoint_dir=result_dir / "checkpoint",
+            stop=stop,
+            bus=bus,
+        )
+        atomic_write_json(result_dir / "shard_result.json", run.to_payload())
         self.queue.complete(
             job.id,
             self.worker_id,
             {
-                "dataset_dir": str(dataset_dir),
-                "health_path": str(result_dir / "health.json"),
+                "result_path": str(result_dir / "shard_result.json"),
                 "model_version": entry.version,
-                "n_a": len(output.dataset.table_a),
-                "n_b": len(output.dataset.table_b),
-                "n_matches": len(output.dataset.matches),
-                "n_sampled_matches": output.n_sampled_matches,
-                "n_posterior_labeled": output.n_posterior_labeled,
-                "jsd_final": output.jsd_final,
-                "rejection_stats": output.rejection_stats,
-                "seconds": time.perf_counter() - started,
+                "shard_index": spec.index,
+                "n_a": len(run.a_entities),
+                "n_b": len(run.b_entities),
+                "rejection_stats": run.rejection_stats,
+                "seconds": run.elapsed_seconds,
+                "peak_rss_kb": run.peak_rss_kb,
             },
         )
 
-    def run_forever(self, *, poll_seconds: float = 0.5) -> int:
-        """Drain the queue until the stop token trips; returns jobs run."""
+    def _run_sharded_job(self, job: Job, stop: CancellationToken) -> None:
+        """Coordinate a ``shards > 1`` job: fan out, steer, merge, label.
+
+        The coordinator submits one idempotency-keyed shard sub-job per
+        shard (a restarted coordinator re-submits and observes the same
+        records — no duplicates), then waits for them: while waiting it
+        merges whatever O_syn statistics the shards have published into
+        per-shard peer feedback and rebroadcasts it, and — so a lone
+        worker can still finish the job — claims and runs its own pending
+        shards inline.  When every shard is done it merges the shard runs
+        and performs the streaming S3 + export exactly once.
+        """
+        result_dir = self.queue.result_dir(job.id)
+        synthesizer, entry = self._load(job)
+        seed = int(job.seed) if job.seed is not None else synthesizer.config.seed
+        real = synthesizer._real
+        n_a = job.n_a if job.n_a is not None else len(real.table_a)
+        n_b = job.n_b if job.n_b is not None else len(real.table_b)
+        plan = plan_shards(n_a, n_b, job.shards, seed)
+        started = time.perf_counter()
+        if len(plan) == 1:
+            # Tiny target: the plan collapses to one shard — just run the
+            # sequential loop; no fan-out machinery, bit-identical output.
+            self._run_simple_job(job, stop)
+            return
+        bus = ShardStatsBus(result_dir / "bus")
+        child_ids = []
+        for spec in plan:
+            child = self.queue.submit(
+                job.model,
+                version=job.version,
+                n_a=spec.n_a,
+                n_b=spec.n_b,
+                seed=seed,
+                max_attempts=job.max_attempts,
+                idempotency_key=f"{job.id}:shard{spec.index}",
+                kind="shard",
+                parent=job.id,
+                shard_index=spec.index,
+                shards=len(plan),
+            )
+            child_ids.append(child.id)
+        last_broadcast: dict | None = None
+        while True:
+            if stop():
+                raise SynthesisInterrupted("shard_coordination", checkpointed=True)
+            records = [self.queue.get(cid) for cid in child_ids]
+            dead = [r for r in records if r.status == FAILED]
+            if dead:
+                raise RuntimeError(
+                    f"shard job(s) {[r.id for r in dead]} dead-lettered; "
+                    f"first error: {dead[0].error}"
+                )
+            if all(r.status == DONE for r in records):
+                break
+            last_broadcast = self._broadcast_feedback(
+                synthesizer, bus, len(plan), last_broadcast
+            )
+            claimed = None
+            now = time.time()
+            for record in records:
+                if record.status == DONE or not self.queue._claimable(record, now):
+                    continue
+                claimed = self.queue.claim_job(
+                    record.id, self.worker_id, lease_seconds=self.lease_seconds
+                )
+                if claimed is not None:
+                    break
+            if claimed is not None:
+                self._run_claimed_shard(claimed, stop)
+            else:
+                stop.wait(min(0.25, self.lease_seconds / 10.0))
+        runs = []
+        for cid in child_ids:
+            payload = read_json(
+                self.queue.result_dir(cid) / "shard_result.json",
+                what=f"shard result for {cid!r}",
+            )
+            runs.append(ShardRun.from_payload(payload, real.schema))
+        runs.sort(key=lambda run: run.spec.index)
+        output = synthesizer.assemble_shard_runs(
+            runs, n_a, n_b, checkpoint_dir=result_dir / "checkpoint"
+        )
+        self._complete_with_output(job, entry, output, started)
+
+    def _run_claimed_shard(self, child: Job, parent_stop: CancellationToken) -> None:
+        """Run one of our own shard sub-jobs inline, with its own lease.
+
+        Failures are contained to the child (it requeues or dead-letters
+        through the normal paths); a drain interrupt releases the child
+        with its checkpoint intact and propagates so the coordinator
+        releases the parent too.
+        """
+        halt = threading.Event()
+        child_stop = LinkedCancellationToken(parent_stop)
+        beater = threading.Thread(
+            target=self._heartbeat_loop, args=(child.id, halt, child_stop),
+            daemon=True,
+        )
+        beater.start()
+        try:
+            self._run_shard_job(child, child_stop)
+        except SynthesisInterrupted:
+            try:
+                self.queue.release(child.id, self.worker_id)
+            except ClaimLost:
+                pass
+            raise
+        except ClaimLost:
+            pass
+        except Exception as error:  # noqa: BLE001 - child isolation boundary
+            try:
+                self.queue.fail(
+                    child.id,
+                    self.worker_id,
+                    f"{type(error).__name__}: {error}\n{traceback.format_exc()}",
+                )
+            except ClaimLost:
+                pass
+        finally:
+            halt.set()
+            beater.join(timeout=2.0)
+
+    def _broadcast_feedback(
+        self, synthesizer, bus: ShardStatsBus, n_shards: int, last: dict | None
+    ) -> dict | None:
+        """Merge published shard stats into per-shard peer feedback.
+
+        Each shard's feedback is the merged drift of its *peers* only (its
+        own contribution is already in its local Eq. 10 term).  The JSD
+        estimates are only recomputed when some shard published new
+        statistics — the coordinator polls far more often than shards
+        checkpoint.
+        """
+        states = bus.read_shards()
+        fingerprint = {
+            index: (payload.get("n_pos"), payload.get("n_neg"))
+            for index, payload in states.items()
+        }
+        if last is not None and last.get("fingerprint") == fingerprint:
+            return last
+        config = synthesizer.config
+        feedback: dict[str, dict] = {}
+        for index in range(n_shards):
+            peer_states = [
+                payload["tracker"]
+                for peer, payload in states.items()
+                if peer != index and payload.get("tracker") is not None
+            ]
+            merged = merged_o_syn(peer_states) if peer_states else None
+            if merged is None:
+                continue
+            jsd = pair_distribution_jsd(
+                merged, synthesizer.o_labeling,
+                seed=config.seed + 23, n_samples=config.jsd_samples,
+            )
+            n_pairs = sum(
+                int(s["n_pos"]) + int(s["n_neg"]) for s in peer_states
+            )
+            feedback[str(index)] = {"jsd": jsd, "n_pairs": n_pairs}
+        bus.publish_global({"shard_feedback": feedback})
+        return {"fingerprint": fingerprint, "feedback": feedback}
+
+    def run_forever(
+        self,
+        *,
+        poll_seconds: float = 0.5,
+        poll_max_seconds: float = 5.0,
+        rng: random.Random | None = None,
+    ) -> int:
+        """Drain the queue until the stop token trips; returns jobs run.
+
+        Empty-queue polls back off exponentially from ``poll_seconds`` up
+        to ``poll_max_seconds`` with equal jitter (``uniform(cap/2, cap)``)
+        — a fleet of idle workers scanning a shared filesystem queue in
+        lockstep is a thundering herd on every submit; the jitter
+        decorrelates them and the backoff caps the idle scan rate.  Any
+        completed job resets the backoff to the base interval.
+        """
+        rng = rng or random.Random()
         completed = 0
+        idle_polls = 0
         while not self.stop():
             if self.run_once():
                 completed += 1
+                idle_polls = 0
             else:
-                self.stop.wait(poll_seconds)
+                cap = min(poll_max_seconds, poll_seconds * (2.0 ** min(idle_polls, 8)))
+                self.stop.wait(rng.uniform(cap / 2.0, cap))
+                idle_polls += 1
         return completed
 
 

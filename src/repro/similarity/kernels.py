@@ -201,6 +201,57 @@ def build_profile(
     return RelationProfile(schema, qgram, columns, row_of)
 
 
+def extend_profile(
+    profile: RelationProfile, entities: Iterable[Entity]
+) -> RelationProfile:
+    """A new profile covering ``profile``'s rows plus appended ``entities``.
+
+    The append-only fast path behind :meth:`SimilarityModel.profile`: when a
+    relation has only *grown* since it was profiled (the S2 loop appends one
+    accepted entity at a time), the existing CSR/numeric arrays are reused
+    and only the new rows are encoded — O(new entities), not O(relation).
+    The input profile is not mutated (its arrays may be shared by callers
+    still scoring against the old row count).
+    """
+    new_entities = list(entities)
+    if not new_entities:
+        return profile
+    columns: list[ColumnProfile] = []
+    for index, column in enumerate(profile.columns):
+        if isinstance(column, StringColumnProfile):
+            rows = [
+                column.vocab.encode(e.qgrams(index, profile.qgram))
+                for e in new_entities
+            ]
+            new_sizes = np.array([len(row) for row in rows], dtype=np.int64)
+            sizes = np.concatenate([column.sizes, new_sizes])
+            indptr = np.zeros(len(sizes) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=indptr[1:])
+            indices = np.concatenate(
+                [column.indices, *rows] if rows else [column.indices]
+            ).astype(np.int32, copy=False)
+            columns.append(StringColumnProfile(indptr, indices, sizes, column.vocab))
+        else:
+            new_values = np.array(
+                [
+                    np.nan if e.values[index] is None else float(e.values[index])
+                    for e in new_entities
+                ],
+                dtype=np.float64,
+            )
+            columns.append(
+                NumericColumnProfile(
+                    np.concatenate([column.values, new_values]),
+                    column.low,
+                    column.high,
+                )
+            )
+    row_of = dict(profile.row_of)
+    for offset, entity in enumerate(new_entities):
+        row_of[entity.entity_id] = profile.n + offset
+    return RelationProfile(profile.schema, profile.qgram, columns, row_of)
+
+
 def entity_profile(like: RelationProfile, entity: Entity) -> RelationProfile:
     """A one-row profile of ``entity``, sharing ``like``'s vocab and ranges."""
     columns: list[ColumnProfile] = []

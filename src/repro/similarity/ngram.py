@@ -4,11 +4,36 @@ The paper's experiments use 3-gram Jaccard for every categorical and textual
 column (Section VII, Settings).  Example 2 computes e.g.
 ``3_gram_jaccard("SIGMOD Conference", "International Conference on Management
 of Data") = 0.16``.
+
+Tokenization is memoized behind the :mod:`repro.distributions.fastpath`
+switch: the S2 loop scores every candidate string against the same
+reference pools, re-deriving the same gram sets millions of times per run.
+``qgrams`` is a pure function, so the cache is observationally invisible;
+disabling the fast path restores the seed's tokenize-per-call behaviour
+for baseline measurements.
 """
 
 from __future__ import annotations
 
 from collections.abc import Set
+
+from repro.distributions import fastpath
+
+_GRAM_CACHE: dict[tuple[int, str], frozenset[str]] = {}
+# Bound memory on pathological workloads (every string unique forever):
+# one entry is a key plus a small frozenset, so ~128k entries stay in the
+# tens of MB. Overflow clears wholesale — the working set re-warms in one
+# pass and wholesale is cheaper than tracking recency per hit.
+_GRAM_CACHE_MAX = 1 << 17
+
+
+def _tokenize(text: str, q: int) -> frozenset[str]:
+    text = text.lower()
+    if not text:
+        return frozenset()
+    if len(text) < q:
+        return frozenset((text,))
+    return frozenset(text[i : i + q] for i in range(len(text) - q + 1))
 
 
 def qgrams(text: str, q: int = 3) -> frozenset[str]:
@@ -24,12 +49,15 @@ def qgrams(text: str, q: int = 3) -> frozenset[str]:
     """
     if q < 1:
         raise ValueError(f"q must be >= 1, got {q}")
-    text = text.lower()
-    if not text:
-        return frozenset()
-    if len(text) < q:
-        return frozenset((text,))
-    return frozenset(text[i : i + q] for i in range(len(text) - q + 1))
+    if not fastpath.enabled():
+        return _tokenize(text, q)
+    key = (q, text)
+    grams = _GRAM_CACHE.get(key)
+    if grams is None:
+        if len(_GRAM_CACHE) >= _GRAM_CACHE_MAX:
+            _GRAM_CACHE.clear()
+        _GRAM_CACHE[key] = grams = _tokenize(text, q)
+    return grams
 
 
 def jaccard(set_a: Set[str], set_b: Set[str]) -> float:

@@ -66,3 +66,47 @@ class TestRoundtrip:
         csv_path.write_text("\n".join(content))
         with pytest.raises(ValueError, match="header"):
             load_saved_dataset(tmp_path / "release")
+
+
+class TestStreamingExport:
+    """iter_saved_dataset_json must reproduce the buffered document."""
+
+    def _document(self, directory, **kwargs):
+        import json
+
+        from repro.schema.io import iter_saved_dataset_json
+
+        fragments = list(iter_saved_dataset_json(directory, **kwargs))
+        assert all(isinstance(f, str) for f in fragments)
+        return json.loads("".join(fragments)), fragments
+
+    def test_document_matches_saved_dataset(self, tiny_dblp, tmp_path):
+        save_dataset(tiny_dblp, tmp_path / "release")
+        document, _ = self._document(tmp_path / "release")
+        assert document["name"] == tiny_dblp.name
+        assert [c["name"] for c in document["schema"]] == list(
+            tiny_dblp.schema.names
+        )
+        assert [r["id"] for r in document["table_a"]] == [
+            e.entity_id for e in tiny_dblp.table_a
+        ]
+        assert [r["values"] for r in document["table_a"]] == [
+            list(e.values) for e in tiny_dblp.table_a
+        ]
+        assert [tuple(p) for p in document["matches"]] == tiny_dblp.matches
+        assert document["non_matches"] == []
+
+    def test_chunk_size_invariant(self, tiny_dblp, tmp_path):
+        """The document is byte-identical whatever the chunk size."""
+        save_dataset(tiny_dblp, tmp_path / "release")
+        doc_tiny, frags_tiny = self._document(tmp_path / "release", chunk_rows=1)
+        doc_big, frags_big = self._document(tmp_path / "release", chunk_rows=10_000)
+        assert "".join(frags_tiny) == "".join(frags_big)
+        assert doc_tiny == doc_big
+        # chunk_rows=1 must actually stream: more fragments than rows exist.
+        assert len(frags_tiny) > len(tiny_dblp.table_a)
+
+    def test_symmetric_dataset_duplicates_table(self, tiny_restaurant, tmp_path):
+        save_dataset(tiny_restaurant, tmp_path / "release")
+        document, _ = self._document(tmp_path / "release")
+        assert document["table_a"] == document["table_b"]

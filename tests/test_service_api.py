@@ -251,3 +251,70 @@ class TestGenerationCacheSwitch:
         assert stats["cache_enabled_backends"] == 0
         assert loaded.set_generation_cache(True) == 1
         assert backend.generation_cache is True
+
+
+class TestShardedSubmission:
+    def test_shards_round_trip(self, served):
+        client, queue, _ = served
+        job = client.submit("restaurant", n_a=12, n_b=12, shards=2)
+        assert job["shards"] == 2
+        assert queue.get(job["id"]).shards == 2
+
+    def test_shards_default_one(self, served):
+        client, queue, _ = served
+        job = client.submit("restaurant")
+        assert queue.get(job["id"]).shards == 1
+
+    @pytest.mark.parametrize("bad", [0, -2, 65, "three", 1.5])
+    def test_invalid_shards_rejected(self, served, bad):
+        client, _, _ = served
+        with pytest.raises(ServiceError) as excinfo:
+            client._request(
+                "POST", "/jobs", {"model": "restaurant", "shards": bad}
+            )
+        assert excinfo.value.status == 400
+
+
+class TestStreamingDataset:
+    def test_dataset_served_chunked(self, served, service_registry):
+        """The export endpoint streams: chunked framing, same document."""
+        import http.client
+        import json
+
+        client, queue, _ = served
+        job = client.submit("restaurant", n_a=10, n_b=10, seed=13)
+        worker = Worker(queue, service_registry, lease_seconds=30)
+        assert worker.run_once()
+        client.wait(job["id"], timeout=30)
+
+        host = client.base_url.split("//", 1)[1]
+        conn = http.client.HTTPConnection(host, timeout=30)
+        try:
+            conn.request("GET", f"/jobs/{job['id']}/dataset")
+            response = conn.getresponse()
+            assert response.status == 200
+            assert response.getheader("Transfer-Encoding") == "chunked"
+            assert response.getheader("Content-Length") is None
+            body = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        # ... and the high-level client sees the identical document.
+        assert client.dataset(job["id"]) == body
+        assert len(body["table_a"]) == 10
+
+    def test_missing_export_is_503_not_truncated_200(
+        self, served, service_registry
+    ):
+        """If the export vanished, the client must get a clean error —
+        never a 200 with a half-written body."""
+        import shutil
+
+        client, queue, _ = served
+        job = client.submit("restaurant", n_a=8, n_b=8, seed=5)
+        worker = Worker(queue, service_registry, lease_seconds=30)
+        assert worker.run_once()
+        client.wait(job["id"], timeout=30)
+        shutil.rmtree(queue.get(job["id"]).result["dataset_dir"])
+        with pytest.raises(ServiceError) as excinfo:
+            client.dataset(job["id"])
+        assert excinfo.value.status == 503

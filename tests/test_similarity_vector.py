@@ -109,3 +109,59 @@ class TestFunctionRegistry:
     def test_double_registration_rejected(self):
         with pytest.raises(ValueError):
             register_similarity_function("3gram_jaccard", lambda a, b: 1.0)
+
+
+class TestProfileCacheChurn:
+    """Relation.add must not force a full profile rebuild per append.
+
+    The S2 loop appends one accepted entity at a time and re-profiles the
+    pool for blocking; rebuilding the whole profile each time is O(n) work
+    per accept (O(n^2) per run).  The cache instead extends over the
+    appended tail: exactly one full build, then one cheap extension per
+    reconciliation.
+    """
+
+    def _model_and_tables(self, paper_tables):
+        table_a, table_b = paper_tables
+        return SimilarityModel.from_relations(table_a, table_b), table_a
+
+    def test_append_extends_instead_of_rebuilding(self, paper_tables):
+        model, table_a = self._model_and_tables(paper_tables)
+        model.profile(table_a)
+        assert (model.profile_builds, model.profile_extensions) == (1, 0)
+
+        for i in range(4):
+            table_a.add(
+                Entity(
+                    f"new{i}", table_a.schema,
+                    [f"paper {i}", f"author {i}", "venue", 2000 + i],
+                )
+            )
+            model.profile(table_a)
+        # Still one build; each stale read extended over the new tail.
+        assert model.profile_builds == 1
+        assert model.profile_extensions == 4
+
+    def test_unchanged_relation_hits_cache(self, paper_tables):
+        model, table_a = self._model_and_tables(paper_tables)
+        first = model.profile(table_a)
+        assert model.profile(table_a) is first
+        assert (model.profile_builds, model.profile_extensions) == (1, 0)
+
+    def test_extended_profile_matches_full_build(self, paper_tables):
+        model, table_a = self._model_and_tables(paper_tables)
+        model.profile(table_a)
+        table_a.add(
+            Entity("new0", table_a.schema, ["fresh title", None, "VLDB", 2004])
+        )
+        extended = model.profile(table_a)
+        rebuilt = model.profile_entities(list(table_a.entities))
+        assert extended.n == rebuilt.n == len(table_a)
+        assert extended.row_of == rebuilt.row_of
+        for ext_col, new_col in zip(extended.columns, rebuilt.columns):
+            if hasattr(ext_col, "values"):  # numeric column
+                np.testing.assert_array_equal(ext_col.values, new_col.values)
+            else:
+                np.testing.assert_array_equal(ext_col.indptr, new_col.indptr)
+                np.testing.assert_array_equal(ext_col.indices, new_col.indices)
+                np.testing.assert_array_equal(ext_col.sizes, new_col.sizes)
