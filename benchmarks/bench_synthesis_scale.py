@@ -22,6 +22,11 @@ single-core host that margin comes from the cached + vectorized JSD path
 riding under every shard, with sharding adding real-core scaling
 elsewhere.
 
+Also A/Bs the checkpointed sequential loop with artifact-integrity
+envelopes on vs off (``integrity.disabled()``) and records the
+throughput delta under ``integrity`` — sealing every checkpoint commit
+must cost < 3% ent/s at full scale.
+
 Writes ``BENCH_synthesis_scale.json`` at the repo root.  Runnable
 standalone (``python benchmarks/bench_synthesis_scale.py [--smoke]``) or
 through pytest.  ``--smoke`` is the CI mode: a small 2-worker run that
@@ -168,6 +173,41 @@ def _pool_run(scratch, registry, n_workers, n_a, n_b, seed):
     return record, row
 
 
+def _integrity_overhead(registry, n_a, n_b, seed):
+    """A/B the checkpointed sequential loop with and without envelopes.
+
+    Checkpointing is what makes the comparison honest: the S2 loop then
+    commits progress payloads on its normal cadence, and the sealed run
+    hashes every one of them (plus the manifest double-write), while the
+    unsealed run writes the identical artifacts without envelopes via
+    ``integrity.disabled()``.
+    """
+    import numpy as np
+
+    from repro.runtime import integrity
+
+    rows = {}
+    for label, sealed in (("sealed", True), ("unsealed", False)):
+        with tempfile.TemporaryDirectory(prefix="bench_integrity") as ckpt:
+            synthesizer, _ = registry.load("restaurant")
+            synthesizer.rng = np.random.default_rng(seed)
+            guard = contextlib.nullcontext() if sealed else integrity.disabled()
+            started = time.perf_counter()
+            with guard:
+                synthesizer.synthesize(n_a, n_b, checkpoint_dir=ckpt)
+            elapsed = time.perf_counter() - started
+            rows[label] = {
+                "seconds": round(elapsed, 2),
+                "entities_per_second": round((n_a + n_b) / elapsed, 1),
+            }
+    rows["overhead_pct"] = round(
+        (rows["unsealed"]["entities_per_second"]
+         / rows["sealed"]["entities_per_second"] - 1.0) * 100.0,
+        2,
+    )
+    return rows
+
+
 def _dataset_tuple(dataset):
     return (
         [(e.entity_id, tuple(e.values)) for e in dataset.table_a],
@@ -217,6 +257,8 @@ def run(*, smoke: bool = False) -> dict:
                 seq_output.dataset
             )
 
+        integrity_rows = _integrity_overhead(registry, n_a, n_b, seed)
+
     return {
         "benchmark": "synthesis_scale",
         "mode": "smoke" if smoke else "full",
@@ -230,6 +272,7 @@ def run(*, smoke: bool = False) -> dict:
         "sequential_fastpath": fastpath_row,
         "by_workers": by_workers,
         "single_shard_identical_to_sequential": single_shard_identical,
+        "integrity": integrity_rows,
     }
 
 
@@ -259,6 +302,13 @@ def report(payload: dict) -> str:
         "single-shard pool job bit-identical to sequential loop: "
         f"{payload['single_shard_identical_to_sequential']}"
     )
+    integrity = payload["integrity"]
+    lines.append(
+        "integrity envelopes (checkpointed sequential run): "
+        f"{integrity['sealed']['entities_per_second']:.1f} ent/s sealed vs "
+        f"{integrity['unsealed']['entities_per_second']:.1f} unsealed "
+        f"({integrity['overhead_pct']:+.2f}% overhead)"
+    )
     return "\n".join(lines)
 
 
@@ -269,6 +319,16 @@ def main(*, smoke: bool = False) -> dict:
     print(f"[written to {OUTPUT_PATH}]")
     if payload["single_shard_identical_to_sequential"] is not True:
         raise SystemExit("one-shard pool job diverged from the sequential loop")
+    # Hashing every checkpoint commit must stay in the noise.  At full
+    # scale the bar is 3%; the smoke run is seconds long and dominated by
+    # fixed costs, so it only gets a coarse regression tripwire.
+    overhead_ceiling_pct = 3.0 if not smoke else 25.0
+    overhead_pct = payload["integrity"]["overhead_pct"]
+    if overhead_pct > overhead_ceiling_pct:
+        raise SystemExit(
+            f"integrity envelope overhead {overhead_pct}% exceeds the "
+            f"{overhead_ceiling_pct}% ceiling"
+        )
     if not smoke:
         # The acceptance floor only applies at scale: a ~300-entity smoke
         # run is dominated by fixed costs (worker startup, model load) and

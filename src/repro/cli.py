@@ -21,6 +21,7 @@ Usage::
     python -m repro dlq      --queue ./svc/queue list
     python -m repro dlq      --queue ./svc/queue inspect --job JOB_ID
     python -m repro dlq      --queue ./svc/queue requeue --job JOB_ID
+    python -m repro verify-artifacts ./svc/queue   # integrity scrub
 
 ``synthesize`` fits SERD on a generated benchmark and writes the surrogate
 as a CSV bundle; ``resume`` picks up an interrupted checkpointed run without
@@ -30,7 +31,10 @@ dataset; ``stats`` prints Table II; ``experiments`` runs the full harness.
 (API + worker pool); ``submit``/``status`` talk to a running service;
 ``worker`` is the single-worker loop the service pool spawns; ``dlq``
 lists, inspects and requeues dead-lettered jobs (see README "Operating
-under failure" for the forensics bundle layout and retry tuning).
+under failure" for the forensics bundle layout and retry tuning);
+``verify-artifacts`` integrity-scrubs a tree of JSON artifacts, exiting 1
+and quarantining whatever fails its checksum (``--no-quarantine`` to only
+report).
 
 Long-running commands (``synthesize``, ``resume``, ``serve``, ``worker``)
 install SIGTERM/SIGINT handlers that commit the current checkpoint and exit
@@ -212,6 +216,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     dlq.add_argument(
         "--job", default=None, help="job id (required for inspect/requeue)"
+    )
+
+    verify = commands.add_parser(
+        "verify-artifacts",
+        help="integrity-scrub a directory tree of JSON artifacts",
+    )
+    verify.add_argument(
+        "root", metavar="DIR",
+        help="tree to scrub (checkpoint dir, queue root, registry, ...)",
+    )
+    verify.add_argument(
+        "--no-quarantine", action="store_true",
+        help="report corruption without renaming files aside",
     )
     return parser
 
@@ -491,6 +508,35 @@ def _cmd_dlq(args) -> int:
     return 0
 
 
+def _cmd_verify_artifacts(args) -> int:
+    from repro.runtime.integrity import scrub_tree
+
+    try:
+        report = scrub_tree(args.root, quarantine=not args.no_quarantine)
+    except FileNotFoundError:
+        print(f"no such directory: {args.root}", file=sys.stderr)
+        return 2
+    print(
+        f"checked {report['checked']} artifact(s) under {report['root']}: "
+        f"{report['verified']} verified, {report['unverified']} without "
+        f"envelopes, {len(report['corrupt'])} corrupt"
+    )
+    if report["jsonl_files"]:
+        print(
+            f"scanned {report['jsonl_files']} .jsonl log(s): "
+            f"{report['jsonl_torn_lines']} torn line(s) (tolerated by readers)"
+        )
+    if report["already_quarantined"]:
+        print(f"{report['already_quarantined']} file(s) already quarantined")
+    for item in report["corrupt"]:
+        print(f"  CORRUPT {item['path']}: {item['reason']}")
+    if report["corrupt"]:
+        verb = "quarantined" if report["quarantined"] else "left in place"
+        print(f"corrupt file(s) {verb}; affected stages re-run on next use")
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _cmd_synthesize,
     "resume": _cmd_resume,
@@ -503,6 +549,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "status": _cmd_status,
     "dlq": _cmd_dlq,
+    "verify-artifacts": _cmd_verify_artifacts,
 }
 
 

@@ -56,6 +56,7 @@ from repro.runtime.health import (
     HealthReport,
     StageHealth,
 )
+from repro.runtime.integrity import CorruptArtifactError
 from repro.runtime.io import atomic_write_json, read_json
 from repro.schema.dataset import ERDataset, Pair
 from repro.schema.entity import Entity, Relation
@@ -321,8 +322,12 @@ class SERDSynthesizer:
         """S1: learn the M- and N-distributions from labeled real pairs."""
         record = self.health.stage("s1")
         stage_started = time.perf_counter()
-        if checkpointer is not None and checkpointer.has("s1"):
-            payload = checkpointer.load("s1")
+        # load_or_none quarantines a corrupt payload and drops the stage
+        # from the manifest, so corruption degrades to re-running S1.
+        payload = (
+            checkpointer.load_or_none("s1") if checkpointer is not None else None
+        )
+        if payload is not None:
             self.o_real = PairDistribution.from_dict(payload["o_real"])
             self.o_labeling = PairDistribution(
                 payload["o_labeling_match_probability"],
@@ -424,21 +429,41 @@ class SERDSynthesizer:
         record = self.health.stage("text")
         stage_started = time.perf_counter()
         text_columns = [a.name for a in real.schema.text_attributes]
-        if checkpointer is not None and checkpointer.has("text"):
-            payload = checkpointer.load("text")
-            self._text_backends = {}
-            for column in text_columns:
-                kind = payload["backends"][column]
-                if kind == "transformer":
-                    backend = TransformerTextSynthesizer(self._transformer_config())
-                    backend.load(checkpointer.stage_dir("text") / f"column_{column}")
-                else:
-                    backend = self._rule_backend(column)
-                self._text_backends[column] = backend
-            self._restore_stage_record(record, payload)
-            restore_rng(self.rng, payload["rng_state"])
-            self.health.mark("text", RESUMED, time.perf_counter() - stage_started)
-            return
+        payload = (
+            checkpointer.load_or_none("text") if checkpointer is not None else None
+        )
+        if payload is not None:
+            try:
+                self._text_backends = {}
+                for column in text_columns:
+                    kind = payload["backends"][column]
+                    if kind == "transformer":
+                        backend = TransformerTextSynthesizer(
+                            self._transformer_config()
+                        )
+                        backend.load(
+                            checkpointer.stage_dir("text") / f"column_{column}"
+                        )
+                    else:
+                        backend = self._rule_backend(column)
+                    self._text_backends[column] = backend
+                self._restore_stage_record(record, payload)
+                restore_rng(self.rng, payload["rng_state"])
+                self.health.mark(
+                    "text", RESUMED, time.perf_counter() - stage_started
+                )
+                return
+            except CorruptArtifactError as error:
+                # A backend blob under stage_text/ failed verification (the
+                # file is already quarantined): drop the stage and retrain.
+                warnings.warn(
+                    f"text-stage checkpoint blob corrupt ({error.reason}); "
+                    "re-training the text backends",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                checkpointer.clear("text")
+                self._text_backends = {}
         record.status = RUNNING
 
         self._text_backends = {}
@@ -502,25 +527,39 @@ class SERDSynthesizer:
         graceful degradation GAN-on → GAN-off on repeated divergence."""
         record = self.health.stage("gan")
         stage_started = time.perf_counter()
-        if checkpointer is not None and checkpointer.has("gan"):
-            payload = checkpointer.load("gan")
-            if payload["trained"]:
-                # The encoder must be fitted before TabularGAN sizes its
-                # networks; fitting is deterministic and cheap, and load()
-                # then swaps in the exact encoder state that was saved.
-                encoder = EntityEncoder(real.schema).fit(
-                    [real.table_a, real.table_b], text_pools=self._background
+        payload = (
+            checkpointer.load_or_none("gan") if checkpointer is not None else None
+        )
+        if payload is not None:
+            try:
+                if payload["trained"]:
+                    # The encoder must be fitted before TabularGAN sizes its
+                    # networks; fitting is deterministic and cheap, and load()
+                    # then swaps in the exact encoder state that was saved.
+                    encoder = EntityEncoder(real.schema).fit(
+                        [real.table_a, real.table_b], text_pools=self._background
+                    )
+                    self.gan = TabularGAN(
+                        encoder, self.config.gan, seed=self.config.seed + 1
+                    )
+                    self.gan.load(checkpointer.stage_dir("gan"))
+                else:
+                    self.gan = None
+                self._restore_stage_record(record, payload)
+                restore_rng(self.rng, payload["rng_state"])
+                self.health.mark(
+                    "gan", RESUMED, time.perf_counter() - stage_started
                 )
-                self.gan = TabularGAN(
-                    encoder, self.config.gan, seed=self.config.seed + 1
+                return
+            except CorruptArtifactError as error:
+                warnings.warn(
+                    f"gan-stage checkpoint blob corrupt ({error.reason}); "
+                    "re-training the GAN",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
-                self.gan.load(checkpointer.stage_dir("gan"))
-            else:
+                checkpointer.clear("gan")
                 self.gan = None
-            self._restore_stage_record(record, payload)
-            restore_rng(self.rng, payload["rng_state"])
-            self.health.mark("gan", RESUMED, time.perf_counter() - stage_started)
-            return
         record.status = RUNNING
 
         self.gan = None
@@ -721,11 +760,13 @@ class SERDSynthesizer:
         runs: list[ShardRun] = []
         for spec in plan:
             result_stage = f"s2_shard{spec.index}_result"
-            if checkpointer is not None and checkpointer.has(result_stage):
-                runs.append(
-                    ShardRun.from_payload(checkpointer.load(result_stage), real.schema)
-                )
-                continue
+            # A corrupt shard-result checkpoint quarantines and falls
+            # through to re-running the shard (load_or_none policy).
+            if checkpointer is not None:
+                payload = checkpointer.load_or_none(result_stage)
+                if payload is not None:
+                    runs.append(ShardRun.from_payload(payload, real.schema))
+                    continue
             run = self._run_s2_shard(
                 spec,
                 rng=shard_rng(spec),
@@ -865,8 +906,11 @@ class SERDSynthesizer:
         matched_ids: set[str] = set()
 
         progress = None
-        if checkpointer is not None and checkpointer.has(stage):
-            progress = checkpointer.load(stage)
+        if checkpointer is not None:
+            # Corrupt S2 progress quarantines and restarts the shard from
+            # entity zero — slower, never wrong.
+            progress = checkpointer.load_or_none(stage)
+        if progress is not None:
             if progress["n_a"] != n_a or progress["n_b"] != n_b:
                 raise ValueError(
                     "s2 progress checkpoint was taken for sizes "

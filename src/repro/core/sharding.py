@@ -233,6 +233,13 @@ class ShardStatsBus:
     All writes go through tmp + ``os.replace`` so readers never observe a
     torn file, and a missing or not-yet-written file simply reads as "no
     statistics yet" — the bus imposes no ordering on its participants.
+
+    Snapshots are sealed with the standard integrity envelope (see
+    :mod:`repro.runtime.integrity`): a snapshot that fails its checksum is
+    quarantined by ``read_json`` and the read degrades to "no statistics
+    yet" for that shard — :class:`CorruptArtifactError` is a ``ValueError``,
+    so the skip branch below covers both racing writers and rotted files.
+    The publisher re-publishes on its next sync, repairing the gap.
     """
 
     def __init__(self, directory: str | os.PathLike):

@@ -14,7 +14,10 @@ makes that pipeline survivable:
 - :mod:`repro.runtime.faults` — the deterministic fault-injection harness
   used by the ``fault_injection`` test suite;
 - :mod:`repro.runtime.cancellation` — cooperative stop tokens so SIGTERM'd
-  runs commit their checkpoint and exit resumable instead of dying mid-write.
+  runs commit their checkpoint and exit resumable instead of dying mid-write;
+- :mod:`repro.runtime.integrity` — SHA-256 envelopes on every JSON artifact,
+  typed :class:`~repro.runtime.integrity.CorruptArtifactError` + quarantine
+  on verification failure, and the ``repro verify-artifacts`` scrubber.
 """
 
 from repro.runtime.cancellation import (
@@ -47,7 +50,13 @@ from repro.runtime.faults import (
     FaultPlan,
     FaultSpec,
     InjectedInterrupt,
+    NetFault,
     inject_faults,
+)
+from repro.runtime.integrity import (
+    CorruptArtifactError,
+    quarantine_artifact,
+    scrub_tree,
 )
 
 __all__ = [
@@ -75,8 +84,12 @@ __all__ = [
     "atomic_write_json",
     "read_json",
     "DiskFault",
+    "NetFault",
     "FaultPlan",
     "FaultSpec",
     "InjectedInterrupt",
     "inject_faults",
+    "CorruptArtifactError",
+    "quarantine_artifact",
+    "scrub_tree",
 ]

@@ -35,6 +35,20 @@ Sites currently compiled in:
   (:mod:`repro.service.queue`).
 - ``registry.publish`` — fail the atomic staging→version rename that
   publishes a model version (:mod:`repro.service.registry`).
+- ``net.request`` — connection reset before the request body is sent
+  (:meth:`repro.service.client.ServiceClient._request_once` and
+  ``dataset_stream``).  The payload may be an exception instance or class
+  to raise instead of the default :class:`NetFault`.
+- ``net.response.body`` — garble a buffered response body in the client
+  (the payload is a ``bytes -> bytes`` callable applied via
+  :func:`transform`).
+- ``net.stream.read`` / ``net.stream.chunk`` — reset mid-stream / garble
+  one decoded chunk inside ``ServiceClient.dataset_stream``.
+- ``net.stream.server_truncate`` / ``net.stream.server_garble`` — on the
+  *server* side of the chunked dataset export: drop the connection without
+  the terminal chunk, or corrupt one fragment in flight.  The garble case
+  produces a byte-for-byte valid chunked body whose content is wrong —
+  only the trailing checksum record catches it.
 
 Usage::
 
@@ -72,6 +86,19 @@ class DiskFault(OSError):
         super().__init__(
             errno_value, f"injected disk fault at {site} ({name})"
         )
+        self.site = site
+
+
+class NetFault(OSError):
+    """An injected network failure (connection reset, mid-stream drop).
+
+    Subclasses :class:`OSError` — exactly what ``urllib`` surfaces for a
+    real peer reset — so the client's transport-retry path handles the
+    injected fault through the identical ``except`` clause.
+    """
+
+    def __init__(self, site: str, message: str = "injected network fault"):
+        super().__init__(f"{message} at {site}")
         self.site = site
 
 
@@ -192,6 +219,42 @@ def maybe_disk_fault(site: str, *, partial=None) -> None:
         partial()
     errno_value = spec.payload if isinstance(spec.payload, int) else _errno.ENOSPC
     raise DiskFault(site, errno_value)
+
+
+def maybe_net_fault(site: str) -> None:
+    """Raise a network fault when an armed ``net.*`` site triggers.
+
+    The spec's payload selects the exception: an instance is raised as-is,
+    an exception class is instantiated with a descriptive message, and
+    anything else (including the default NaN payload) raises
+    :class:`NetFault` — an ``OSError``, i.e. a connection reset.
+    """
+    if _ACTIVE is None:
+        return
+    spec = _ACTIVE.check(site)
+    if spec is None:
+        return
+    payload = spec.payload
+    if isinstance(payload, BaseException):
+        raise payload
+    if isinstance(payload, type) and issubclass(payload, BaseException):
+        raise payload(f"injected network fault at {site}")
+    raise NetFault(site)
+
+
+def transform(site: str, value):
+    """Pass ``value`` through the fault payload when ``site`` triggers.
+
+    The payload, when callable, maps the real value to the corrupted one
+    (e.g. flip bytes in a chunk); a non-callable payload replaces the value
+    outright.  Disarmed or non-firing sites return ``value`` unchanged.
+    """
+    if _ACTIVE is None:
+        return value
+    spec = _ACTIVE.check(site)
+    if spec is None:
+        return value
+    return spec.payload(value) if callable(spec.payload) else spec.payload
 
 
 def maybe_stall(site: str) -> None:

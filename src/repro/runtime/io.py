@@ -11,6 +11,13 @@ The write/fsync/replace steps carry fault-injection sites (``io.write``,
 ``io.fsync``, ``io.rename`` — see :mod:`repro.runtime.faults`) so the
 disk-fault suite can prove the atomicity claim: a failure at any step
 leaves the target untouched and the temp file cleaned up.
+
+On top of atomicity, JSON-object artifacts are sealed with a SHA-256
+integrity envelope on write and verified on read (see
+:mod:`repro.runtime.integrity`): :func:`read_json` raises a typed
+:class:`~repro.runtime.integrity.CorruptArtifactError` and quarantines the
+file (rename to ``<name>.corrupt-<shortdigest>``) when the bytes read back
+are not the bytes written — whether the JSON is garbage or valid-but-wrong.
 """
 
 from __future__ import annotations
@@ -20,7 +27,8 @@ import os
 import pathlib
 import tempfile
 
-from repro.runtime import faults
+from repro.runtime import faults, integrity
+from repro.runtime.integrity import CorruptArtifactError
 
 
 def as_path(path: str | os.PathLike) -> pathlib.Path:
@@ -68,16 +76,31 @@ def atomic_write_text(path: str | os.PathLike, text: str) -> pathlib.Path:
 def atomic_write_json(
     path: str | os.PathLike, payload, *, indent: int | None = None
 ) -> pathlib.Path:
+    """Atomically write ``payload`` as JSON, sealed with an integrity envelope.
+
+    Only JSON objects (dicts) are sealed — lists/scalars are written as-is.
+    Sealing is skipped while :func:`repro.runtime.integrity.disabled` is in
+    effect (or ``REPRO_INTEGRITY=0``), which the scale bench uses to
+    measure checksum overhead.
+    """
+    if isinstance(payload, dict) and integrity.enabled():
+        payload = integrity.seal(payload)
     return atomic_write_text(path, json.dumps(payload, indent=indent))
 
 
-def read_json(path: str | os.PathLike, *, what: str = "artifact") -> dict:
-    """Read a JSON file, raising a descriptive ``ValueError`` when corrupt.
+def read_json(
+    path: str | os.PathLike, *, what: str = "artifact", quarantine: bool = True
+) -> dict:
+    """Read a JSON artifact, verifying its integrity envelope when present.
 
-    A truncated or half-written file (the failure mode atomic writes guard
-    against, but which can still reach us from foreign writers) surfaces as
-    ``json.JSONDecodeError``; translate it into an actionable error naming
-    the file instead of letting the raw decode error escape.
+    A truncated / half-written file (possible from foreign writers despite
+    atomic writes on our side) or a digest mismatch (bit rot, tampering,
+    valid-but-wrong JSON) raises :class:`CorruptArtifactError` — a
+    ``ValueError`` subclass, so existing skip-corrupt-record handlers keep
+    working — and the file is renamed into quarantine
+    (``<name>.corrupt-<shortdigest>``) so it cannot be re-read as truth.
+    The envelope key is stripped before the payload is returned; artifacts
+    written before envelopes existed pass through unverified.
     """
     path = as_path(path)
     try:
@@ -85,9 +108,25 @@ def read_json(path: str | os.PathLike, *, what: str = "artifact") -> dict:
     except FileNotFoundError:
         raise FileNotFoundError(f"{what} not found at {path}") from None
     try:
-        return json.loads(text)
+        parsed = json.loads(text)
     except json.JSONDecodeError as error:
-        raise ValueError(
-            f"{what} at {path} is truncated or malformed JSON "
-            f"(line {error.lineno}, column {error.colno}): {error.msg}"
+        quarantined = integrity.quarantine_artifact(path) if quarantine else None
+        raise CorruptArtifactError(
+            path,
+            f"truncated or malformed JSON "
+            f"(line {error.lineno}, column {error.colno}): {error.msg}",
+            what=what,
+            quarantined_to=quarantined,
         ) from None
+    if isinstance(parsed, dict) and integrity.ENVELOPE_KEY in parsed:
+        envelope = parsed.pop(integrity.ENVELOPE_KEY)
+        ok, reason = integrity.check_envelope(parsed, envelope)
+        if not ok:
+            quarantined = (
+                integrity.quarantine_artifact(path) if quarantine else None
+            )
+            raise CorruptArtifactError(
+                path, reason, what=what, quarantined_to=quarantined
+            ) from None
+        integrity.count_event("artifacts_verified")
+    return parsed

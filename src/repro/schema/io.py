@@ -15,6 +15,7 @@ surrogate in.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 import pathlib
 
@@ -115,8 +116,19 @@ def _saved_schema(meta: dict) -> Schema:
     )
 
 
+# The streamed document's trailing checksum record, as emitted by
+# iter_saved_dataset_json: fixed-length, so a streaming client can hold
+# back exactly this many bytes and verify the digest at EOF.
+DATASET_STREAM_TRAILER_PREFIX = ', "integrity": {"algo": "sha256", "digest": "'
+DATASET_STREAM_TRAILER_SUFFIX = '"}}'
+DATASET_STREAM_TRAILER_LEN = (
+    len(DATASET_STREAM_TRAILER_PREFIX) + 64 + len(DATASET_STREAM_TRAILER_SUFFIX)
+)
+
+
 def iter_saved_dataset_json(
-    directory: str | pathlib.Path, *, chunk_rows: int = 1024
+    directory: str | pathlib.Path, *, chunk_rows: int = 1024,
+    integrity: bool | None = None,
 ):
     """Yield a saved dataset's JSON document as a stream of fragments.
 
@@ -126,7 +138,20 @@ def iter_saved_dataset_json(
     at most ``chunk_rows`` rows are materialized at a time, so serving an
     n-entity dataset holds O(chunk_rows) rows in memory instead of O(n).
     Concatenating the fragments reproduces the full document exactly.
+
+    Unless ``integrity`` is off (defaults to the runtime's global switch),
+    the final fragment is a trailing checksum record — ``, "integrity":
+    {"algo": "sha256", "digest": "<64 hex>"}}`` — whose digest covers every
+    byte streamed *before* it.  The document stays valid JSON; a streaming
+    client holds back the fixed-length tail, verifies the digest, and can
+    tell a truncated or garbled stream from a complete one even when the
+    transport framing looks intact.  All fragments are ASCII
+    (``json.dumps`` default), so byte offsets never split a character.
     """
+    from repro.runtime import integrity as _integrity
+
+    if integrity is None:
+        integrity = _integrity.enabled()
     directory = pathlib.Path(directory)
     meta = json.loads((directory / "schema.json").read_text())
     schema = _saved_schema(meta)
@@ -136,7 +161,14 @@ def iter_saved_dataset_json(
             {"name": attr.name, "type": attr.attr_type.value} for attr in schema
         ],
     }
-    yield json.dumps(header)[:-1]  # hold the document open: strip "}"
+    hasher = hashlib.sha256() if integrity else None
+
+    def _emit(fragment: str) -> str:
+        if hasher is not None:
+            hasher.update(fragment.encode("utf-8"))
+        return fragment
+
+    yield _emit(json.dumps(header)[:-1])  # hold the document open: strip "}"
 
     def _rows(path: pathlib.Path):
         with path.open(newline="") as handle:
@@ -173,19 +205,28 @@ def iter_saved_dataset_json(
         ("non_matches", _pair_rows(directory / "non_matches.csv")),
     ]
     for key, items in sections:
-        yield f', "{key}": ['
+        yield _emit(f', "{key}": [')
         first = True
         buffer: list[str] = []
         for item in items:
             buffer.append(json.dumps(item))
             if len(buffer) >= chunk_rows:
-                yield ("" if first else ", ") + ", ".join(buffer)
+                yield _emit(("" if first else ", ") + ", ".join(buffer))
                 first = False
                 buffer = []
         if buffer:
-            yield ("" if first else ", ") + ", ".join(buffer)
-        yield "]"
-    yield "}"
+            yield _emit(("" if first else ", ") + ", ".join(buffer))
+        yield _emit("]")
+    if hasher is None:
+        yield "}"
+    else:
+        # The checksum record closes the document in place of the bare
+        # "}"; its fixed length is DATASET_STREAM_TRAILER_LEN.
+        yield (
+            DATASET_STREAM_TRAILER_PREFIX
+            + hasher.hexdigest()
+            + DATASET_STREAM_TRAILER_SUFFIX
+        )
 
 
 def load_saved_dataset(directory: str | pathlib.Path) -> ERDataset:

@@ -47,6 +47,8 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.runtime import faults, integrity
+from repro.runtime.integrity import CorruptArtifactError
 from repro.schema.entity import Entity
 from repro.service.admission import (
     READ,
@@ -236,6 +238,7 @@ class ServiceContext:
         self.deadline_seconds = dict(_DEADLINE_SECONDS, **(deadline_seconds or {}))
         self._models: dict[tuple[str, str], LoadedModel] = {}
         self._models_lock = threading.Lock()
+        self.metrics.register_provider("integrity", self._integrity_snapshot)
 
     def model(self, name: str, version: str | None) -> LoadedModel:
         try:
@@ -270,6 +273,23 @@ class ServiceContext:
         if latencies:
             snapshot["job_latency_seconds"] = ServiceMetrics._summarize(latencies)
         snapshot["generation"] = self._generation_snapshot()
+        return snapshot
+
+    def _integrity_snapshot(self) -> dict:
+        """Integrity counters for ``/stats``.
+
+        The in-process counters only see corruption this process caught;
+        shard requeues happen inside *worker* processes, so that count is
+        derived from the queue's audit log (``requeued_corrupt`` events),
+        which every process appends to.
+        """
+        snapshot = integrity.counters()
+        requeued = sum(
+            1 for e in self.queue.events() if e.get("event") == "requeued_corrupt"
+        )
+        snapshot["shards_requeued_corrupt"] = max(
+            snapshot.get("shards_requeued_corrupt", 0), requeued
+        )
         return snapshot
 
     def _generation_snapshot(self) -> dict:
@@ -391,6 +411,15 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 headers["Retry-After"] = f"{error.retry_after:g}"
         except (BrokenPipeError, ConnectionResetError):  # client went away
             return
+        except CorruptArtifactError as error:
+            # A durable artifact failed verification mid-request; it has
+            # been quarantined, so a retry reads healthy fallback state
+            # (previous model version, requeued shard) instead of garbage.
+            status = 503
+            payload = ApiError(
+                503, str(error), code="corrupt_artifact", retryable=True,
+            ).body()
+            self.context.metrics.count("http.corrupt_artifacts")
         except OSError as error:
             # Disk trouble (ENOSPC and friends).  The write was atomic —
             # nothing partial is on disk — so the operation is safely
@@ -540,10 +569,24 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
         try:
-            self._write_chunk(first)
-            for fragment in fragments:
-                self._write_chunk(fragment)
-            self.wfile.write(b"0\r\n\r\n")
+            truncated = False
+            for fragment in self._chain_first(first, fragments):
+                if faults.fire("net.stream.server_truncate"):
+                    # Simulated upstream death mid-stream: drop the
+                    # connection without the terminating chunk, so the
+                    # client sees a truncated chunked body.
+                    truncated = True
+                    break
+                # server_garble produces a byte-for-byte *valid* chunked
+                # body whose content is wrong — only the trailing checksum
+                # record catches it on the client.
+                self._write_chunk(
+                    faults.transform("net.stream.server_garble", fragment)
+                )
+            if truncated:
+                self.close_connection = True
+            else:
+                self.wfile.write(b"0\r\n\r\n")
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-stream
         except OSError:
@@ -551,6 +594,11 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             # client the response is incomplete (no terminating chunk).
             pass
         return 200, _STREAMED
+
+    @staticmethod
+    def _chain_first(first, rest):
+        yield first
+        yield from rest
 
     def _write_chunk(self, fragment: str) -> None:
         data = fragment.encode("utf-8")

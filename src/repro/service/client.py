@@ -21,21 +21,53 @@ The transport layer owns the overload story from the client side:
   the first call after the cooldown is the half-open probe.
 - **Typed errors** — every non-2xx response raises :class:`ServiceError`
   carrying the structured ``code`` / ``retryable`` fields the API returns.
+- **End-to-end dataset integrity** — :meth:`ServiceClient.dataset_stream`
+  consumes the chunked dataset export incrementally (client memory stays
+  O(chunk), matching the server's guarantee) while hashing every byte; the
+  document's trailing checksum record is verified at EOF, so a truncated
+  or garbled stream raises a *retryable* :class:`ServiceError`
+  (``stream_truncated`` / ``stream_corrupt``) instead of silently handing
+  back a short dataset.  :meth:`ServiceClient.dataset` wraps the stream
+  with the standard retry policy.
 
 All deadline math uses ``time.monotonic``: a wall-clock jump (NTP step,
 suspend/resume) can neither spuriously expire a wait nor extend one.
+
+Transport faults (``net.*`` sites, :mod:`repro.runtime.faults`) are
+compiled into the request and stream paths so the chaos suite can inject
+connection resets, garbled bodies and mid-stream drops deterministically.
 """
 
 from __future__ import annotations
 
+import hashlib
+import http.client
 import json
 import random
+import re
 import threading
 import time
 import urllib.error
 import urllib.request
 import uuid
 from dataclasses import dataclass
+
+from repro.runtime import faults, integrity
+
+# The dataset stream's trailing checksum record, byte-for-byte as emitted
+# by repro.schema.io.iter_saved_dataset_json.  Mirrored here (rather than
+# imported) so the client keeps no dependency on the schema/numpy stack;
+# a unit test asserts the two stay in sync.
+_STREAM_TRAILER_PREFIX = ', "integrity": {"algo": "sha256", "digest": "'
+_STREAM_TRAILER_SUFFIX = '"}}'
+_STREAM_TRAILER_LEN = (
+    len(_STREAM_TRAILER_PREFIX) + 64 + len(_STREAM_TRAILER_SUFFIX)
+)
+_STREAM_TRAILER_RE = re.compile(
+    re.escape(_STREAM_TRAILER_PREFIX)
+    + r"([0-9a-f]{64})"
+    + re.escape(_STREAM_TRAILER_SUFFIX)
+)
 
 
 class ServiceError(RuntimeError):
@@ -191,13 +223,27 @@ class ServiceClient:
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=body, method=method, headers=headers
         )
+        faults.maybe_net_fault("net.request")
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 if "X-Circuit-Opened" in headers:
                     self.circuit.unreported_opens = 0
-                return json.loads(response.read().decode("utf-8"))
+                data = response.read()
         except urllib.error.HTTPError as error:
             raise self._decode_error(error) from None
+        data = faults.transform("net.response.body", data)
+        try:
+            return json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            # A 200 whose body does not parse is a transport-level
+            # corruption (proxy truncation, bit flips): retryable, and it
+            # must not escape as a raw JSONDecodeError.
+            raise ServiceError(
+                0,
+                f"malformed response body from {method} {path}: {error}",
+                code="transport_corrupt",
+                retryable=True,
+            ) from None
 
     @staticmethod
     def _decode_error(error: urllib.error.HTTPError) -> ServiceError:
@@ -225,26 +271,45 @@ class ServiceClient:
             retry_after=retry_after,
         )
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def _with_retries(self, perform):
+        """Run ``perform(attempt)`` under the retry policy + circuit.
+
+        ``perform`` may raise :class:`ServiceError` (HTTP errors, or
+        synthesized transport/stream errors with ``status == 0``) or raw
+        transport exceptions; retryable failures back off with full jitter
+        under the attempt and wall-clock budgets.  Both plain requests and
+        the verified dataset fetch run through here, so a truncated stream
+        retries exactly like a shed 429.
+        """
         policy = self.retry_policy
         started = time.monotonic()
         attempt = 0
         while True:
             self.circuit.before_request()
             try:
-                result = self._request_once(method, path, payload, attempt)
+                result = perform(attempt)
             except ServiceError as error:
-                # Only 5xx counts against the circuit: a shed 429 is the
-                # server *working as designed* under load (Retry-After is
-                # the pacing mechanism there), and 4xx is the caller's
-                # problem — neither says the server is unhealthy.
-                self.circuit.record(success=error.status < 500)
+                # Only 5xx (and transport-level status-0) failures count
+                # against the circuit: a shed 429 is the server *working as
+                # designed* under load (Retry-After is the pacing mechanism
+                # there), and 4xx is the caller's problem — neither says
+                # the server is unhealthy.
+                self.circuit.record(success=0 < error.status < 500)
                 if error.status == 429:
                     self.metrics["shed_responses"] += 1
+                if error.status == 0:
+                    self.metrics["transport_errors"] += 1
                 if not error.retryable:
                     raise
                 last_error: ServiceError = error
-            except (urllib.error.URLError, TimeoutError, OSError) as error:
+            except (
+                urllib.error.URLError,
+                TimeoutError,
+                http.client.HTTPException,
+                OSError,
+            ) as error:
+                # HTTPException covers e.g. IncompleteRead from a truncated
+                # chunked body — a transport failure, not a crash.
                 self.circuit.record(success=False)
                 self.metrics["transport_errors"] += 1
                 reason = getattr(error, "reason", None) or error
@@ -263,6 +328,11 @@ class ServiceClient:
                 raise last_error
             self.metrics["retries"] += 1
             time.sleep(delay)
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        return self._with_retries(
+            lambda attempt: self._request_once(method, path, payload, attempt)
+        )
 
     # ------------------------------------------------------------------
     # API surface
@@ -319,8 +389,131 @@ class ServiceClient:
     def jobs(self) -> list[dict]:
         return self._request("GET", "/jobs")["jobs"]
 
+    def dataset_stream(
+        self, job_id: str, *, verify: bool | None = None,
+        chunk_bytes: int = 65536,
+    ):
+        """Stream the dataset export, verifying its trailing checksum.
+
+        Yields decoded text fragments whose concatenation is the full JSON
+        document, reading at most ``chunk_bytes`` off the socket at a time
+        — client memory stays O(chunk), matching the server's streaming
+        guarantee, instead of buffering the whole body.
+
+        The last :data:`_STREAM_TRAILER_LEN` bytes are held back until EOF
+        and matched against the checksum record the server appends; every
+        earlier byte is hashed as it is yielded.  A missing trailer
+        (truncated stream) or a digest mismatch (garbled stream) raises a
+        *retryable* :class:`ServiceError` with code ``stream_truncated`` /
+        ``stream_corrupt``.  ``verify=False`` (or the runtime integrity
+        switch being off, when ``verify`` is None) downgrades a missing
+        trailer to acceptance — for talking to servers that predate the
+        checksum — but a trailer that *is* present is always verified.
+
+        This is the raw single-attempt stream: it does not retry or touch
+        the circuit breaker (a generator held across sleeps would pin the
+        breaker state); :meth:`dataset` wraps it with the retry policy.
+        """
+        if verify is None:
+            verify = integrity.enabled()
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/dataset", method="GET"
+        )
+        hasher = hashlib.sha256()
+        tail = b""
+        try:
+            faults.maybe_net_fault("net.request")
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                while True:
+                    faults.maybe_net_fault("net.stream.read")
+                    chunk = response.read(chunk_bytes)
+                    if not chunk:
+                        break
+                    chunk = faults.transform("net.stream.chunk", chunk)
+                    tail += chunk
+                    if len(tail) > _STREAM_TRAILER_LEN:
+                        emit, tail = (
+                            tail[:-_STREAM_TRAILER_LEN],
+                            tail[-_STREAM_TRAILER_LEN:],
+                        )
+                        hasher.update(emit)
+                        try:
+                            yield emit.decode("utf-8")
+                        except UnicodeDecodeError as error:
+                            raise ServiceError(
+                                0,
+                                f"dataset stream for job {job_id} is not "
+                                f"valid UTF-8: {error}",
+                                code="stream_corrupt", retryable=True,
+                            ) from None
+        except urllib.error.HTTPError as error:
+            raise self._decode_error(error) from None
+        except (
+            urllib.error.URLError,
+            TimeoutError,
+            http.client.HTTPException,
+            OSError,
+        ) as error:
+            reason = getattr(error, "reason", None) or error
+            raise ServiceError(
+                0,
+                f"dataset stream for job {job_id} broke mid-transfer: "
+                f"{reason}",
+                code="transport", retryable=True,
+            ) from None
+        try:
+            text_tail = tail.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ServiceError(
+                0,
+                f"dataset stream for job {job_id} is not valid UTF-8: "
+                f"{error}",
+                code="stream_corrupt", retryable=True,
+            ) from None
+        match = _STREAM_TRAILER_RE.fullmatch(text_tail)
+        if match is None:
+            if not verify:
+                hasher.update(tail)
+                yield text_tail
+                return
+            raise ServiceError(
+                0,
+                f"dataset stream for job {job_id} ended without its "
+                "checksum trailer (truncated or pre-integrity server)",
+                code="stream_truncated", retryable=True,
+            )
+        if match.group(1) != hasher.hexdigest():
+            raise ServiceError(
+                0,
+                f"dataset stream for job {job_id} failed checksum "
+                f"verification: digest {match.group(1)[:12]}… does not "
+                f"match streamed bytes {hasher.hexdigest()[:12]}…",
+                code="stream_corrupt", retryable=True,
+            )
+        yield text_tail  # the trailer record itself closes the document
+
     def dataset(self, job_id: str) -> dict:
-        return self._request("GET", f"/jobs/{job_id}/dataset")
+        """Fetch, verify and parse the dataset export, with retries.
+
+        A truncated or garbled stream surfaces as a retryable error from
+        :meth:`dataset_stream`, so the standard policy re-fetches it; the
+        checksum record is stripped from the returned document.
+        """
+        def perform(attempt: int) -> dict:
+            text = "".join(self.dataset_stream(job_id))
+            try:
+                payload = json.loads(text)
+            except ValueError as error:
+                raise ServiceError(
+                    0,
+                    f"dataset for job {job_id} did not parse as JSON: "
+                    f"{error}",
+                    code="transport_corrupt", retryable=True,
+                ) from None
+            payload.pop("integrity", None)
+            return payload
+
+        return self._with_retries(perform)
 
     def label(
         self, model: str, pairs: list, *, version: str | None = None

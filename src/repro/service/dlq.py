@@ -20,6 +20,7 @@ dead-letter time (see :meth:`repro.service.queue.JobQueue._dead_letter`).
 
 from __future__ import annotations
 
+from repro.runtime.integrity import CorruptArtifactError, scrub_tree
 from repro.service.queue import Job, JobQueue
 
 
@@ -33,13 +34,36 @@ class DeadLetterQueue:
         return self.queue.dead_letters()
 
     def inspect(self, job_id: str) -> dict:
-        return self.queue.forensics(job_id)
+        """The forensics bundle, or a stub when the bundle itself rotted.
+
+        Forensics are evidence about a *different* failure — if the bundle
+        is corrupt it gets quarantined (by ``read_json``) and inspection
+        degrades to what the job record still knows, rather than the
+        autopsy tool crashing on the corpse.
+        """
+        try:
+            return self.queue.forensics(job_id)
+        except CorruptArtifactError as error:
+            job = self.queue.get(job_id)
+            return {
+                "reason": "forensics_corrupt",
+                "worker": job.worker,
+                "error": job.error,
+                "attempts": job.attempts,
+                "max_attempts": job.max_attempts,
+                "history": [],
+                "forensics_error": str(error),
+            }
 
     def requeue(self, job_id: str) -> Job:
         return self.queue.requeue(job_id)
 
     def depth(self) -> int:
         return len(self.list())
+
+    def scrub(self, *, quarantine: bool = True) -> dict:
+        """Integrity-scrub the DLQ tree (forensics bundles)."""
+        return scrub_tree(self.queue.dlq_dir, quarantine=quarantine)
 
     # ------------------------------------------------------------------
     # CLI rendering

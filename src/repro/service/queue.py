@@ -50,7 +50,8 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
-from repro.runtime import faults
+from repro.runtime import faults, integrity
+from repro.runtime.integrity import CorruptArtifactError
 from repro.runtime.io import as_path, atomic_write_json, read_json
 
 PENDING = "pending"
@@ -180,7 +181,13 @@ class JobQueue:
                 records.append(
                     Job.from_dict(read_json(path, what="job record"))
                 )
-            except (ValueError, KeyError, TypeError):  # foreign/corrupt file
+            except CorruptArtifactError:
+                # read_json quarantined the record (renamed to
+                # <name>.corrupt-<digest>), so the scan self-heals: the
+                # garbage is skipped now and gone on the next pass.
+                integrity.count_event("queue_records_skipped_corrupt")
+                continue
+            except (ValueError, KeyError, TypeError):  # foreign file
                 continue
         return sorted(records, key=lambda job: (job.submitted_unix, job.id))
 
@@ -662,6 +669,36 @@ class JobQueue:
         job.finished_unix = None
         self._write(job)
         self._log("dlq_requeued", job_id)
+        return job
+
+    def reset_for_rerun(self, job_id: str, *, reason: str) -> Job:
+        """Return a finished-but-untrustworthy job to pending.
+
+        The corrupt-shard-result recovery path: the coordinator found a
+        child marked ``done`` whose ``shard_result.json`` failed integrity
+        verification (already quarantined), so the "completion" cannot be
+        trusted and the shard must re-run.  Jobs that already burned their
+        attempt budget dead-letter instead — a shard whose results rot on
+        every attempt must not requeue forever.
+        """
+        job = self.get(job_id)
+        if job.status == FAILED:
+            return job  # already dead-lettered; nothing to reset
+        if job.attempts >= job.max_attempts:
+            job.error = (
+                f"result corrupt after {job.attempts} attempt(s): {reason}"
+            )
+            job = self._dead_letter(job, worker=None, reason="corrupt_result")
+            self._release_claim(job_id)
+            return job
+        job.status = PENDING
+        job.worker = None
+        job.error = None
+        job.result = {}
+        job.finished_unix = None
+        self._write(job)
+        self._release_claim(job_id)
+        self._log("requeued_corrupt", job_id, reason=str(reason)[:500])
         return job
 
     # ------------------------------------------------------------------

@@ -32,11 +32,13 @@ import re
 import shutil
 import time
 import uuid
+import warnings
 from dataclasses import dataclass
 
 from repro.core.config import SERDConfig
 from repro.core.serd import SERDSynthesizer
 from repro.runtime import faults
+from repro.runtime.integrity import CorruptArtifactError
 from repro.runtime.io import as_path, atomic_write_json, read_json
 from repro.schema.dataset import ERDataset
 from repro.schema.io import load_saved_dataset, save_dataset
@@ -207,7 +209,21 @@ class ModelRegistry:
             meta_path = child / "meta.json"
             if not meta_path.exists():
                 continue  # unpublished leftovers are invisible
-            meta = read_json(meta_path, what=f"model meta for {name}/{child.name}")
+            try:
+                meta = read_json(
+                    meta_path, what=f"model meta for {name}/{child.name}"
+                )
+            except CorruptArtifactError:
+                # Quarantined by read_json: the version vanishes from the
+                # listing (lookups fall back to the previous version)
+                # instead of poisoning every /models and load() call.
+                warnings.warn(
+                    f"model meta for {name}/{child.name} corrupt; "
+                    "version quarantined and skipped",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
             found.append(ModelVersion(name=name, version=child.name, meta=meta))
         return sorted(found, key=lambda v: v.number)
 

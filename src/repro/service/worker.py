@@ -58,7 +58,9 @@ from repro.runtime.cancellation import (
     LinkedCancellationToken,
     SynthesisInterrupted,
 )
+from repro.runtime import integrity
 from repro.runtime.faults import InjectedInterrupt
+from repro.runtime.integrity import CorruptArtifactError
 from repro.runtime.io import atomic_write_json, read_json
 from repro.schema.io import save_dataset
 from repro.service.queue import DONE, FAILED, RUNNING, ClaimLost, Job, JobQueue
@@ -291,7 +293,8 @@ class Worker:
             )
             child_ids.append(child.id)
         last_broadcast: dict | None = None
-        while True:
+        runs: list[ShardRun] | None = None
+        while runs is None:
             if stop():
                 raise SynthesisInterrupted("shard_coordination", checkpointed=True)
             records = [self.queue.get(cid) for cid in child_ids]
@@ -302,7 +305,11 @@ class Worker:
                     f"first error: {dead[0].error}"
                 )
             if all(r.status == DONE for r in records):
-                break
+                # Collection quarantines + requeues corrupt shard results
+                # and returns None, in which case the children are pending
+                # again and we go back to waiting (and claiming) for them.
+                runs = self._collect_shard_runs(child_ids, real.schema)
+                continue
             last_broadcast = self._broadcast_feedback(
                 synthesizer, bus, len(plan), last_broadcast
             )
@@ -320,18 +327,48 @@ class Worker:
                 self._run_claimed_shard(claimed, stop)
             else:
                 stop.wait(min(0.25, self.lease_seconds / 10.0))
-        runs = []
-        for cid in child_ids:
-            payload = read_json(
-                self.queue.result_dir(cid) / "shard_result.json",
-                what=f"shard result for {cid!r}",
-            )
-            runs.append(ShardRun.from_payload(payload, real.schema))
         runs.sort(key=lambda run: run.spec.index)
         output = synthesizer.assemble_shard_runs(
             runs, n_a, n_b, checkpoint_dir=result_dir / "checkpoint"
         )
         self._complete_with_output(job, entry, output, started)
+
+    def _collect_shard_runs(
+        self, child_ids: list[str], schema
+    ) -> list[ShardRun] | None:
+        """Read every done child's ``shard_result.json``, or requeue rot.
+
+        A result that fails integrity verification (bit flip between the
+        child writing and the coordinator merging), is missing, or does
+        not deserialize is quarantined and its child is returned to
+        pending via :meth:`JobQueue.reset_for_rerun` — merging garbage
+        into O_syn is never an option.  Returns ``None`` when any child
+        was requeued so the coordinator resumes waiting; a child that
+        rots past its attempt budget dead-letters, which the wait loop
+        turns into a coordinator failure.
+        """
+        runs: list[ShardRun] = []
+        corrupt: list[tuple[str, str]] = []
+        for cid in child_ids:
+            path = self.queue.result_dir(cid) / "shard_result.json"
+            try:
+                payload = read_json(path, what=f"shard result for {cid!r}")
+                runs.append(ShardRun.from_payload(payload, schema))
+            except FileNotFoundError:
+                corrupt.append((cid, "shard_result.json missing"))
+            except CorruptArtifactError as error:
+                corrupt.append((cid, error.reason))  # already quarantined
+            except (KeyError, TypeError, ValueError) as error:
+                # Valid JSON with the wrong shape: read_json can't flag it,
+                # so quarantine it here before requeueing the shard.
+                integrity.quarantine_artifact(path)
+                corrupt.append((cid, f"malformed shard result: {error}"))
+        if not corrupt:
+            return runs
+        for cid, reason in corrupt:
+            self.queue.reset_for_rerun(cid, reason=reason)
+            integrity.count_event("shards_requeued_corrupt")
+        return None
 
     def _run_claimed_shard(self, child: Job, parent_stop: CancellationToken) -> None:
         """Run one of our own shard sub-jobs inline, with its own lease.

@@ -84,6 +84,10 @@ class TestLoadMalformedArtifacts:
         fitted.export_distributions(path)
         payload = json.loads(path.read_text())
         del payload["match_edge_rate"]
+        # Drop the integrity envelope too: a hand-edited sealed file is
+        # (correctly) caught as corrupt before key validation runs; the
+        # missing-key diagnostics are the legacy/unsealed-artifact path.
+        payload.pop("integrity", None)
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="match_edge_rate"):
             load_exported_distributions(path)
@@ -95,6 +99,7 @@ class TestLoadMalformedArtifacts:
         fitted.export_distributions(path)
         payload = json.loads(path.read_text())
         del payload["o_real"]["match_probability"]
+        payload.pop("integrity", None)  # unsealed: exercise key validation
         path.write_text(json.dumps(payload))
         with pytest.raises(ValueError, match="o_real.*match_probability"):
             load_exported_distributions(path)

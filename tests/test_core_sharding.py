@@ -11,6 +11,7 @@ The load-bearing invariants from the sharding design:
   ``current()`` distribution exactly.
 """
 
+import pathlib
 import warnings
 
 import numpy as np
@@ -195,6 +196,51 @@ class TestShardStatsBus:
         assert bus.read_global() is None
         bus.publish_global({"shard_feedback": {"0": {"jsd": 0.1}}})
         assert bus.read_global()["shard_feedback"]["0"]["jsd"] == 0.1
+
+    def test_concurrent_writer_process_never_breaks_reads(self, tmp_path):
+        """A genuinely concurrent writer *process* republishing a snapshot
+        in a tight loop while this process reads: every read must return a
+        complete, verified snapshot or skip the shard — never raise, never
+        hand back a torn or garbled payload."""
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        bus_dir = tmp_path / "bus"
+        writer = (
+            "import sys\n"
+            "from repro.core.sharding import ShardStatsBus\n"
+            "bus = ShardStatsBus(sys.argv[1])\n"
+            "for i in range(400):\n"
+            "    bus.publish_shard(0, {'n_pos': i, 'blob': 'x' * 2048})\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(pathlib.Path(repro.__file__).resolve().parents[1])]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-c", writer, str(bus_dir)], env=env
+        )
+        bus = ShardStatsBus(bus_dir)
+        observed = []
+        try:
+            while process.poll() is None:
+                shards = bus.read_shards()  # must never raise
+                if 0 in shards:
+                    payload = shards[0]
+                    assert set(payload) == {"n_pos", "blob"}
+                    assert len(payload["blob"]) == 2048
+                    observed.append(payload["n_pos"])
+        finally:
+            process.wait(timeout=60)
+        assert process.returncode == 0
+        final = bus.read_shards()
+        assert final[0]["n_pos"] == 399
+        # Writes were observed in publication order (atomic replaces).
+        assert observed == sorted(observed)
 
 
 # ----------------------------------------------------------------------

@@ -190,6 +190,16 @@ class TestStats:
         assert stats["job_latency_seconds"]["count"] == 1
         assert stats["models_loaded"] == 1
 
+    def test_stats_expose_integrity_counters(self, served):
+        client, _, _ = served
+        block = client.stats()["integrity"]
+        for key in (
+            "artifacts_verified",
+            "corrupt_artifacts_quarantined",
+            "shards_requeued_corrupt",
+        ):
+            assert block[key] >= 0
+
 
 class TestGenerationCacheSwitch:
     def test_label_accepts_cache_switch(self, served, service_real):
@@ -298,7 +308,11 @@ class TestStreamingDataset:
             body = json.loads(response.read().decode("utf-8"))
         finally:
             conn.close()
-        # ... and the high-level client sees the identical document.
+        # The raw document carries the trailing checksum record ...
+        assert body["integrity"]["algo"] == "sha256"
+        assert len(body["integrity"]["digest"]) == 64
+        # ... which the high-level client verifies and strips.
+        body.pop("integrity")
         assert client.dataset(job["id"]) == body
         assert len(body["table_a"]) == 10
 
