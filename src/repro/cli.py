@@ -22,6 +22,9 @@ Usage::
     python -m repro dlq      --queue ./svc/queue inspect --job JOB_ID
     python -m repro dlq      --queue ./svc/queue requeue --job JOB_ID
     python -m repro verify-artifacts ./svc/queue   # integrity scrub
+    python -m repro privacy-audit --registry ./svc/registry \
+        --model restaurant --check       # re-run the sealed attack battery
+    python -m repro privacy-audit --export ./release --dataset restaurant
 
 ``synthesize`` fits SERD on a generated benchmark and writes the surrogate
 as a CSV bundle; ``resume`` picks up an interrupted checkpointed run without
@@ -34,7 +37,11 @@ lists, inspects and requeues dead-lettered jobs (see README "Operating
 under failure" for the forensics bundle layout and retry tuning);
 ``verify-artifacts`` integrity-scrubs a tree of JSON artifacts, exiting 1
 and quarantining whatever fails its checksum (``--no-quarantine`` to only
-report).
+report); ``privacy-audit`` runs the empirical privacy attack battery
+(membership inference, DCR/NNDR, singling-out) against a registered model
+— ``--check`` re-runs it from the sealed report's stored seed and fails
+unless the result is bit-identical — or, with ``--export``, against an
+exported synthetic dataset bundle.
 
 Long-running commands (``synthesize``, ``resume``, ``serve``, ``worker``)
 install SIGTERM/SIGINT handlers that commit the current checkpoint and exit
@@ -216,6 +223,44 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     dlq.add_argument(
         "--job", default=None, help="job id (required for inspect/requeue)"
+    )
+
+    audit = commands.add_parser(
+        "privacy-audit",
+        help="run the privacy attack battery against a registered model "
+        "or an exported synthetic dataset",
+    )
+    audit.add_argument(
+        "--registry", metavar="DIR", default=None,
+        help="model registry root (registry mode; requires --model)",
+    )
+    audit.add_argument("--model", default=None, help="registered model name")
+    audit.add_argument(
+        "--model-version", default=None, help="version to audit (default latest)"
+    )
+    audit.add_argument(
+        "--check", action="store_true",
+        help="re-run the battery from the sealed report's stored seed and "
+        "exit 1 unless the rebuilt report is identical",
+    )
+    audit.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="audit an exported synthetic dataset bundle instead "
+        "(data attacks only; requires --dataset)",
+    )
+    audit.add_argument(
+        "--dataset", default=None,
+        help="source benchmark the export was synthesized from",
+    )
+    audit.add_argument("--scale", type=float, default=0.1)
+    audit.add_argument(
+        "--seed", type=int, default=None,
+        help="audit seed (default: the sealed report's stored seed in "
+        "registry mode, 7 in export mode)",
+    )
+    audit.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the report as integrity-enveloped JSON",
     )
 
     verify = commands.add_parser(
@@ -508,6 +553,145 @@ def _cmd_dlq(args) -> int:
     return 0
 
 
+def _cmd_privacy_audit(args) -> int:
+    from repro.runtime.io import atomic_write_json
+
+    if bool(args.registry) == bool(args.export):
+        print(
+            "privacy-audit needs exactly one of --registry (with --model) "
+            "or --export (with --dataset)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.registry:
+        report, exit_code = _registry_audit(args)
+    else:
+        report, exit_code = _export_audit(args)
+    if report is not None and args.out:
+        atomic_write_json(args.out, report, indent=2)
+        print(f"Wrote {args.out}")
+    return exit_code
+
+
+def _registry_audit(args) -> tuple[dict | None, int]:
+    """Rebuild a registered model's privacy report; optionally verify it."""
+    from repro.privacy.report import (
+        PrivacyAuditConfig,
+        build_privacy_report,
+        format_report,
+    )
+    from repro.runtime.io import read_json
+    from repro.service import ModelRegistry
+
+    if not args.model:
+        print("--model is required with --registry", file=sys.stderr)
+        return None, 2
+    registry = ModelRegistry(args.registry)
+    try:
+        synthesizer, entry = registry.load(args.model, args.model_version)
+    except KeyError as error:
+        print(str(error), file=sys.stderr)
+        return None, 2
+    report_path = (
+        registry.version_dir(args.model, entry.version) / "privacy_report.json"
+    )
+    stored = None
+    if report_path.exists():
+        stored = read_json(
+            report_path,
+            what=f"privacy report for {args.model}/{entry.version}",
+        )
+    if args.check and stored is None:
+        print(
+            f"{args.model}/{entry.version} has no sealed privacy_report.json "
+            "(registered with audit disabled); nothing to check",
+            file=sys.stderr,
+        )
+        return None, 1
+    # Replay the sealed report's exact audit parameters unless overridden;
+    # loading restored the post-fit RNG position, so same seed + same
+    # config reproduces the sealed report bit-for-bit.
+    if stored is not None:
+        seed = args.seed if args.seed is not None else stored["audit"]["seed"]
+        config = PrivacyAuditConfig.from_dict(stored["audit"]["config"])
+    else:
+        seed = args.seed if args.seed is not None else entry.meta["config"]["seed"]
+        config = None
+    report = build_privacy_report(
+        synthesizer, synthesizer._real, seed=seed, config=config
+    )
+    print(format_report(report))
+    if args.check:
+        if report == stored:
+            print(
+                f"OK: rebuilt report matches the sealed artifact for "
+                f"{args.model}/{entry.version}"
+            )
+            return report, 0
+        print(
+            f"MISMATCH: rebuilt report differs from the sealed artifact for "
+            f"{args.model}/{entry.version}",
+            file=sys.stderr,
+        )
+        return report, 1
+    return report, 0
+
+
+def _export_audit(args) -> tuple[dict | None, int]:
+    """Data-only attack battery over an exported synthetic dataset."""
+    from repro.datasets import load_dataset
+    from repro.privacy.attacks import nearest_record_battery
+    from repro.privacy.report import REPORT_FORMAT, PrivacyAuditConfig, format_report
+    from repro.schema.io import load_saved_dataset
+    from repro.similarity.vector import SimilarityModel
+
+    if not args.dataset:
+        print("--dataset is required with --export", file=sys.stderr)
+        return None, 2
+    seed = args.seed if args.seed is not None else 7
+    try:
+        synthetic = load_saved_dataset(args.export)
+    except FileNotFoundError as error:
+        print(f"cannot read export bundle: {error}", file=sys.stderr)
+        return None, 2
+    real = load_dataset(args.dataset, scale=args.scale, seed=seed)
+    model = SimilarityModel.from_relations(real.table_a, real.table_b)
+    config = PrivacyAuditConfig()
+    sides = {}
+    for side, syn_table, real_table in (
+        ("table_a", synthetic.table_a, real.table_a),
+        ("table_b", synthetic.table_b, real.table_b),
+    ):
+        audit = nearest_record_battery(
+            model,
+            list(syn_table),
+            list(real_table),
+            singling_threshold=config.singling_threshold,
+            max_cells=config.max_cells,
+        )
+        sides[side] = audit.to_dict()
+    report = {
+        "format": REPORT_FORMAT,
+        "audit": {"seed": int(seed), "config": config.to_dict()},
+        "dataset": {
+            "name": real.name,
+            "n_real_a": len(real.table_a),
+            "n_real_b": len(real.table_b),
+            "n_audit_a": len(synthetic.table_a),
+            "n_audit_b": len(synthetic.table_b),
+        },
+        "claimed_epsilon": None,
+        "delta": config.delta,
+        "nearest_record": sides,
+        "membership_inference": {
+            "applicable": False,
+            "reason": "export-mode audit has no fitted model to attack",
+        },
+    }
+    print(format_report(report))
+    return report, 0
+
+
 def _cmd_verify_artifacts(args) -> int:
     from repro.runtime.integrity import scrub_tree
 
@@ -549,6 +733,7 @@ _COMMANDS = {
     "submit": _cmd_submit,
     "status": _cmd_status,
     "dlq": _cmd_dlq,
+    "privacy-audit": _cmd_privacy_audit,
     "verify-artifacts": _cmd_verify_artifacts,
 }
 

@@ -8,6 +8,7 @@ composes them into its benchmark's characteristic noise profile.
 
 from __future__ import annotations
 
+import hashlib
 import string
 
 import numpy as np
@@ -150,3 +151,16 @@ def scaled(count: int, scale: float, minimum: int = 2) -> int:
     if scale <= 0:
         raise ValueError(f"scale must be > 0, got {scale}")
     return max(minimum, int(round(count * scale)))
+
+
+def column_stream(column: str) -> int:
+    """Stable per-column RNG salt in ``[0, 1000)``.
+
+    Background corpora derive their RNG stream from the column name.  The
+    builtin ``hash(column)`` is randomized per process (PYTHONHASHSEED), so
+    seeding from it made two ``repro synthesize`` invocations draw different
+    corpora — the cross-process determinism leak.  SHA-256 of the UTF-8 name
+    is stable everywhere.
+    """
+    digest = hashlib.sha256(column.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") % 1000

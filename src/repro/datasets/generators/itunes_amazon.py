@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.datasets import vocabularies as vocab
-from repro.datasets.builder import Perturber, scaled
+from repro.datasets.builder import Perturber, column_stream, scaled
 from repro.schema.dataset import ERDataset
 from repro.schema.entity import Entity, Relation
 from repro.schema.types import Schema, make_schema
@@ -137,7 +137,7 @@ def generate(scale: float = 1.0, seed: int = 0) -> ERDataset:
 
 def background_corpus(column: str, size: int = 300, seed: int = 1) -> list[str]:
     """Background strings from the disjoint artist/label banks."""
-    rng = np.random.default_rng(seed + hash(column) % 1000)
+    rng = np.random.default_rng(seed + column_stream(column))
     perturber = Perturber(rng)
     if column == "song_name":
         return [_song_name(perturber, background=True) for _ in range(size)]

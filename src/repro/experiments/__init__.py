@@ -12,6 +12,7 @@ Fig. 6/7   :mod:`.exp2_model_eval`        matchers trained on real vs syn
 Fig. 8/9   :mod:`.exp3_data_eval`         M_real tested on T_real vs T_syn
 Table III  :mod:`.exp4_privacy`           Hitting Rate and DCR
 Table IV   :mod:`.exp5_efficiency`        offline / online wall-clock
+(curve)    :mod:`.exp6_eps_sweep`         privacy/utility trade-off vs ε
 (ablate)   :mod:`.ablations`              alpha/beta, textgen, DP sweeps
 ========  =============================  =================================
 

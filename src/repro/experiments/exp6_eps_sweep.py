@@ -1,0 +1,271 @@
+"""Exp-6: the privacy/utility trade-off curve across the ε budget.
+
+The paper fixes ε=1 (Table III) and reports utility at that single point;
+this harness sweeps the budget — ε ∈ {0.5, 1, 2, 4, ∞} — and reports, per
+point:
+
+- the DP-SGD noise multiplier the accountant says that budget buys
+  (:func:`~repro.privacy.accountant.noise_scale_for_epsilon`),
+- the ε actually measured back from the accountant after training,
+- the membership-inference attack's AUC and TPR@low-FPR against a
+  transformer trained at that budget (the *empirical* privacy axis),
+- optionally the matcher-F1 of a Magellan matcher trained on a full SERD
+  synthesis at that budget and evaluated on real test pairs, plus the
+  synthetic sample's minimum DCR (the *utility* and *distance* axes).
+
+Expected shape: AUC decreases (toward 0.5) and F1 degrades as ε shrinks —
+the trade-off curve.  Attack-only sweeps are cheap (seconds); utility
+sweeps fit one full SERD model per ε point.
+
+Run standalone::
+
+    PYTHONPATH=src python -m repro.experiments.exp6_eps_sweep        # MIA only
+    PYTHONPATH=src python -m repro.experiments.exp6_eps_sweep --utility
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.experiments.reporting import format_table
+from repro.privacy.accountant import noise_scale_for_epsilon
+from repro.privacy.attacks import nearest_record_battery, run_membership_inference
+from repro.privacy.dpsgd import DPSGDConfig
+from repro.textgen.transformer_backend import TransformerTextSynthesizerConfig
+
+# ε = None stands for the non-private baseline (ε = ∞).
+DEFAULT_EPSILONS: tuple[float | None, ...] = (0.5, 1.0, 2.0, 4.0, None)
+
+
+@dataclass(frozen=True)
+class EpsSweepSettings:
+    """Knobs of one sweep run (reduced sizes keep a point in seconds)."""
+
+    dataset: str = "restaurant"
+    scale: float = 0.05
+    seed: int = 7
+    delta: float = 1e-5
+    epsilons: tuple[float | None, ...] = DEFAULT_EPSILONS
+    matcher: str = "magellan"
+    utility: bool = False  # fit a full SERD model per ε point
+    clip_norm: float = 0.5
+    background_size: int = 120
+    mia_strings: int = 64
+    transformer: TransformerTextSynthesizerConfig = field(
+        default_factory=lambda: TransformerTextSynthesizerConfig(
+            n_buckets=2,
+            n_candidates=2,
+            pairs_per_bucket=32,
+            training_iterations=8,
+            d_model=16,
+            max_length=24,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class EpsSweepRow:
+    """One ε point of the trade-off curve."""
+
+    target_epsilon: float | None  # None = non-private (ε = ∞)
+    noise_scale: float | None
+    measured_epsilon: float | None
+    mia_auc: float
+    mia_tpr_at_low_fpr: float
+    mia_advantage: float
+    matcher_f1: float | None = None  # utility sweeps only
+    dcr_min: float | None = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def _noise_for(
+    epsilon: float | None, settings: EpsSweepSettings
+) -> float | None:
+    """The noise multiplier that spends exactly ``epsilon`` over training."""
+    if epsilon is None:
+        return None
+    config = settings.transformer
+    return noise_scale_for_epsilon(
+        epsilon,
+        settings.delta,
+        sampling_rate=min(1.0, config.batch_size / config.pairs_per_bucket),
+        steps=config.n_buckets * config.training_iterations,
+    )
+
+
+def _mia_corpus(settings: EpsSweepSettings) -> list[str]:
+    from repro.datasets.loaders import load_background
+
+    pools = load_background(
+        settings.dataset,
+        size=settings.background_size,
+        seed=settings.seed + 17,
+    )
+    column = sorted(pools)[0]
+    return pools[column][: settings.mia_strings]
+
+
+def _utility_point(
+    settings: EpsSweepSettings, dp: DPSGDConfig | None
+) -> tuple[float, float]:
+    """(matcher F1, min DCR) of a full SERD synthesis at one budget."""
+    from repro.core import SERDConfig, SERDSynthesizer
+    from repro.datasets import load_dataset
+    from repro.experiments.protocol import (
+        evaluate_on_pairs,
+        make_matcher,
+        make_matcher_split,
+        shared_featurizer,
+        train_on_dataset,
+    )
+
+    real = load_dataset(settings.dataset, scale=settings.scale, seed=settings.seed)
+    config = SERDConfig(
+        seed=settings.seed,
+        text_backend="transformer",
+        transformer=settings.transformer,
+        dp=dp,
+        background_size=settings.background_size,
+    )
+    synthesizer = SERDSynthesizer(config)
+    synthesizer.fit(real, train_gan=False)
+    synthetic = synthesizer.synthesize().dataset
+
+    featurizer = shared_featurizer(synthesizer.similarity_model)
+    split = make_matcher_split(
+        real,
+        synthesizer.similarity_model,
+        np.random.default_rng(settings.seed + 41),
+    )
+    matcher = make_matcher(settings.matcher, seed=settings.seed)
+    train_on_dataset(
+        matcher, synthetic, featurizer, np.random.default_rng(settings.seed + 43)
+    )
+    scores = evaluate_on_pairs(matcher, real, featurizer, split.test_pairs)
+    audit = nearest_record_battery(
+        synthesizer.similarity_model,
+        list(synthetic.table_a),
+        list(real.table_a),
+    )
+    return scores.f1, audit.dcr_min
+
+
+def run_eps_sweep(
+    settings: EpsSweepSettings | None = None,
+) -> list[EpsSweepRow]:
+    """The trade-off curve, one row per ε point, largest budget first."""
+    settings = settings or EpsSweepSettings()
+    corpus = _mia_corpus(settings)
+    rows = []
+    # Sweep ∞ first, then descending budgets: each row should show the
+    # attack weakening relative to the one above it.
+    ordered = sorted(
+        settings.epsilons, key=lambda e: -(e if e is not None else np.inf)
+    )
+    for epsilon in ordered:
+        noise = _noise_for(epsilon, settings)
+        dp = (
+            DPSGDConfig(noise_scale=noise, clip_norm=settings.clip_norm)
+            if noise is not None
+            else None
+        )
+        attack_config = dataclasses.replace(settings.transformer, dp=dp)
+        mia = run_membership_inference(
+            corpus, attack_config, seed=settings.seed
+        )
+        f1 = dcr_min = None
+        if settings.utility:
+            f1, dcr_min = _utility_point(settings, dp)
+        rows.append(
+            EpsSweepRow(
+                target_epsilon=epsilon,
+                noise_scale=noise,
+                measured_epsilon=mia.epsilon,
+                mia_auc=mia.auc,
+                mia_tpr_at_low_fpr=mia.tpr_at_low_fpr,
+                mia_advantage=mia.advantage,
+                matcher_f1=f1,
+                dcr_min=dcr_min,
+            )
+        )
+    return rows
+
+
+def trend(rows: list[EpsSweepRow]) -> dict:
+    """Direction checks over the sweep (rows ordered ∞ → smallest ε).
+
+    ``auc_shrinks_with_budget`` asserts the *endpoints*: the attack at the
+    tightest budget is no stronger than at ε=∞.  Interior points can jitter
+    at reproduction scales, so the monotone fraction is reported separately.
+    """
+    aucs = [row.mia_auc for row in rows]
+    steps = [aucs[i + 1] <= aucs[i] + 1e-9 for i in range(len(aucs) - 1)]
+    result = {
+        "auc_shrinks_with_budget": aucs[-1] <= aucs[0],
+        "auc_monotone_fraction": (sum(steps) / len(steps)) if steps else 1.0,
+    }
+    f1s = [row.matcher_f1 for row in rows if row.matcher_f1 is not None]
+    if len(f1s) >= 2:
+        result["f1_degrades_with_budget"] = f1s[-1] <= f1s[0]
+    return result
+
+
+def report(rows: list[EpsSweepRow], settings: EpsSweepSettings) -> str:
+    table_rows = []
+    for row in rows:
+        table_rows.append(
+            [
+                "inf" if row.target_epsilon is None else f"{row.target_epsilon:g}",
+                "-" if row.noise_scale is None else f"{row.noise_scale:.2f}",
+                "-"
+                if row.measured_epsilon is None
+                else f"{row.measured_epsilon:.2f}",
+                f"{row.mia_auc:.3f}",
+                f"{row.mia_tpr_at_low_fpr:.3f}",
+                "-" if row.matcher_f1 is None else f"{row.matcher_f1:.3f}",
+                "-" if row.dcr_min is None else f"{row.dcr_min:.3f}",
+            ]
+        )
+    table = format_table(
+        ["eps", "noise", "measured", "MIA AUC", "TPR@0.1", "F1", "DCR min"],
+        table_rows,
+        title=(
+            f"Exp-6: privacy/utility sweep on {settings.dataset} "
+            f"(scale {settings.scale}, delta {settings.delta})"
+        ),
+    )
+    checks = trend(rows)
+    lines = [table, ""]
+    for key, value in checks.items():
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="restaurant")
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--utility", action="store_true",
+        help="also fit a full SERD model per point and report matcher F1",
+    )
+    args = parser.parse_args(argv)
+    settings = EpsSweepSettings(
+        dataset=args.dataset,
+        scale=args.scale,
+        seed=args.seed,
+        utility=args.utility,
+    )
+    print(report(run_eps_sweep(settings), settings))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,7 +9,7 @@ synthesis happens once per method.
 from __future__ import annotations
 
 from repro.experiments import exp1_user_study, exp2_model_eval, exp3_data_eval
-from repro.experiments import exp4_privacy, exp5_efficiency
+from repro.experiments import exp4_privacy, exp5_efficiency, exp6_eps_sweep
 from repro.experiments import table1_strings, table2_datasets
 from repro.experiments.context import ExperimentContext
 
@@ -45,6 +45,12 @@ def run_all(context: ExperimentContext | None = None, *, table2_full_scale: bool
 
     efficiency_rows = exp5_efficiency.run_efficiency_evaluation(context)
     reports["table4"] = exp5_efficiency.report(efficiency_rows)
+
+    # Attack-only sweep (seconds per point); pass utility=True in the
+    # settings to also fit a full SERD model per ε point.
+    sweep_settings = exp6_eps_sweep.EpsSweepSettings(seed=context.seed)
+    sweep_rows = exp6_eps_sweep.run_eps_sweep(sweep_settings)
+    reports["eps_sweep"] = exp6_eps_sweep.report(sweep_rows, sweep_settings)
     return reports
 
 
@@ -52,7 +58,7 @@ def main() -> None:
     context = ExperimentContext()
     reports = run_all(context)
     order = ["table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-             "table3", "table4"]
+             "table3", "table4", "eps_sweep"]
     for key in order:
         print(reports[key])
         print()

@@ -7,18 +7,50 @@
   delta=1e-5 in Table III) can be computed rather than asserted.
 - :mod:`repro.privacy.metrics` — the two empirical privacy metrics of Exp-4:
   Hitting Rate and Distance to the Closest Record (DCR).
+- :mod:`repro.privacy.attacks` — the empirical attack batteries: loss-based
+  membership inference against the DP transformer, kernel-backed DCR/NNDR
+  over the synthetic-vs-real cross product, and the singling-out attack.
+- :mod:`repro.privacy.report` — per-model privacy reports: run the
+  batteries against a fitted synthesizer, seal the outcome as
+  ``privacy_report.json`` at registry publish time.
 """
 
 from repro.privacy.accountant import RDPAccountant, noise_scale_for_epsilon
+from repro.privacy.attacks import (
+    MIAResult,
+    NearestRecordAudit,
+    attack_counters,
+    nearest_record_battery,
+    roc_auc,
+    run_membership_inference,
+    tpr_at_fpr,
+)
 from repro.privacy.dpsgd import DPSGDConfig, dp_sgd_step, dp_sgd_step_vectorized
 from repro.privacy.metrics import distance_to_closest_record, hitting_rate
+from repro.privacy.report import (
+    PrivacyAuditConfig,
+    build_privacy_report,
+    format_report,
+    summarize_report,
+)
 
 __all__ = [
     "DPSGDConfig",
+    "MIAResult",
+    "NearestRecordAudit",
+    "PrivacyAuditConfig",
     "RDPAccountant",
+    "attack_counters",
+    "build_privacy_report",
     "distance_to_closest_record",
     "dp_sgd_step",
     "dp_sgd_step_vectorized",
+    "format_report",
     "hitting_rate",
+    "nearest_record_battery",
     "noise_scale_for_epsilon",
+    "roc_auc",
+    "run_membership_inference",
+    "summarize_report",
+    "tpr_at_fpr",
 ]

@@ -1,0 +1,260 @@
+"""Per-model privacy reports: run the attack batteries, seal the outcome.
+
+:func:`build_privacy_report` turns a fitted
+:class:`~repro.core.serd.SERDSynthesizer` into a JSON-serializable audit
+document: it synthesizes a bounded, seeded audit sample, runs the
+nearest-record battery (DCR / NNDR / singling-out) of
+:mod:`repro.privacy.attacks` on each table side, attacks the transformer
+text backend with membership inference when one is present, and records
+the accountant's *claimed* ε next to the *measured* attack numbers.
+
+The report is a pure function of ``(fitted model, real dataset, seed,
+audit config)`` — it embeds no timestamps and all randomness flows
+through ``default_rng([seed, ...])`` substreams — so
+``repro privacy-audit --check`` can re-run the battery from the stored
+seed and compare byte-for-byte against the sealed artifact.  The registry
+writes it as ``privacy_report.json`` (integrity-enveloped) next to the
+fit health report at publish time; the service surfaces the summary in
+``GET /models`` and the full document at ``GET /models/<name>/privacy``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.privacy.attacks import (
+    count_attack_event,
+    nearest_record_battery,
+    run_membership_inference,
+)
+from repro.schema.dataset import ERDataset
+
+# Substream salt for audit sampling decisions (corpus subsampling); the MIA
+# itself uses attacks._MIA_STREAM.  Disjoint from every other salt in use.
+_AUDIT_STREAM = 0x9D31
+
+REPORT_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class PrivacyAuditConfig:
+    """Knobs of one audit run (recorded inside the report for replay).
+
+    The defaults keep a publish-time audit in the low seconds on the test
+    datasets: the synthetic audit sample is capped at ``sample_entities``
+    per side, and the MIA trains deliberately small shadow/target models —
+    the attack needs *relative* member/non-member separation, not
+    generation quality.
+    """
+
+    sample_entities: int = 48
+    singling_threshold: float = 0.9
+    low_fpr: float = 0.1
+    max_cells: int = 250_000
+    delta: float = 1e-5
+    run_mia: bool = True
+    mia_max_strings: int = 64
+    mia_buckets: int = 2
+    mia_pairs_per_bucket: int = 32
+    mia_iterations: int = 6
+    mia_d_model: int = 16
+    mia_max_length: int = 24
+
+    def __post_init__(self) -> None:
+        if self.sample_entities < 1:
+            raise ValueError("sample_entities must be >= 1")
+        if not 0.0 < self.singling_threshold <= 1.0:
+            raise ValueError("singling_threshold must be in (0, 1]")
+        if not 0.0 < self.low_fpr <= 1.0:
+            raise ValueError("low_fpr must be in (0, 1]")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError("delta must be in (0, 1)")
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PrivacyAuditConfig":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown audit config key(s): {sorted(unknown)}")
+        return cls(**payload)
+
+
+def _transformer_backends(synthesizer) -> dict[str, object]:
+    """Text columns backed by a (trained) transformer, in column order."""
+    from repro.textgen.transformer_backend import TransformerTextSynthesizer
+
+    return {
+        column: backend
+        for column, backend in sorted(synthesizer._text_backends.items())
+        if isinstance(backend, TransformerTextSynthesizer)
+    }
+
+
+def _claimed_epsilon(synthesizer, delta: float) -> float | None:
+    """Accountant ε under sequential composition across DP backends."""
+    epsilons = [
+        backend.epsilon(delta)
+        for backend in _transformer_backends(synthesizer).values()
+    ]
+    epsilons = [e for e in epsilons if e is not None]
+    return float(sum(epsilons)) if epsilons else None
+
+
+def _mia_section(synthesizer, *, seed: int, config: PrivacyAuditConfig) -> dict:
+    """Membership inference against the model's text backend, if any."""
+    if not config.run_mia:
+        return {"applicable": False, "reason": "disabled by audit config"}
+    backends = _transformer_backends(synthesizer)
+    if not backends:
+        return {
+            "applicable": False,
+            "reason": "model has no transformer text backend",
+        }
+    column = next(iter(backends))
+    corpus = list(synthesizer._background.get(column, ()))
+    distinct = list(dict.fromkeys(t for t in corpus if t and t.strip()))
+    if len(distinct) < 8:
+        return {
+            "applicable": False,
+            "reason": f"background corpus too small ({len(distinct)} strings)",
+        }
+    if len(distinct) > config.mia_max_strings:
+        rng = np.random.default_rng([seed, _AUDIT_STREAM, 7])
+        keep = rng.choice(
+            len(distinct), size=config.mia_max_strings, replace=False
+        )
+        distinct = [distinct[i] for i in sorted(keep)]
+    attack_config = dataclasses.replace(
+        backends[column].config,
+        n_buckets=config.mia_buckets,
+        pairs_per_bucket=config.mia_pairs_per_bucket,
+        training_iterations=config.mia_iterations,
+        d_model=config.mia_d_model,
+        max_length=config.mia_max_length,
+    )
+    result = run_membership_inference(
+        distinct, attack_config, seed=seed, low_fpr=config.low_fpr
+    )
+    section = {"applicable": True, "column": column, "n_strings": len(distinct)}
+    section.update(result.to_dict())
+    return section
+
+
+def build_privacy_report(
+    synthesizer,
+    real: ERDataset,
+    *,
+    seed: int,
+    config: PrivacyAuditConfig | None = None,
+) -> dict:
+    """Run the full attack battery against a fitted synthesizer.
+
+    The synthesizer must be fitted (the registry audits right after the
+    fit checkpoints commit).  A bounded synthetic audit sample is drawn
+    with the synthesizer's own RNG; because a registry ``load()`` restores
+    the post-fit RNG position, re-running this function against the
+    reloaded model with the stored seed and config reproduces the sealed
+    report bit-for-bit.
+    """
+    config = config or PrivacyAuditConfig()
+    n_a = min(len(real.table_a), config.sample_entities)
+    n_b = min(len(real.table_b), config.sample_entities)
+    output = synthesizer.synthesize(n_a=n_a, n_b=n_b)
+    synthetic = output.dataset
+    model = synthesizer.similarity_model
+
+    sides = {}
+    for side, syn_table, real_table in (
+        ("table_a", synthetic.table_a, real.table_a),
+        ("table_b", synthetic.table_b, real.table_b),
+    ):
+        audit = nearest_record_battery(
+            model,
+            list(syn_table),
+            list(real_table),
+            singling_threshold=config.singling_threshold,
+            max_cells=config.max_cells,
+        )
+        sides[side] = audit.to_dict()
+
+    count_attack_event("audits_run")
+    return {
+        "format": REPORT_FORMAT,
+        "audit": {"seed": int(seed), "config": config.to_dict()},
+        "dataset": {
+            "name": real.name,
+            "n_real_a": len(real.table_a),
+            "n_real_b": len(real.table_b),
+            "n_audit_a": n_a,
+            "n_audit_b": n_b,
+        },
+        "claimed_epsilon": _claimed_epsilon(synthesizer, config.delta),
+        "delta": config.delta,
+        "nearest_record": sides,
+        "membership_inference": _mia_section(
+            synthesizer, seed=seed, config=config
+        ),
+    }
+
+
+def summarize_report(report: dict) -> dict:
+    """Compact summary for ``meta.json`` / the ``GET /models`` listing."""
+    sides = report.get("nearest_record", {})
+    dcr_mins = [
+        side["dcr"]["min"] for side in sides.values() if "dcr" in side
+    ]
+    singled = sum(
+        side.get("singling_out", {}).get("count", 0) for side in sides.values()
+    )
+    copies = sum(side.get("exact_copies", 0) for side in sides.values())
+    mia = report.get("membership_inference", {})
+    return {
+        "format": report.get("format"),
+        "seed": report.get("audit", {}).get("seed"),
+        "claimed_epsilon": report.get("claimed_epsilon"),
+        "dcr_min": min(dcr_mins) if dcr_mins else None,
+        "exact_copies": copies,
+        "singling_out_count": singled,
+        "mia_auc": mia.get("auc") if mia.get("applicable") else None,
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering for the CLI."""
+    lines = [
+        f"privacy audit (seed {report['audit']['seed']}, "
+        f"dataset {report['dataset']['name']})",
+        f"  claimed epsilon: {report['claimed_epsilon']} "
+        f"(delta {report['delta']})",
+    ]
+    for side, audit in report.get("nearest_record", {}).items():
+        dcr = audit["dcr"]
+        singling = audit["singling_out"]
+        lines.append(
+            f"  {side}: DCR min {dcr['min']:.4f} / median {dcr['median']:.4f}"
+            f", NNDR median {audit['nndr']['median']:.4f}"
+            f", exact copies {audit['exact_copies']}"
+            f", singled out {singling['count']}/{audit['n_synthetic']}"
+            f" @ {singling['threshold']:.2f}"
+        )
+    mia = report.get("membership_inference", {})
+    if mia.get("applicable"):
+        lines.append(
+            f"  MIA ({mia['column']}): AUC {mia['auc']:.3f}, "
+            f"TPR@FPR<={mia['low_fpr']:.2f} {mia['tpr_at_low_fpr']:.3f}, "
+            f"advantage {mia['advantage']:.3f}"
+            + (
+                f", measured epsilon {mia['epsilon']:.3f}"
+                if mia.get("epsilon") is not None
+                else ""
+            )
+        )
+    else:
+        lines.append(f"  MIA: not run ({mia.get('reason', 'unknown')})")
+    return "\n".join(lines)

@@ -12,6 +12,8 @@ Routes (all JSON in/out):
   streamed with chunked transfer-encoding (server memory stays O(chunk))
 - ``POST /models/<name>/label``    batch-label entity pairs (S3 posterior)
 - ``POST /models/<name>/score``    batch similarity vectors + posteriors
+- ``GET  /models/<name>/privacy``  the sealed publish-time privacy report
+  (``?version=vN`` selects a version; default latest)
 - ``GET  /stats``                  queue depth, latencies, batch sizes, restarts
 
 The ``label``/``score`` endpoints are the hot path: each request's pairs
@@ -46,9 +48,12 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
 
+from repro.privacy.attacks import attack_counters, count_attack_event
 from repro.runtime import faults, integrity
 from repro.runtime.integrity import CorruptArtifactError
+from repro.runtime.io import read_json
 from repro.schema.entity import Entity
 from repro.service.admission import (
     READ,
@@ -239,6 +244,7 @@ class ServiceContext:
         self._models: dict[tuple[str, str], LoadedModel] = {}
         self._models_lock = threading.Lock()
         self.metrics.register_provider("integrity", self._integrity_snapshot)
+        self.metrics.register_provider("privacy_audit", attack_counters)
 
     def model(self, name: str, version: str | None) -> LoadedModel:
         try:
@@ -477,6 +483,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         ):
             return self._job_dataset(parts[1])
         if (
+            method == "GET"
+            and len(parts) == 3
+            and parts[0] == "models"
+            and parts[2] == "privacy"
+        ):
+            return self._model_privacy(parts[1])
+        if (
             method == "POST"
             and len(parts) == 3
             and parts[0] == "models"
@@ -484,6 +497,35 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         ):
             return self._score(parts[1], mode=parts[2])
         raise ApiError(404, f"no route {method} /{'/'.join(parts)}")
+
+    def _model_privacy(self, name: str) -> tuple[int, dict]:
+        """The sealed publish-time privacy report of one model version.
+
+        ``_dispatch`` strips the query string before routing, so the
+        optional ``?version=vN`` selector is re-parsed from the raw path.
+        """
+        query = parse_qs(urlsplit(self.path).query)
+        version = (query.get("version") or [None])[0]
+        try:
+            entry = self.context.registry.get(name, version)
+        except KeyError as error:
+            raise ApiError(404, str(error)) from None
+        report_path = (
+            self.context.registry.version_dir(name, entry.version)
+            / "privacy_report.json"
+        )
+        if not report_path.exists():
+            raise ApiError(
+                404,
+                f"model {name!r} version {entry.version} has no privacy "
+                "report (registered with audit disabled)",
+                code="no_privacy_report",
+            )
+        report = read_json(
+            report_path, what=f"privacy report for {name}/{entry.version}"
+        )
+        count_attack_event("privacy_reports_served")
+        return 200, {"model": name, "version": entry.version, "report": report}
 
     def _job_record(self, job_id: str):
         try:

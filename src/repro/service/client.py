@@ -343,6 +343,13 @@ class ServiceClient:
     def models(self) -> list[dict]:
         return self._request("GET", "/models")["models"]
 
+    def model_privacy(self, name: str, version: str | None = None) -> dict:
+        """The sealed publish-time privacy report of a model version."""
+        path = f"/models/{name}/privacy"
+        if version:
+            path += f"?version={version}"
+        return self._request("GET", path)
+
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 

@@ -117,6 +117,8 @@ class ModelRegistry:
         *,
         background: dict[str, list[str]] | None = None,
         train_gan: bool = True,
+        audit: bool = True,
+        audit_config: "PrivacyAuditConfig | None" = None,
         stop=None,
     ) -> ModelVersion:
         """Fit a synthesizer on ``real`` and publish it as the next version.
@@ -127,7 +129,20 @@ class ModelRegistry:
         ``v<N>`` in one ``os.replace``.  Interrupting the fit (the ``stop``
         token, a crash) leaves only a ``.staging-*`` directory that
         :meth:`register` runs simply ignore.
+
+        Unless ``audit=False``, publishing also runs the privacy attack
+        battery (:func:`repro.privacy.report.build_privacy_report`) against
+        the freshly fitted model and seals the outcome as
+        ``privacy_report.json`` inside the version directory; a compact
+        summary rides in ``meta.json`` under ``"privacy"``.  The audit runs
+        *after* the fit checkpoints commit, so the audit sample it draws
+        consumes RNG state that a later ``load()`` + ``synthesize()`` never
+        sees — and because ``load()`` restores the post-fit RNG position,
+        ``repro privacy-audit --check`` can regenerate the identical report
+        from the stored seed.
         """
+        from repro.privacy.report import build_privacy_report, summarize_report
+
         config = config or SERDConfig()
         model_dir = as_path(self._model_dir(name))
         model_dir.mkdir(parents=True, exist_ok=True)
@@ -145,6 +160,15 @@ class ModelRegistry:
             atomic_write_json(
                 staging / "background.json", synthesizer._background
             )
+            privacy_summary = None
+            if audit:
+                report = build_privacy_report(
+                    synthesizer, real, seed=config.seed, config=audit_config
+                )
+                atomic_write_json(
+                    staging / "privacy_report.json", report, indent=2
+                )
+                privacy_summary = summarize_report(report)
             meta = {
                 "name": name,
                 "created_unix": time.time(),
@@ -160,6 +184,7 @@ class ModelRegistry:
                 },
                 "health": synthesizer.health.to_dict(),
                 "offline_seconds": synthesizer.offline_seconds,
+                "privacy": privacy_summary,
             }
             # Publish: claim the next free version number.  A concurrent
             # registration of the same name can race us to it — renaming

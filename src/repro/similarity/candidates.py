@@ -82,7 +82,11 @@ class TokenBlocker:
         seen: set[tuple[str, str]] = set()
         pairs: list[tuple[Entity, Entity]] = []
         for entity_a in table_a:
-            for key in self.keys_of(entity_a):
+            # keys_of returns a set; iterate it sorted so first-seen pair
+            # order (and everything downstream that truncates or stable-
+            # sorts candidates) is identical across processes regardless
+            # of PYTHONHASHSEED.
+            for key in sorted(self.keys_of(entity_a)):
                 for entity_b in index_b.get(key, ()):
                     pair_ids = (entity_a.entity_id, entity_b.entity_id)
                     if pair_ids in seen:

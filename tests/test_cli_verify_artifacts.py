@@ -1,0 +1,75 @@
+"""Subprocess contract of ``repro verify-artifacts``: exit 0 on a clean
+tree, exit 1 on corruption (quarantining by default), and
+``--no-quarantine`` reports without touching files."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.io import atomic_write_json
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _run(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "verify-artifacts", *args],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.fixture
+def artifact_tree(tmp_path):
+    atomic_write_json(tmp_path / "healthy.json", {"stage": "s1", "value": 3})
+    atomic_write_json(
+        tmp_path / "nested" / "other.json", {"stage": "gan", "value": [1, 2]}
+    )
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(artifact_tree):
+    result = _run(str(artifact_tree))
+    assert result.returncode == 0, result.stderr
+    assert "2 verified" in result.stdout
+    assert "0 corrupt" in result.stdout
+
+
+def test_corruption_exits_one_and_quarantines(artifact_tree):
+    victim = artifact_tree / "healthy.json"
+    victim.write_text(victim.read_text().replace('"value": 3', '"value": 4'))
+    result = _run(str(artifact_tree))
+    assert result.returncode == 1
+    assert "CORRUPT" in result.stdout
+    # Quarantined: the original path is gone, a renamed-aside copy remains.
+    assert not victim.exists()
+    quarantined = [
+        p for p in artifact_tree.iterdir() if "healthy" in p.name
+    ]
+    assert quarantined, "expected a quarantined rename of healthy.json"
+
+
+def test_no_quarantine_leaves_files_in_place(artifact_tree):
+    victim = artifact_tree / "nested" / "other.json"
+    original = victim.read_text().replace('"stage": "gan"', '"stage": "nag"')
+    victim.write_text(original)
+    result = _run(str(artifact_tree), "--no-quarantine")
+    assert result.returncode == 1
+    assert "CORRUPT" in result.stdout
+    assert "left in place" in result.stdout
+    assert victim.exists()
+    assert victim.read_text() == original
+
+
+def test_missing_directory_exits_two(tmp_path):
+    result = _run(str(tmp_path / "nope"))
+    assert result.returncode == 2
+    assert "no such directory" in result.stderr

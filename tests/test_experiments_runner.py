@@ -21,7 +21,7 @@ def reports():
 
 EXPECTED_KEYS = (
     "table1", "table2", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table3", "table4",
+    "table3", "table4", "eps_sweep",
 )
 
 

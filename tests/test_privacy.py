@@ -130,6 +130,51 @@ class TestRDPAccountant:
         assert acc2.epsilon(1e-5) > 1.0 or sigma <= 0.31
 
 
+class TestAccountantEdges:
+    """Edge behavior the ε-sweep (Exp-6) leans on: strict monotonicity and
+    agreement between the budget search and a fresh accountant replay."""
+
+    def test_epsilon_strictly_monotone_in_steps(self):
+        epsilons = []
+        for steps in (10, 40, 160, 640):
+            acc = RDPAccountant()
+            acc.step(0.25, 2.0, steps=steps)
+            epsilons.append(acc.epsilon(1e-5))
+        assert all(b > a for a, b in zip(epsilons, epsilons[1:]))
+
+    def test_epsilon_strictly_monotone_in_noise(self):
+        epsilons = []
+        for noise in (0.6, 1.0, 2.0, 4.0, 8.0):
+            acc = RDPAccountant()
+            acc.step(0.25, noise, steps=64)
+            epsilons.append(acc.epsilon(1e-5))
+        assert all(b < a for a, b in zip(epsilons, epsilons[1:]))
+
+    def test_incremental_steps_match_one_shot(self):
+        whole = RDPAccountant()
+        whole.step(0.125, 1.5, steps=100)
+        piecewise = RDPAccountant()
+        for _ in range(10):
+            piecewise.step(0.125, 1.5, steps=10)
+        assert piecewise.epsilon(1e-5) == pytest.approx(
+            whole.epsilon(1e-5), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("target", [0.5, 1.0, 2.0, 4.0])
+    def test_noise_scale_round_trip(self, target):
+        # The Exp-6 sweep contract: searching a noise multiplier for a
+        # budget and replaying it through a fresh accountant lands on the
+        # target (within the search tolerance), never over budget by more
+        # than that tolerance.
+        sampling_rate, steps = 0.25, 16
+        sigma = noise_scale_for_epsilon(target, 1e-5, sampling_rate, steps)
+        acc = RDPAccountant()
+        acc.step(sampling_rate, sigma, steps)
+        measured = acc.epsilon(1e-5)
+        assert measured == pytest.approx(target, rel=0.02, abs=0.01)
+        assert measured <= target + 1e-2
+
+
 class TestPrivacyMetrics:
     @pytest.fixture
     def setup(self):

@@ -1,0 +1,89 @@
+"""privacy_audit-marked smoke tests: the empirical claim that the
+accountant's ε budget actually suppresses membership inference, and the
+Exp-6 sweep's trend contract.
+
+Skipped in the default tier-1 run (see conftest) — the CI
+``privacy-audit-smoke`` job selects them with ``-m privacy_audit``.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.exp6_eps_sweep import (
+    EpsSweepSettings,
+    run_eps_sweep,
+    trend,
+)
+
+pytestmark = pytest.mark.privacy_audit
+
+FIXTURE = json.loads(
+    (pathlib.Path(__file__).parent / "fixtures" / "privacy_mia_smoke.json")
+    .read_text()
+)
+
+# Attack scores move a little across BLAS builds; the *ordering* between
+# the ε=∞ and ε=1 attacks is the assertion that matters, the fixture
+# comparison only guards against silent large drifts.
+AUC_TOLERANCE = 0.15
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    settings = EpsSweepSettings(
+        dataset=FIXTURE["settings"]["dataset"],
+        scale=FIXTURE["settings"]["scale"],
+        seed=FIXTURE["settings"]["seed"],
+        epsilons=(1.0, None),
+    )
+    return run_eps_sweep(settings)
+
+
+def test_dp_suppresses_membership_inference(sweep_rows):
+    by_eps = {row.target_epsilon: row for row in sweep_rows}
+    non_private, private = by_eps[None], by_eps[1.0]
+    # The headline acceptance criterion: the ε=1 model is measurably
+    # harder to attack than the non-private one.
+    assert private.mia_auc < non_private.mia_auc
+    assert non_private.mia_auc > 0.5  # the non-private attack has signal
+
+
+def test_measured_epsilon_matches_target(sweep_rows):
+    (private,) = [r for r in sweep_rows if r.target_epsilon == 1.0]
+    assert private.measured_epsilon == pytest.approx(1.0, abs=0.02)
+    (non_private,) = [r for r in sweep_rows if r.target_epsilon is None]
+    assert non_private.measured_epsilon is None
+    assert non_private.noise_scale is None
+
+
+def test_matches_checked_in_fixture(sweep_rows):
+    expected = {
+        row["target_epsilon"]: row for row in FIXTURE["rows"]
+    }
+    for row in sweep_rows:
+        reference = expected[row.target_epsilon]
+        assert row.mia_auc == pytest.approx(
+            reference["mia_auc"], abs=AUC_TOLERANCE
+        )
+        if reference["noise_scale"] is not None:
+            assert row.noise_scale == pytest.approx(
+                reference["noise_scale"], rel=0.05
+            )
+
+
+def test_trend_report(sweep_rows):
+    checks = trend(sweep_rows)
+    assert checks["auc_shrinks_with_budget"] is True
+    assert 0.0 <= checks["auc_monotone_fraction"] <= 1.0
+
+
+def test_full_sweep_is_monotone_in_noise():
+    # Budget -> noise is the accountant's monotone map; verify the sweep
+    # requests strictly more noise for every tighter budget.
+    settings = EpsSweepSettings(epsilons=(0.5, 1.0, 2.0, 4.0, None))
+    rows = run_eps_sweep(settings)
+    noises = [r.noise_scale for r in rows if r.noise_scale is not None]
+    assert noises == sorted(noises)
+    assert all(b > a for a, b in zip(noises, noises[1:]))
