@@ -25,7 +25,10 @@ elsewhere.
 Also A/Bs the checkpointed sequential loop with artifact-integrity
 envelopes on vs off (``integrity.disabled()``) and records the
 throughput delta under ``integrity`` — sealing every checkpoint commit
-must cost < 3% ent/s at full scale.
+must cost < 3% ent/s at full scale.  The same A/B runs with the resource
+governor armed at generous budgets vs absent (``resource_governor``):
+watermark sampling and disk preflight must also stay under 3% when
+nothing trips.
 
 Writes ``BENCH_synthesis_scale.json`` at the repo root.  Runnable
 standalone (``python benchmarks/bench_synthesis_scale.py [--smoke]``) or
@@ -208,6 +211,53 @@ def _integrity_overhead(registry, n_a, n_b, seed):
     return rows
 
 
+def _governor_overhead(registry, n_a, n_b, seed):
+    """A/B the checkpointed sequential loop with the governor on vs off.
+
+    The governed run installs generous budgets (a terabyte of memory, a
+    1 MB disk low-water mark), so every watermark is *sampled* at each
+    checkpoint boundary and every durable commit pays the statvfs
+    preflight, but nothing ever trips — the measured delta is the pure
+    bookkeeping cost of resource hardening on the happy path.
+    """
+    import numpy as np
+
+    from repro.runtime import resources
+    from repro.runtime.resources import ResourceBudget, ResourceGovernor
+
+    rows = {}
+    for label, governed in (("governed", True), ("ungoverned", False)):
+        with tempfile.TemporaryDirectory(prefix="bench_governor") as ckpt:
+            synthesizer, _ = registry.load("restaurant")
+            synthesizer.rng = np.random.default_rng(seed)
+            if governed:
+                resources.install(
+                    ResourceGovernor(
+                        ResourceBudget(
+                            memory_budget_mb=1024.0 * 1024.0,
+                            disk_low_water_mb=1.0,
+                        )
+                    )
+                )
+            try:
+                started = time.perf_counter()
+                synthesizer.synthesize(n_a, n_b, checkpoint_dir=ckpt)
+                elapsed = time.perf_counter() - started
+            finally:
+                resources.uninstall()
+                resources.reset_counters()
+            rows[label] = {
+                "seconds": round(elapsed, 2),
+                "entities_per_second": round((n_a + n_b) / elapsed, 1),
+            }
+    rows["overhead_pct"] = round(
+        (rows["ungoverned"]["entities_per_second"]
+         / rows["governed"]["entities_per_second"] - 1.0) * 100.0,
+        2,
+    )
+    return rows
+
+
 def _dataset_tuple(dataset):
     return (
         [(e.entity_id, tuple(e.values)) for e in dataset.table_a],
@@ -258,6 +308,7 @@ def run(*, smoke: bool = False) -> dict:
             )
 
         integrity_rows = _integrity_overhead(registry, n_a, n_b, seed)
+        governor_rows = _governor_overhead(registry, n_a, n_b, seed)
 
     return {
         "benchmark": "synthesis_scale",
@@ -273,6 +324,7 @@ def run(*, smoke: bool = False) -> dict:
         "by_workers": by_workers,
         "single_shard_identical_to_sequential": single_shard_identical,
         "integrity": integrity_rows,
+        "resource_governor": governor_rows,
     }
 
 
@@ -309,6 +361,13 @@ def report(payload: dict) -> str:
         f"{integrity['unsealed']['entities_per_second']:.1f} unsealed "
         f"({integrity['overhead_pct']:+.2f}% overhead)"
     )
+    governor = payload["resource_governor"]
+    lines.append(
+        "resource governor (checkpointed sequential run): "
+        f"{governor['governed']['entities_per_second']:.1f} ent/s governed vs "
+        f"{governor['ungoverned']['entities_per_second']:.1f} ungoverned "
+        f"({governor['overhead_pct']:+.2f}% overhead)"
+    )
     return "\n".join(lines)
 
 
@@ -327,6 +386,15 @@ def main(*, smoke: bool = False) -> dict:
     if overhead_pct > overhead_ceiling_pct:
         raise SystemExit(
             f"integrity envelope overhead {overhead_pct}% exceeds the "
+            f"{overhead_ceiling_pct}% ceiling"
+        )
+    # Same bar for the resource governor: sampling watermarks at checkpoint
+    # boundaries and preflighting disk on every durable commit must not
+    # tax an unpressured run.
+    governor_pct = payload["resource_governor"]["overhead_pct"]
+    if governor_pct > overhead_ceiling_pct:
+        raise SystemExit(
+            f"resource governor overhead {governor_pct}% exceeds the "
             f"{overhead_ceiling_pct}% ceiling"
         )
     if not smoke:

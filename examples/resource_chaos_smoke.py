@@ -1,0 +1,135 @@
+"""Resource + multi-fault chaos smoke: a seeded campaign on a live pool.
+
+This is the script the CI ``resource-chaos`` job runs.  Where
+``corruption_chaos_smoke.py`` proves the integrity story, this proves the
+*resource-exhaustion* and *cross-family* stories end to end:
+
+1. build a deterministic multi-round schedule with
+   :class:`repro.runtime.chaos.ChaosCampaign` — every round drawn from
+   ``default_rng([seed, round])``, mixing disk faults, net faults, clock
+   skew, worker SIGKILLs, artifact corruption and memory-overbudget jobs;
+2. run it against a real 2-worker :class:`SynthesisService` under a
+   memory budget and a disk low-water mark, checking the invariants
+   between rounds: exactly-one completion per idempotency key, dataset
+   bytes identical to a fault-free oracle, peak worker RSS bounded,
+   overbudget jobs *downshifted* (chunk-size counter) instead of
+   dead-lettered, and quarantine/DLQ accounting balanced at the end;
+3. run the identical campaign a second time into a sibling workdir and
+   require the replay fingerprints — schedule, fired sites, dataset
+   digests — to match bit-for-bit;
+4. write ``report.json`` (both runs + the fingerprint diff) for the CI
+   artifact upload.
+
+Run: ``PYTHONPATH=src python examples/resource_chaos_smoke.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.runtime.chaos import FAMILIES, run_campaign, replay_fingerprint
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="resource_chaos_smoke")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument("--scale", type=float, default=0.08)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--memory-budget-mb", type=float, default=2048.0)
+    parser.add_argument(
+        "--no-replay", action="store_true",
+        help="skip the second (replay) run and its fingerprint diff",
+    )
+    args = parser.parse_args()
+
+    workdir = pathlib.Path(args.workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    failures: list[str] = []
+    oracle_cache: dict = {}
+
+    print(
+        f"[1/3] campaign run 1: seed={args.seed} rounds={args.rounds} "
+        f"families={','.join(FAMILIES)} ..."
+    )
+    report1 = run_campaign(
+        workdir / "run1",
+        seed=args.seed,
+        rounds=args.rounds,
+        scale=args.scale,
+        n_workers=args.workers,
+        memory_budget_mb=args.memory_budget_mb,
+        oracle_cache=oracle_cache,
+    )
+    failures.extend(f"run1: {f}" for f in report1["failures"])
+
+    report2 = None
+    if args.no_replay:
+        print("[2/3] replay skipped (--no-replay)")
+    else:
+        print("[2/3] campaign run 2 (replay, fresh workdir) ...")
+        report2 = run_campaign(
+            workdir / "run2",
+            seed=args.seed,
+            rounds=args.rounds,
+            scale=args.scale,
+            n_workers=args.workers,
+            memory_budget_mb=args.memory_budget_mb,
+            oracle_cache=oracle_cache,
+        )
+        failures.extend(f"run2: {f}" for f in report2["failures"])
+        fp1 = replay_fingerprint(report1)
+        fp2 = replay_fingerprint(report2)
+        if fp1 != fp2:
+            failures.append("replay fingerprints differ between runs")
+            print("      fingerprint run1:", json.dumps(fp1["rounds"]))
+            print("      fingerprint run2:", json.dumps(fp2["rounds"]))
+        else:
+            print(
+                "      replay bit-identical: same schedule, fired sites "
+                "and dataset digests"
+            )
+
+    print("[3/3] writing report ...")
+    downshifted = [
+        entry["index"]
+        for entry in report1["rounds"]
+        if entry.get("resource", {}).get("chunk_downshifts", 0) >= 1
+    ]
+    report = {
+        "unix": time.time(),
+        "seed": args.seed,
+        "rounds": args.rounds,
+        "downshifted_rounds": downshifted,
+        "run1": report1,
+        "run2": report2,
+        "replay_checked": not args.no_replay,
+        "failures": failures,
+    }
+    (workdir / "report.json").write_text(json.dumps(report, indent=2))
+    print(f"      report: {workdir / 'report.json'}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "OK: multi-fault campaign completed with all invariants green"
+        + ("" if args.no_replay else " and replayed bit-identically")
+        + (
+            f"; overbudget round(s) {downshifted} downshifted instead of "
+            "dead-lettering"
+            if downshifted
+            else ""
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

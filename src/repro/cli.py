@@ -175,6 +175,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-pending-jobs", type=int, default=512,
         help="shed job submissions once this many jobs are pending",
     )
+    serve.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="per-worker memory budget; the S2 loop downshifts its chunk "
+        "sizes above 80%% of it and checkpoint-and-releases past it",
+    )
+    serve.add_argument(
+        "--disk-low-water-mb", type=float, default=None,
+        help="refuse durable writes (and fail /health with disk_low) when "
+        "free space at the queue/registry falls below this",
+    )
 
     worker = commands.add_parser(
         "worker", help="run one synthesis worker loop (spawned by 'serve')"
@@ -186,6 +196,8 @@ def _build_parser() -> argparse.ArgumentParser:
     worker.add_argument(
         "--once", action="store_true", help="run at most one job, then exit"
     )
+    worker.add_argument("--memory-budget-mb", type=float, default=None)
+    worker.add_argument("--disk-low-water-mb", type=float, default=None)
 
     submit = commands.add_parser(
         "submit", help="submit a synthesis job to a running service"
@@ -274,6 +286,36 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--no-quarantine", action="store_true",
         help="report corruption without renaming files aside",
+    )
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="run a deterministic multi-fault chaos campaign against a "
+        "live service (see repro.runtime.chaos)",
+    )
+    chaos.add_argument(
+        "action", choices=("run",), help="run a campaign end to end"
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--rounds", type=int, default=3, help="fault rounds in the campaign"
+    )
+    chaos.add_argument(
+        "--workdir", required=True, metavar="DIR",
+        help="campaign root (registry + queue + report.json live here)",
+    )
+    chaos.add_argument("--scale", type=float, default=0.08)
+    chaos.add_argument(
+        "--families", default=None,
+        help="comma-separated fault families (default: all of "
+        "disk,net,clock,kill,corruption,resource)",
+    )
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--memory-budget-mb", type=float, default=2048.0)
+    chaos.add_argument(
+        "--replay-check", action="store_true",
+        help="run the campaign twice and fail unless the schedules, fired "
+        "sites and dataset digests match bit for bit",
     )
     return parser
 
@@ -438,6 +480,8 @@ def _cmd_serve(args) -> int:
         read_slots=args.read_slots,
         write_slots=args.write_slots,
         max_pending_jobs=args.max_pending_jobs,
+        memory_budget_mb=args.memory_budget_mb,
+        disk_low_water_mb=args.disk_low_water_mb,
     )
     token, restore = _graceful_token()
     try:
@@ -457,8 +501,14 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_worker(args) -> int:
+    from repro.runtime import resources
     from repro.service import JobQueue, ModelRegistry, Worker
 
+    governor = resources.governor_from_flags(
+        args.memory_budget_mb, args.disk_low_water_mb
+    )
+    if governor is not None:
+        resources.install(governor)
     token, restore = _graceful_token()
     try:
         worker = Worker(
@@ -710,15 +760,81 @@ def _cmd_verify_artifacts(args) -> int:
             f"scanned {report['jsonl_files']} .jsonl log(s): "
             f"{report['jsonl_torn_lines']} torn line(s) (tolerated by readers)"
         )
+    if report["dlq"]["bundles"]:
+        print(
+            f"scrubbed {report['dlq']['bundles']} DLQ forensics bundle(s): "
+            f"{report['dlq']['corrupt']} corrupt"
+        )
     if report["already_quarantined"]:
         print(f"{report['already_quarantined']} file(s) already quarantined")
     for item in report["corrupt"]:
         print(f"  CORRUPT {item['path']}: {item['reason']}")
+    for item in report["protected_corrupt"]:
+        print(f"  CORRUPT (protected) {item['path']}: {item['reason']}")
+    if report["protected_corrupt"]:
+        print(
+            f"{len(report['protected_corrupt'])} sealed report(s) failed "
+            "verification; protected files are reported but never "
+            "quarantined — investigate them in place"
+        )
     if report["corrupt"]:
         verb = "quarantined" if report["quarantined"] else "left in place"
         print(f"corrupt file(s) {verb}; affected stages re-run on next use")
+    if report["corrupt"] or report["protected_corrupt"]:
         return 1
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    import json
+
+    from repro.runtime.chaos import FAMILIES, replay_fingerprint, run_campaign
+    from repro.runtime.io import atomic_write_json, as_path
+
+    families = (
+        tuple(f.strip() for f in args.families.split(",") if f.strip())
+        if args.families
+        else FAMILIES
+    )
+    workdir = as_path(args.workdir)
+    oracle_cache: dict = {}
+
+    def one_run(tag: str) -> dict:
+        run_dir = workdir / tag if args.replay_check else workdir
+        report = run_campaign(
+            run_dir,
+            seed=args.seed,
+            rounds=args.rounds,
+            families=families,
+            scale=args.scale,
+            n_workers=args.workers,
+            memory_budget_mb=args.memory_budget_mb,
+            oracle_cache=oracle_cache,
+        )
+        atomic_write_json(run_dir / "report.json", report, indent=2)
+        print(f"chaos: report written to {run_dir / 'report.json'}")
+        return report
+
+    report = one_run("run1")
+    ok = report["ok"]
+    if args.replay_check:
+        replay = one_run("run2")
+        first, second = replay_fingerprint(report), replay_fingerprint(replay)
+        if first != second:
+            print("chaos: REPLAY MISMATCH")
+            print(json.dumps({"first": first, "second": second}, indent=2))
+            ok = False
+        else:
+            print(
+                f"chaos: replay check passed — {args.rounds} round(s) "
+                "bit-identical (schedule, fired sites, dataset digests)"
+            )
+        ok = ok and replay["ok"]
+    for failure in report["failures"]:
+        print(f"chaos: INVARIANT FAILED: {failure}")
+    print(f"chaos: campaign seed={args.seed} rounds={args.rounds} "
+          f"{'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
 
 
 _COMMANDS = {
@@ -735,6 +851,7 @@ _COMMANDS = {
     "dlq": _cmd_dlq,
     "privacy-audit": _cmd_privacy_audit,
     "verify-artifacts": _cmd_verify_artifacts,
+    "chaos": _cmd_chaos,
 }
 
 

@@ -44,7 +44,7 @@ from repro.distributions.divergence import pair_distribution_jsd
 from repro.distributions.mixture import PairDistribution
 from repro.gan.encoding import EntityEncoder
 from repro.gan.training import TabularGAN
-from repro.runtime import faults
+from repro.runtime import faults, resources
 from repro.runtime.cancellation import SynthesisInterrupted
 from repro.runtime.checkpoint import StageCheckpointer, restore_rng, rng_state
 from repro.runtime.guards import DivergenceError
@@ -951,6 +951,14 @@ class SERDSynthesizer:
 
         warned_fallback = False
         accepted_since_checkpoint = 0
+        # Memory degradation ladder (see repro.runtime.resources): the
+        # governor classifies pressure at checkpoint boundaries; the shift
+        # is deliberately *per-run* local state, so one pathological job
+        # cannot permanently shrink the chunk size for every later job in
+        # this worker process.  Checkpoint cadence never consumes RNG, so
+        # downshifting keeps the output bit-identical.
+        governor = resources.installed()
+        chunk_shift = 0
         while len(a_entities) < n_a or len(b_entities) < n_b:
             if stop is not None and stop():
                 if checkpointer is not None:
@@ -966,8 +974,11 @@ class SERDSynthesizer:
                 raise SynthesisInterrupted(
                     record_name, checkpointed=checkpointer is not None
                 )
+            checkpoint_every = max(
+                resources.MIN_CHUNK, self.config.checkpoint_every >> chunk_shift
+            )
             if (
-                accepted_since_checkpoint >= self.config.checkpoint_every
+                accepted_since_checkpoint >= checkpoint_every
                 and (checkpointer is not None or bus is not None)
             ):
                 if bus is not None:
@@ -983,6 +994,35 @@ class SERDSynthesizer:
                         ),
                     )
                 accepted_since_checkpoint = 0
+                if governor is not None:
+                    level = governor.sample_memory(
+                        entities=len(a_entities) + len(b_entities)
+                    )
+                    if level != "ok":
+                        step = 1 if level == "soft" else 2
+                        if (
+                            level == "hard"
+                            and chunk_shift >= governor.budget.max_downshifts
+                        ):
+                            # Shrinking can't absorb it.  The checkpoint just
+                            # committed, so checkpoint-and-release (the
+                            # worker's mapping for this error) resumes the
+                            # job elsewhere without losing progress.
+                            raise resources.ResourceExhausted(
+                                "memory",
+                                "memory budget breached after "
+                                f"{chunk_shift} downshift(s): observed "
+                                f"{governor.peak_observed_mb():.0f} MB vs "
+                                f"budget {governor.budget.memory_budget_mb} MB",
+                                budget_mb=governor.budget.memory_budget_mb,
+                                observed_mb=governor.peak_observed_mb(),
+                            )
+                        new_shift = min(
+                            chunk_shift + step, governor.budget.max_downshifts
+                        )
+                        if new_shift > chunk_shift:
+                            chunk_shift = new_shift
+                            resources.count_event("chunk_downshifts")
             faults.maybe_interrupt("synthesize.step")
             faults.maybe_stall("synthesize.stall")
 
@@ -1174,7 +1214,9 @@ class SERDSynthesizer:
                 blocker = TokenBlocker(real.schema)
             extra_matches, n_labeled = label_all_pairs(
                 table_a, table_b, known, self.o_labeling, self.similarity_model,
-                batch_size=self.config.labeling_chunk_size,
+                batch_size=resources.effective_label_batch(
+                    self.config.labeling_chunk_size
+                ),
                 max_matches=budget, blocker=blocker,
             )
             matches.extend(extra_matches)
@@ -1206,6 +1248,12 @@ class SERDSynthesizer:
             if epsilons:
                 epsilon = float(sum(epsilons))  # sequential composition
         health_payload = self.health.to_dict()
+        governor = resources.installed()
+        if governor is not None:
+            health_payload["resources"] = {
+                **governor.snapshot(),
+                "counters": resources.counters(),
+            }
         if checkpointer is not None:
             atomic_write_json(
                 checkpointer.directory / "health.json", health_payload, indent=2

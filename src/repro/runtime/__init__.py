@@ -17,7 +17,15 @@ makes that pipeline survivable:
   runs commit their checkpoint and exit resumable instead of dying mid-write;
 - :mod:`repro.runtime.integrity` — SHA-256 envelopes on every JSON artifact,
   typed :class:`~repro.runtime.integrity.CorruptArtifactError` + quarantine
-  on verification failure, and the ``repro verify-artifacts`` scrubber.
+  on verification failure, and the ``repro verify-artifacts`` scrubber;
+- :mod:`repro.runtime.resources` — memory/disk budgets with watermark
+  sampling, the chunk-size degradation ladder, disk preflight before
+  durable commits, and typed
+  :class:`~repro.runtime.resources.ResourceExhausted` routing to
+  checkpoint-and-release;
+- :mod:`repro.runtime.chaos` — deterministic multi-fault chaos campaigns
+  (``repro chaos run``) composing every fault family against a live
+  service with correctness invariants checked between rounds.
 """
 
 from repro.runtime.cancellation import (
@@ -58,6 +66,11 @@ from repro.runtime.integrity import (
     quarantine_artifact,
     scrub_tree,
 )
+from repro.runtime.resources import (
+    ResourceBudget,
+    ResourceExhausted,
+    ResourceGovernor,
+)
 
 __all__ = [
     "CancellationToken",
@@ -92,4 +105,7 @@ __all__ = [
     "CorruptArtifactError",
     "quarantine_artifact",
     "scrub_tree",
+    "ResourceBudget",
+    "ResourceExhausted",
+    "ResourceGovernor",
 ]

@@ -49,6 +49,13 @@ Sites currently compiled in:
   the terminal chunk, or corrupt one fragment in flight.  The garble case
   produces a byte-for-byte valid chunked body whose content is wrong —
   only the trailing checksum record catches it.
+- ``clock.skew`` — bias every wall-clock read in the job queue's lease
+  arithmetic by the payload (seconds, may be negative), simulating a
+  machine whose clock drifts from its peers' (``repro.service.queue._now``).
+- ``resource.rss_kb`` / ``resource.disk_free_mb`` — substitute the resource
+  governor's RSS / free-disk readings (:mod:`repro.runtime.resources`), so
+  tests drive the memory degradation ladder and the disk low-water
+  preflight without actually exhausting the machine.
 
 Usage::
 

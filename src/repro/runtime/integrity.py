@@ -208,16 +208,28 @@ def quarantine_artifact(path: str | os.PathLike) -> pathlib.Path | None:
 # ----------------------------------------------------------------------
 # Offline scrubber (the engine behind `repro verify-artifacts`)
 # ----------------------------------------------------------------------
+#: Sealed reports the scrubber must *report* but never quarantine: a
+#: privacy audit or fit/health report is evidence about a published model —
+#: renaming it aside would destroy the very record an operator needs to
+#: investigate the corruption.  (Everything else, including DLQ forensics
+#: and job records, still quarantines: those have healthy fallback paths.)
+PROTECTED_NAMES = frozenset({"privacy_report.json", "health.json"})
+
+
 def scrub_tree(root: str | os.PathLike, *, quarantine: bool = True) -> dict:
     """Walk ``root`` verifying every ``*.json`` artifact.
 
     Classifies each file as ``verified`` (envelope present and correct),
     ``unverified`` (valid JSON, no envelope — pre-integrity artifacts),
     or ``corrupt`` (malformed JSON or digest mismatch).  Corrupt files are
-    quarantined in place unless ``quarantine=False``.  ``*.jsonl`` logs are
-    checked line-by-line (torn trailing lines are tolerated by their
-    readers, so they are only counted, never quarantined).  Files already
-    quarantined are skipped.
+    quarantined in place unless ``quarantine=False`` — except the sealed
+    reports in :data:`PROTECTED_NAMES`, which are listed under
+    ``protected_corrupt`` and always left where they are.  ``*.jsonl``
+    logs are checked line-by-line (torn trailing lines are tolerated by
+    their readers, so they are only counted, never quarantined).  Files
+    already quarantined are skipped.  DLQ ``forensics.json`` bundles are
+    summarized separately under ``dlq`` so operators can see at a glance
+    whether the audit trail itself is rotting.
     """
     root = pathlib.Path(root).expanduser()
     report: dict = {
@@ -227,9 +239,12 @@ def scrub_tree(root: str | os.PathLike, *, quarantine: bool = True) -> dict:
         "unverified": 0,
         "corrupt": [],
         "quarantined": [],
+        "protected": 0,
+        "protected_corrupt": [],
         "jsonl_files": 0,
         "jsonl_torn_lines": 0,
         "already_quarantined": 0,
+        "dlq": {"bundles": 0, "corrupt": 0},
     }
     if not root.exists():
         raise FileNotFoundError(f"artifact tree not found at {root}")
@@ -245,6 +260,11 @@ def scrub_tree(root: str | os.PathLike, *, quarantine: bool = True) -> dict:
                 lines = path.read_text().splitlines()
             except OSError:
                 continue
+            except UnicodeDecodeError:
+                # Bit rot can land mid-character; an undecodable log is
+                # one torn line, not a scrub crash.
+                report["jsonl_torn_lines"] += 1
+                continue
             for line in lines:
                 if not line.strip():
                     continue
@@ -256,26 +276,44 @@ def scrub_tree(root: str | os.PathLike, *, quarantine: bool = True) -> dict:
         if path.suffix != ".json" and not path.name.endswith(".json.bak"):
             continue
         report["checked"] += 1
+        protected = path.name in PROTECTED_NAMES
+        if protected:
+            report["protected"] += 1
+        is_forensics = path.name == "forensics.json" and "dlq" in path.parts
+        if is_forensics:
+            report["dlq"]["bundles"] += 1
+        reason = None
         try:
             text = path.read_text()
         except OSError:
             continue
-        reason = None
-        try:
-            parsed = json.loads(text)
-        except ValueError as error:
-            reason = f"malformed JSON: {error}"
-        else:
-            if isinstance(parsed, dict) and ENVELOPE_KEY in parsed:
-                envelope = parsed.pop(ENVELOPE_KEY)
-                ok, why = check_envelope(parsed, envelope)
-                if ok:
-                    report["verified"] += 1
-                else:
-                    reason = why
+        except UnicodeDecodeError as error:
+            # Bit rot mid-character: the artifact is corrupt, not a crash.
+            reason = f"undecodable bytes: {error}"
+            text = None
+        if text is not None:
+            try:
+                parsed = json.loads(text)
+            except ValueError as error:
+                reason = f"malformed JSON: {error}"
             else:
-                report["unverified"] += 1
+                if isinstance(parsed, dict) and ENVELOPE_KEY in parsed:
+                    envelope = parsed.pop(ENVELOPE_KEY)
+                    ok, why = check_envelope(parsed, envelope)
+                    if ok:
+                        report["verified"] += 1
+                    else:
+                        reason = why
+                else:
+                    report["unverified"] += 1
         if reason is not None:
+            if is_forensics:
+                report["dlq"]["corrupt"] += 1
+            if protected:
+                report["protected_corrupt"].append(
+                    {"path": str(path), "reason": reason}
+                )
+                continue
             report["corrupt"].append({"path": str(path), "reason": reason})
             if quarantine:
                 target = quarantine_artifact(path)

@@ -27,7 +27,7 @@ import os
 import pathlib
 import tempfile
 
-from repro.runtime import faults, integrity
+from repro.runtime import faults, integrity, resources
 from repro.runtime.integrity import CorruptArtifactError
 
 
@@ -43,9 +43,18 @@ def as_path(path: str | os.PathLike) -> pathlib.Path:
 
 
 def atomic_write_bytes(path: str | os.PathLike, payload: bytes) -> pathlib.Path:
-    """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``)."""
+    """Write ``payload`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    When a resource governor is installed (see
+    :mod:`repro.runtime.resources`), the write is preflighted against the
+    disk low-water mark: refusing a commit *before* any bytes move is
+    strictly safer than relying on atomicity to survive mid-write ENOSPC,
+    and the typed :class:`~repro.runtime.resources.ResourceExhausted` it
+    raises routes to checkpoint-and-release instead of the DLQ.
+    """
     path = as_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    resources.preflight(path.parent, what=f"write of {path.name}")
     descriptor, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )

@@ -51,8 +51,9 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.privacy.attacks import attack_counters, count_attack_event
-from repro.runtime import faults, integrity
+from repro.runtime import faults, integrity, resources
 from repro.runtime.integrity import CorruptArtifactError
+from repro.runtime.resources import ResourceExhausted
 from repro.runtime.io import read_json
 from repro.schema.entity import Entity
 from repro.service.admission import (
@@ -245,6 +246,7 @@ class ServiceContext:
         self._models_lock = threading.Lock()
         self.metrics.register_provider("integrity", self._integrity_snapshot)
         self.metrics.register_provider("privacy_audit", attack_counters)
+        self.metrics.register_provider("resources", self._resources_snapshot)
 
     def model(self, name: str, version: str | None) -> LoadedModel:
         try:
@@ -297,6 +299,43 @@ class ServiceContext:
             snapshot.get("shards_requeued_corrupt", 0), requeued
         )
         return snapshot
+
+    def _resources_snapshot(self) -> dict:
+        """Resource-governor state for ``/stats``.
+
+        With a governor armed this is the full picture (budgets, peaks,
+        counters, disk watermarks at the queue and registry roots); without
+        one it still reports RSS and free disk so operators can decide
+        what budgets to configure.
+        """
+        roots = {"queue": self.queue.root, "registry": self.registry.root}
+        governor = resources.installed()
+        if governor is not None:
+            return governor.snapshot(roots=roots)
+        snapshot: dict = {
+            "rss_mb": round(resources.current_rss_kb() / 1024.0, 3),
+            "counters": resources.counters(),
+            "disk": {},
+        }
+        for name, root in roots.items():
+            free = resources.disk_free_mb(root)
+            snapshot["disk"][name] = (
+                {"free_mb": round(free, 3)} if free is not None else None
+            )
+        return snapshot
+
+    def disk_low(self) -> dict | None:
+        """The first governed root below its low-water mark, or ``None``."""
+        governor = resources.installed()
+        if governor is None:
+            return None
+        for name, root in (
+            ("queue", self.queue.root), ("registry", self.registry.root)
+        ):
+            status = governor.disk_status(root)
+            if status is not None and status["low"]:
+                return {"root": name, **status}
+        return None
 
     def _generation_snapshot(self) -> dict:
         """Decode-cache counters summed over every loaded model."""
@@ -426,6 +465,18 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 503, str(error), code="corrupt_artifact", retryable=True,
             ).body()
             self.context.metrics.count("http.corrupt_artifacts")
+        except ResourceExhausted as error:
+            # The governor refused the work *before* any bytes moved (disk
+            # below the low-water mark, or a memory budget shrinking could
+            # not absorb).  Distinct from storage_error: nothing failed —
+            # the service is shedding load it predicts it cannot hold.
+            status = 503
+            payload = ApiError(
+                503, str(error), code="resource_exhausted", retryable=True,
+                retry_after=5.0,
+            ).body()
+            headers["Retry-After"] = "5"
+            self.context.metrics.count("http.resource_exhausted")
         except OSError as error:
             # Disk trouble (ENOSPC and friends).  The write was atomic —
             # nothing partial is on disk — so the operation is safely
@@ -464,6 +515,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
     def _route(self, method: str, parts: list[str]) -> tuple[int, object]:
         context = self.context
         if method == "GET" and parts == ["health"]:
+            low = context.disk_low()
+            if low is not None:
+                # 503 with the watermark readings: health probes (and
+                # load balancers) should stop routing work at a node that
+                # will refuse every durable commit anyway.
+                return 503, {"status": "disk_low", "disk": low}
             return 200, {"status": "ok"}
         if method == "GET" and parts == ["stats"]:
             return 200, context.stats()

@@ -30,7 +30,12 @@ A note on clocks: lease expiry (``expires_unix``) is deliberately
 ``time.monotonic`` has no cross-process meaning.  Leases therefore assume
 loosely synchronized clocks and tolerate skew up to the lease length;
 in-process deadline math (client waits, backoff, the stall watchdog)
-uses the monotonic clock instead.
+uses the monotonic clock instead.  Every wall-clock read in this module
+goes through :func:`_now`, which carries the ``clock.skew`` fault site so
+tests can bias one process's clock and prove the tolerance boundary:
+skew below the lease length never steals a live lease, skew beyond it
+does (and the old owner's next heartbeat raises :class:`ClaimLost` —
+exactly-once completion survives either way).
 
 Crash recovery needs no janitor process: a claim whose lease expired *is*
 the crash signal.  :meth:`JobQueue.claim` treats such jobs as claimable
@@ -50,9 +55,28 @@ import time
 import uuid
 from dataclasses import dataclass, field
 
-from repro.runtime import faults, integrity
+from repro.runtime import faults, integrity, resources
 from repro.runtime.integrity import CorruptArtifactError
 from repro.runtime.io import as_path, atomic_write_json, read_json
+
+
+def _now() -> float:
+    """Wall-clock time as this process perceives it.
+
+    The ``clock.skew`` fault site adds its payload (seconds, may be
+    negative) to every read, simulating a machine whose clock drifts from
+    its peers' — the adversary the lease-tolerance note above is about.
+    The NaN default payload is treated as zero skew.
+    """
+    skew = faults.corrupt("clock.skew", 0.0)
+    try:
+        skew = float(skew)
+    except (TypeError, ValueError):
+        skew = 0.0
+    if skew != skew:  # NaN (the FaultSpec default payload)
+        skew = 0.0
+    return time.time() + skew
+
 
 PENDING = "pending"
 RUNNING = "running"
@@ -193,7 +217,7 @@ class JobQueue:
 
     def depth(self) -> dict:
         """Queue composition for ``/stats`` (claimable counts expired leases)."""
-        now = time.time()
+        now = _now()
         counts = {status: 0 for status in _STATUSES}
         claimable = 0
         for job in self.jobs():
@@ -238,7 +262,7 @@ class JobQueue:
         """
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
-        now = time.time()
+        now = _now()
         if idempotency_key:
             digest = hashlib.sha256(idempotency_key.encode("utf-8")).hexdigest()
             job_id = f"jk{digest[:20]}"
@@ -276,7 +300,14 @@ class JobQueue:
         Same ``os.link``-from-staged trick as claim acquisition: the record
         appears with its full content in one step, and exactly one of any
         number of racing submitters wins.
+
+        New-work admission is where the disk low-water mark bites: below
+        it, submission raises :class:`~repro.runtime.resources.ResourceExhausted`
+        (surfaced by the API as a retryable 503) while jobs already in
+        flight keep draining — shedding *new* load is how a service gets
+        back above the water line.
         """
+        resources.preflight(self.jobs_dir, what="job submission")
         path = self._job_path(job.id)
         staged = self.jobs_dir / f".submit-{job.id}-{uuid.uuid4().hex[:8]}.tmp"
         descriptor = os.open(staged, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -334,7 +365,7 @@ class JobQueue:
         try:
             with os.fdopen(descriptor, "wb") as handle:
                 payload = json.dumps(
-                    {"worker": worker, "expires_unix": time.time() + lease_seconds}
+                    {"worker": worker, "expires_unix": _now() + lease_seconds}
                 ).encode("utf-8")
                 faults.maybe_disk_fault(
                     "queue.claim.write",
@@ -349,7 +380,7 @@ class JobQueue:
                     os.link(staged, path)
                 except FileExistsError:
                     claim = self._read_claim(job_id)
-                    if claim is not None and float(claim.get("expires_unix", 0)) > time.time():
+                    if claim is not None and float(claim.get("expires_unix", 0)) > _now():
                         return False  # live lease; someone else owns the job
                     # Stale claim: steal it.  os.rename of the same source
                     # by two racing workers succeeds for exactly one — the
@@ -378,7 +409,7 @@ class JobQueue:
         its attempt counter; a reclaim of a crashed worker's job is logged
         as ``reclaimed`` so operators can see crash recovery happening.
         """
-        now = time.time()
+        now = _now()
         for job in self.jobs():
             if not self._claimable(job, now):
                 continue
@@ -404,7 +435,7 @@ class JobQueue:
             job.status = RUNNING
             job.worker = worker
             job.attempts += 1
-            job.started_unix = time.time()
+            job.started_unix = _now()
             self._write(job)
             self._log(
                 "reclaimed" if reclaimed else "claimed",
@@ -428,7 +459,7 @@ class JobQueue:
             job = self.get(job_id)
         except KeyError:
             return None
-        if not self._claimable(job, time.time()):
+        if not self._claimable(job, _now()):
             return None
         if not self._try_acquire(job_id, worker, lease_seconds):
             return None
@@ -447,7 +478,7 @@ class JobQueue:
         job.status = RUNNING
         job.worker = worker
         job.attempts += 1
-        job.started_unix = time.time()
+        job.started_unix = _now()
         self._write(job)
         self._log(
             "reclaimed" if reclaimed else "claimed",
@@ -471,7 +502,7 @@ class JobQueue:
             )
         atomic_write_json(
             self._claim_path(job_id),
-            {"worker": worker, "expires_unix": time.time() + lease_seconds},
+            {"worker": worker, "expires_unix": _now() + lease_seconds},
         )
 
     def _release_claim(self, job_id: str) -> None:
@@ -533,7 +564,7 @@ class JobQueue:
         job.status = DONE
         job.worker = worker
         job.error = None
-        job.finished_unix = time.time()
+        job.finished_unix = _now()
         job.result = dict(result)
         self._write(job)
         self._release_claim(job_id)
@@ -593,7 +624,7 @@ class JobQueue:
             "reason": reason,
             "worker": worker,
             "error": job.error,
-            "died_unix": time.time(),
+            "died_unix": _now(),
             "job": job.to_dict(),
             "attempts": job.attempts,
             "max_attempts": job.max_attempts,
@@ -605,7 +636,7 @@ class JobQueue:
             self.dlq_dir / job.id / "forensics.json", forensics, indent=2
         )
         job.status = FAILED
-        job.finished_unix = time.time()
+        job.finished_unix = _now()
         self._write(job)
         self._log(
             "dead_lettered", job.id, worker=worker, reason=reason,
@@ -705,7 +736,7 @@ class JobQueue:
     # Audit log
     # ------------------------------------------------------------------
     def _log(self, event: str, job_id: str, **fields) -> None:
-        record = {"unix": time.time(), "event": event, "job": job_id, **fields}
+        record = {"unix": _now(), "event": event, "job": job_id, **fields}
         line = json.dumps(record) + "\n"
         # O_APPEND single-write appends are atomic for short lines; the log
         # is advisory (never read back by the queue itself).

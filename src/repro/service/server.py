@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import threading
 
+from repro.runtime import resources
 from repro.runtime.cancellation import CancellationToken
 from repro.service.admission import AdmissionController
 from repro.service.api import ServiceContext, make_server
@@ -47,6 +48,8 @@ class SynthesisService:
         write_slots: int = 8,
         max_pending_jobs: int = 512,
         stall_seconds: float | None = None,
+        memory_budget_mb: float | None = None,
+        disk_low_water_mb: float | None = None,
     ):
         self.registry = ModelRegistry(registry_dir)
         self.queue = JobQueue(queue_dir)
@@ -60,6 +63,9 @@ class SynthesisService:
         self.watchdog: StallWatchdog | None = None
         self.n_workers = int(n_workers)
         self.lease_seconds = float(lease_seconds)
+        self.memory_budget_mb = memory_budget_mb
+        self.disk_low_water_mb = disk_low_water_mb
+        self._installed_governor = False
         # Stall detection has to be slower than honest checkpoint cadence;
         # several lease periods is a safe default when not configured.
         self.stall_seconds = (
@@ -84,6 +90,16 @@ class SynthesisService:
 
     def start(self) -> "SynthesisService":
         """Bind the API and spawn workers (non-blocking)."""
+        # The governor in *this* process covers admission (submit
+        # preflight), /health's disk_low signal and the /stats resources
+        # block; each worker subprocess installs its own from the same
+        # flags, which is where the memory ladder actually runs.
+        governor = resources.governor_from_flags(
+            self.memory_budget_mb, self.disk_low_water_mb
+        )
+        if governor is not None and resources.installed() is None:
+            resources.install(governor)
+            self._installed_governor = True
         if self.n_workers > 0:
             self.pool = WorkerPool(
                 self.queue.root,
@@ -91,6 +107,8 @@ class SynthesisService:
                 n_workers=self.n_workers,
                 lease_seconds=self.lease_seconds,
                 on_restart=lambda _code: self.metrics.count("workers.restarts"),
+                memory_budget_mb=self.memory_budget_mb,
+                disk_low_water_mb=self.disk_low_water_mb,
             )
             self.pool.start()
         self.watchdog = StallWatchdog(
@@ -125,6 +143,9 @@ class SynthesisService:
         if self.pool is not None:
             self.pool.drain(timeout=drain_timeout)
             self.pool = None
+        if self._installed_governor:
+            resources.uninstall()
+            self._installed_governor = False
 
     def run(self, stop: CancellationToken, *, drain_timeout: float = 30.0) -> None:
         """Serve until ``stop`` trips, then drain (the ``repro serve`` loop)."""

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 import random
+import resource
 import signal
 import subprocess
 import sys
@@ -58,8 +59,9 @@ from repro.runtime.cancellation import (
     LinkedCancellationToken,
     SynthesisInterrupted,
 )
-from repro.runtime import integrity
+from repro.runtime import integrity, resources
 from repro.runtime.faults import InjectedInterrupt
+from repro.runtime.resources import ResourceExhausted
 from repro.runtime.integrity import CorruptArtifactError
 from repro.runtime.io import atomic_write_json, read_json
 from repro.schema.io import save_dataset
@@ -84,6 +86,16 @@ class Worker:
         self.worker_id = worker_id or f"w{os.getpid()}-{uuid.uuid4().hex[:6]}"
         self.lease_seconds = float(lease_seconds)
         self.stop = stop or CancellationToken()
+        # Resource counters snapshot at claim time, so each job's result
+        # reports the *delta* it caused, not the process lifetime totals.
+        self._counters_at_claim: dict[str, int] = resources.counters()
+
+    def _resource_delta(self) -> dict[str, int]:
+        before = self._counters_at_claim
+        return {
+            name: value - before.get(name, 0)
+            for name, value in resources.counters().items()
+        }
 
     # ------------------------------------------------------------------
     # Heartbeats
@@ -110,9 +122,17 @@ class Worker:
     # ------------------------------------------------------------------
     def run_once(self) -> bool:
         """Claim and run one job; False when the queue had nothing for us."""
-        job = self.queue.claim(self.worker_id, lease_seconds=self.lease_seconds)
+        try:
+            job = self.queue.claim(self.worker_id, lease_seconds=self.lease_seconds)
+        except ResourceExhausted:
+            # Disk below the low-water mark: the claim's own record write
+            # was refused.  Back off instead of crash-looping the worker —
+            # admission is already shedding new load upstream.
+            self.stop.wait(1.0)
+            return False
         if job is None:
             return False
+        self._counters_at_claim = resources.counters()
         halt = threading.Event()
         # Job-scoped cancellation: trips with the worker's drain token OR
         # for job-local reasons (heartbeat discovering the lease was lost).
@@ -139,6 +159,22 @@ class Worker:
             # Another worker stole the lease mid-run; its result wins and
             # ours is discarded.  Nothing to record — we no longer own it.
             pass
+        except ResourceExhausted:
+            # Budget breach the degradation ladder could not absorb.  The
+            # S2 loop committed its checkpoint right before raising, so
+            # checkpoint-and-release gives the job back intact — an
+            # operator problem must not burn attempt budget toward the
+            # DLQ.  Back off before polling again: the pressure is ours,
+            # not the job's.
+            resources.count_event("jobs_released_on_exhaustion")
+            try:
+                self.queue.release(job.id, self.worker_id)
+            except (ClaimLost, ResourceExhausted):
+                # Release refused (lease stolen, or the release write
+                # itself hit the disk floor): the lease will expire and
+                # the job is reclaimed with its checkpoint either way.
+                pass
+            self.stop.wait(1.0)
         except Exception as error:  # noqa: BLE001 - job isolation boundary
             try:
                 self.queue.fail(
@@ -187,7 +223,12 @@ class Worker:
             "jsd_final": output.jsd_final,
             "rejection_stats": output.rejection_stats,
             "seconds": time.perf_counter() - started,
+            "peak_rss_kb": int(
+                resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            ),
         }
+        if resources.installed() is not None:
+            result["resource"] = self._resource_delta()
         if output.extras.get("shards"):
             result["shards"] = output.extras["shards"]
         self.queue.complete(job.id, self.worker_id, result)
@@ -235,20 +276,19 @@ class Worker:
             bus=bus,
         )
         atomic_write_json(result_dir / "shard_result.json", run.to_payload())
-        self.queue.complete(
-            job.id,
-            self.worker_id,
-            {
-                "result_path": str(result_dir / "shard_result.json"),
-                "model_version": entry.version,
-                "shard_index": spec.index,
-                "n_a": len(run.a_entities),
-                "n_b": len(run.b_entities),
-                "rejection_stats": run.rejection_stats,
-                "seconds": run.elapsed_seconds,
-                "peak_rss_kb": run.peak_rss_kb,
-            },
-        )
+        shard_result = {
+            "result_path": str(result_dir / "shard_result.json"),
+            "model_version": entry.version,
+            "shard_index": spec.index,
+            "n_a": len(run.a_entities),
+            "n_b": len(run.b_entities),
+            "rejection_stats": run.rejection_stats,
+            "seconds": run.elapsed_seconds,
+            "peak_rss_kb": run.peak_rss_kb,
+        }
+        if resources.installed() is not None:
+            shard_result["resource"] = self._resource_delta()
+        self.queue.complete(job.id, self.worker_id, shard_result)
 
     def _run_sharded_job(self, job: Job, stop: CancellationToken) -> None:
         """Coordinate a ``shards > 1`` job: fan out, steer, merge, label.
@@ -268,7 +308,21 @@ class Worker:
         real = synthesizer._real
         n_a = job.n_a if job.n_a is not None else len(real.table_a)
         n_b = job.n_b if job.n_b is not None else len(real.table_b)
-        plan = plan_shards(n_a, n_b, job.shards, seed)
+        shards_target = int(job.shards)
+        governor = resources.installed()
+        if governor is not None:
+            # Split oversized shards up front instead of letting a shard
+            # that cannot fit in the memory budget OOM-and-retry its way
+            # into the DLQ.  The split only ever *raises* the shard count;
+            # the per-shard RNG streams stay seed-derived, so the fan-out
+            # remains deterministic for a given governor configuration.
+            cap = governor.max_shard_entities()
+            if cap is not None:
+                need = -(-(n_a + n_b) // cap)  # ceil division
+                if need > shards_target:
+                    shards_target = min(64, int(need))
+                    resources.count_event("shards_split_oversized")
+        plan = plan_shards(n_a, n_b, shards_target, seed)
         started = time.perf_counter()
         if len(plan) == 1:
             # Tiny target: the plan collapses to one shard — just run the
@@ -395,6 +449,15 @@ class Worker:
             raise
         except ClaimLost:
             pass
+        except ResourceExhausted:
+            # The child's checkpoint is committed; release it for another
+            # (less pressured) worker and let the coordinator keep waiting
+            # — never toward the DLQ.
+            resources.count_event("jobs_released_on_exhaustion")
+            try:
+                self.queue.release(child.id, self.worker_id)
+            except (ClaimLost, ResourceExhausted):
+                pass
         except Exception as error:  # noqa: BLE001 - child isolation boundary
             try:
                 self.queue.fail(
@@ -592,12 +655,16 @@ class WorkerPool:
         lease_seconds: float = 30.0,
         poll_seconds: float = 0.5,
         on_restart=None,
+        memory_budget_mb: float | None = None,
+        disk_low_water_mb: float | None = None,
     ):
         self.queue_dir = str(queue_dir)
         self.registry_dir = str(registry_dir)
         self.n_workers = int(n_workers)
         self.lease_seconds = float(lease_seconds)
         self.poll_seconds = float(poll_seconds)
+        self.memory_budget_mb = memory_budget_mb
+        self.disk_low_water_mb = disk_low_water_mb
         self.on_restart = on_restart
         self.restarts = 0
         self._procs: list[subprocess.Popen] = []
@@ -605,15 +672,18 @@ class WorkerPool:
         self._supervisor: threading.Thread | None = None
 
     def _spawn(self) -> subprocess.Popen:
-        return subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "worker",
-                "--queue", self.queue_dir,
-                "--registry", self.registry_dir,
-                "--lease-seconds", str(self.lease_seconds),
-                "--poll-seconds", str(self.poll_seconds),
-            ],
-        )
+        argv = [
+            sys.executable, "-m", "repro", "worker",
+            "--queue", self.queue_dir,
+            "--registry", self.registry_dir,
+            "--lease-seconds", str(self.lease_seconds),
+            "--poll-seconds", str(self.poll_seconds),
+        ]
+        if self.memory_budget_mb is not None:
+            argv += ["--memory-budget-mb", str(self.memory_budget_mb)]
+        if self.disk_low_water_mb is not None:
+            argv += ["--disk-low-water-mb", str(self.disk_low_water_mb)]
+        return subprocess.Popen(argv)
 
     def start(self) -> None:
         self._procs = [self._spawn() for _ in range(self.n_workers)]

@@ -73,3 +73,38 @@ def test_missing_directory_exits_two(tmp_path):
     result = _run(str(tmp_path / "nope"))
     assert result.returncode == 2
     assert "no such directory" in result.stderr
+
+
+def test_corrupt_sealed_report_is_reported_never_quarantined(artifact_tree):
+    """``privacy_report.json`` is a protected name: rot in it must fail the
+    scrub (exit 1) but the file stays in place for investigation — renaming
+    the evidence of a privacy-audit discrepancy would defeat its purpose."""
+    victim = artifact_tree / "models" / "privacy_report.json"
+    atomic_write_json(victim, {"eps": 1.0, "attacks": []})
+    tampered = victim.read_text().replace('"eps": 1.0', '"eps": 9.0')
+    victim.write_text(tampered)
+    result = _run(str(artifact_tree))
+    assert result.returncode == 1
+    assert "CORRUPT (protected)" in result.stdout
+    assert "never" in result.stdout and "quarantined" in result.stdout
+    assert victim.exists()
+    assert victim.read_text() == tampered
+    # The healthy files were still verified, and nothing was renamed aside.
+    assert "2 verified" in result.stdout
+    assert (artifact_tree / "healthy.json").exists()
+
+
+def test_dlq_forensics_trees_are_scrubbed(artifact_tree):
+    """Forensics bundles live under ``dlq/<job>/`` — the scrub must walk
+    them and say so, and a garbled bundle fails the run."""
+    bundle = artifact_tree / "dlq" / "j123" / "forensics.json"
+    atomic_write_json(bundle, {"job": "j123", "error": "boom"})
+    result = _run(str(artifact_tree))
+    assert result.returncode == 0, result.stderr
+    assert "scrubbed 1 DLQ forensics bundle(s): 0 corrupt" in result.stdout
+
+    bundle.write_text(bundle.read_text().replace("boom", "doom"))
+    result = _run(str(artifact_tree), "--no-quarantine")
+    assert result.returncode == 1
+    assert "scrubbed 1 DLQ forensics bundle(s): 1 corrupt" in result.stdout
+    assert bundle.exists()

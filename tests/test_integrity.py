@@ -192,6 +192,22 @@ class TestScrubTree:
         assert report["quarantined"] == []
         assert bad.exists()
 
+    def test_undecodable_bytes_are_corrupt_not_a_crash(self, tmp_path):
+        """A single flipped byte can leave a file that is not valid UTF-8;
+        the scrub must classify it as corrupt, not die in ``read_text``."""
+        bad = tmp_path / "bad.json"
+        atomic_write_json(bad, {"k": "v"})
+        raw = bytearray(bad.read_bytes())
+        raw[5] = 0x8A
+        bad.write_bytes(raw)
+        (tmp_path / "log.jsonl").write_bytes(b'{"ok": 1}\n\x8a\xff\n')
+
+        report = scrub_tree(tmp_path, quarantine=False)
+        assert len(report["corrupt"]) == 1
+        assert "undecodable bytes" in report["corrupt"][0]["reason"]
+        assert report["jsonl_torn_lines"] == 1
+        assert bad.exists()
+
     def test_already_quarantined_skipped(self, tmp_path):
         (tmp_path / f"old.json{QUARANTINE_MARK}deadbeef").write_text("junk")
         report = scrub_tree(tmp_path)

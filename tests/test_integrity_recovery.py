@@ -252,6 +252,29 @@ class TestStatsBusSnapshot:
         bus.publish_shard(0, {"n": 6})
         assert bus.read_shards() == {0: {"n": 6}, 1: {"n": 7}}
 
+    @pytest.mark.fault_injection
+    def test_enospc_burst_then_republish_repairs(self, tmp_path):
+        """An ENOSPC burst mid-publish: the atomic write means readers keep
+        seeing the last healthy snapshot through the burst (stale-but-valid
+        peer feedback, never garbage), and the first write after space
+        returns repairs the bus — no janitor, no torn file."""
+        from repro.runtime.faults import FaultPlan, FaultSpec, inject_faults
+
+        bus = ShardStatsBus(tmp_path / "bus")
+        bus.publish_shard(0, {"n": 5})
+
+        plan = FaultPlan(FaultSpec("io.write", at_calls=(1, 2)))
+        with inject_faults(plan):
+            for _ in range(2):  # two publishes die in the burst
+                with pytest.raises(OSError):
+                    bus.publish_shard(0, {"n": 6})
+                assert bus.read_shards() == {0: {"n": 5}}
+            # Space comes back (call 3 is past the burst): same API call,
+            # no special recovery path, and the snapshot is current again.
+            bus.publish_shard(0, {"n": 7})
+        assert plan.fired("io.write") == 2
+        assert bus.read_shards() == {0: {"n": 7}}
+
 
 class TestDLQForensics:
     def test_corrupt_forensics_degrade_to_stub(self, tmp_path):

@@ -1,0 +1,91 @@
+"""Lease arithmetic under clock skew (the ``clock.skew`` fault site).
+
+Lease expiry is wall-clock time compared across processes, so the queue
+documents a tolerance: skew *below* the lease length never steals a live
+lease; skew *beyond* it does, and exactly-once completion must survive the
+steal.  These tests bias one "process's" clock via the fault site and
+prove both sides of that boundary, plus the backwards-skew case (a slow
+clock delays reclaim — conservative, never double-running).
+"""
+
+import time
+
+import pytest
+
+from repro.runtime.faults import FaultPlan, FaultSpec, inject_faults
+from repro.service import JobQueue
+from repro.service.queue import ClaimLost
+from repro.runtime.chaos import check_exactly_one_completion
+
+pytestmark = pytest.mark.fault_injection
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue(tmp_path / "queue")
+
+
+def _skewed(seconds):
+    """Every wall-clock read inside the block drifts by ``seconds``."""
+    return inject_faults(FaultPlan(FaultSpec("clock.skew", payload=seconds)))
+
+
+class TestSkewWithinTolerance:
+    def test_skew_below_lease_never_steals(self, queue):
+        job = queue.submit("m", n_a=1, n_b=1)
+        assert queue.claim("owner", lease_seconds=30) is not None
+        # A thief whose clock runs 10s fast still sees the 30s lease live.
+        with _skewed(10.0):
+            assert queue.claim("thief", lease_seconds=30) is None
+        record = queue.get(job.id)
+        assert record.status == "running" and record.worker == "owner"
+        # The owner's heartbeat and completion proceed undisturbed.
+        queue.heartbeat(job.id, "owner", lease_seconds=30)
+        queue.complete(job.id, "owner", {"ok": True})
+        assert check_exactly_one_completion(queue, job.id) is None
+
+
+class TestSkewBeyondTolerance:
+    def test_fast_clock_steals_and_completion_stays_exactly_once(self, queue):
+        """Skew > lease makes the lease look expired: the steal is allowed
+        (indistinguishable from a real crash), the old owner's next touch
+        raises ClaimLost, and exactly one completion is recorded."""
+        job = queue.submit("m", n_a=2, n_b=2)
+        assert queue.claim("owner", lease_seconds=5) is not None
+        with _skewed(10.0):
+            stolen = queue.claim("thief", lease_seconds=30)
+            assert stolen is not None and stolen.id == job.id
+            queue.complete(job.id, "thief", {"ok": True})
+        # The slow-clocked owner discovers the loss on its next heartbeat
+        # and must not be able to double-complete.
+        with pytest.raises(ClaimLost):
+            queue.heartbeat(job.id, "owner", lease_seconds=5)
+        with pytest.raises(ClaimLost):
+            queue.complete(job.id, "owner", {"ok": "stale"})
+        record = queue.get(job.id)
+        assert record.status == "done" and record.worker == "thief"
+        assert check_exactly_one_completion(queue, job.id) is None
+        # The steal bumped the attempt counter (it is crash recovery).
+        assert record.attempts == 2
+
+    def test_release_after_steal_raises_claim_lost(self, queue):
+        job = queue.submit("m", n_a=1, n_b=1)
+        assert queue.claim("owner", lease_seconds=5) is not None
+        with _skewed(10.0):
+            assert queue.claim("thief", lease_seconds=30) is not None
+        with pytest.raises(ClaimLost):
+            queue.release(job.id, "owner")
+
+
+class TestBackwardsSkew:
+    def test_slow_clock_delays_reclaim_conservatively(self, queue):
+        """A genuinely expired lease looks *live* to a clock running slow:
+        the reclaim is deferred (safe — never two owners), and a correct
+        clock still steals it."""
+        job = queue.submit("m", n_a=1, n_b=1)
+        assert queue.claim("owner", lease_seconds=0.2) is not None
+        time.sleep(0.4)  # the lease is now truly expired
+        with _skewed(-30.0):
+            assert queue.claim("thief", lease_seconds=30) is None
+        rescued = queue.claim("thief", lease_seconds=30)
+        assert rescued is not None and rescued.id == job.id
