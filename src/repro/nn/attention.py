@@ -34,6 +34,9 @@ class MultiHeadAttention(Module):
         self.d_model = d_model
         self.n_heads = n_heads
         self.d_head = d_model // n_heads
+        # Hoisted so every attend() — and every recorded lazy graph — sees
+        # the identical scalar leaf instead of recomputing 1/sqrt(d_head).
+        self._scale = 1.0 / np.sqrt(self.d_head)
         self.query_proj = Linear(d_model, d_model, rng)
         self.key_proj = Linear(d_model, d_model, rng)
         self.value_proj = Linear(d_model, d_model, rng)
@@ -73,6 +76,15 @@ class MultiHeadAttention(Module):
         v = self._split_heads(self.value_proj(source), batch, length)
         return k.data, v.data
 
+    def project_kv_lazy(self, source: Tensor) -> tuple[Tensor, Tensor]:
+        """:meth:`project_kv` without the realize boundary — K/V stay
+        pending Tensors so a traced decode step captures them inside its
+        single fused plan (see :mod:`repro.nn.lazy.jit`)."""
+        batch, length, _ = source.shape
+        k = self._split_heads(self.key_proj(source), batch, length)
+        v = self._split_heads(self.value_proj(source), batch, length)
+        return k, v
+
     def attend(
         self,
         query: Tensor,
@@ -91,7 +103,7 @@ class MultiHeadAttention(Module):
         k = Tensor._coerce(k)
         v = Tensor._coerce(v)
         q = self._split_heads(self.query_proj(query), batch, q_len)
-        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.d_head))
+        scores = (q @ k.swapaxes(-1, -2)) * self._scale
         if mask is not None:
             scores = scores.masked_fill(mask, -1e9)
         weights = self.dropout(scores.softmax(axis=-1))

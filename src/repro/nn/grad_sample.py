@@ -87,3 +87,13 @@ def collect_grad_samples(parameters) -> list[np.ndarray]:
             )
         samples.append(param.grad_sample)
     return samples
+
+
+def flat_grad_samples(parameters, batch: int) -> list[np.ndarray]:
+    """The recorded per-example gradients as ``(batch, -1)`` views.
+
+    The flattened layout is what DP-SGD's clip arithmetic consumes — per-
+    example squared norms via ``einsum("bp,bp->b")`` and clipped sums via
+    ``einsum("b,bp->p")`` — on both its eager and lazy-graph paths.
+    """
+    return [sample.reshape(batch, -1) for sample in collect_grad_samples(parameters)]

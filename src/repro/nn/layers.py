@@ -217,9 +217,14 @@ class LayerNorm(Module):
         self.beta = Tensor(np.zeros(dim), requires_grad=True)
 
     def forward(self, inputs: Tensor) -> Tensor:
+        # Share the centered term between the variance and the normalization
+        # (inputs.var would recompute it): one fewer subtraction eagerly, one
+        # fewer subgraph in the recorded lazy plan.  Values are bit-identical
+        # to the var() formulation — identical ops over identical operands.
         mean = inputs.mean(axis=-1, keepdims=True)
-        variance = inputs.var(axis=-1, keepdims=True)
-        normalized = (inputs - mean) / ((variance + self.eps) ** 0.5)
+        centered = inputs - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / ((variance + self.eps) ** 0.5)
         if gs.is_per_sample_enabled():
             return self._affine_grad_sample(normalized)
         return normalized * self.gamma + self.beta

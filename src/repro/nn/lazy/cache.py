@@ -1,0 +1,107 @@
+"""Bounded-LRU schedule cache keyed by op-graph structure + leaf shapes.
+
+Compiling a fused plan (linearize → group → allocate buffers → close over
+ufunc pipelines) costs far more than replaying one, and the hot loops this
+engine exists for — KV-cached decode and the vectorized DP-SGD step — emit
+the *same* graph shapes step after step.  The cache maps a structural
+fingerprint (per-node ``(op, arg, src-slots, publish)`` plus leaf
+``(shape, dtype)`` entries, computed during linearization) to a compiled
+:class:`~repro.nn.lazy.fusion.Plan` so steady-state realizes are pure
+replay: zero graph analysis, zero buffer allocation for scratch.
+
+Bounded LRU (``REPRO_NN_PLAN_CACHE`` entries, default 256) keeps memory
+flat under adversarial shape churn — each evicted plan releases its scratch
+buffers with it.  Counters (hits / misses / evictions, per-plan replay
+counts) are thread-safe and surfaced through ``/stats`` under
+``nn_engine`` and by ``repro nn-plans dump``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+
+_DEFAULT_CAPACITY = 256
+
+
+def _env_capacity() -> int:
+    raw = os.environ.get("REPRO_NN_PLAN_CACHE", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return _DEFAULT_CAPACITY
+    return max(1, value) if raw else _DEFAULT_CAPACITY
+
+
+class ScheduleCache:
+    """Thread-safe bounded LRU over compiled plans."""
+
+    def __init__(self, capacity: int | None = None):
+        self.capacity = _env_capacity() if capacity is None else max(1, int(capacity))
+        self._plans: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._plans.move_to_end(key)
+            self.hits += 1
+            plan.replays += 1
+            return plan
+
+    def put(self, key, plan) -> None:
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._plans),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }
+
+    def entries(self) -> list[dict]:
+        """Describe every cached plan (for ``repro nn-plans dump``)."""
+        with self._lock:
+            out = []
+            for key, plan in self._plans.items():
+                digest = hashlib.sha256(repr(key).encode()).hexdigest()[:16]
+                out.append(
+                    {
+                        "digest": digest,
+                        "nodes": plan.n_slots,
+                        "instructions": len(plan.instructions),
+                        "fused_chains": plan.fused_chains,
+                        "replays": plan.replays,
+                        "root_shape": list(plan.root_shape),
+                    }
+                )
+            return out

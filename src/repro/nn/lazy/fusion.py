@@ -1,0 +1,436 @@
+"""Schedule compiler: linearized op-graph -> fused instruction plan.
+
+The compiler turns a topologically ordered node list into a
+:class:`Plan` — a flat list of instruction closures over a slot table —
+applying three optimizations that eager numpy cannot:
+
+1. **Elementwise chain fusion.**  Maximal single-consumer runs of pure
+   ufunc ops (``add``/``mul``/``div``/``neg``/``exp``/``log``/``tanh``/
+   ``sqrt``/``pow``) at one shape collapse into a single instruction that
+   pipes every ufunc through *one* buffer with ``out=`` — the whole chain
+   touches memory once instead of allocating a temporary per op.  numpy
+   ufuncs with ``out=`` are bit-identical to their allocating forms, so
+   fusion preserves the eager oracle exactly.
+2. **Plan-owned scratch.**  Intermediates that do not escape the plan
+   (single consumer, not shared with other graphs) write into buffers
+   owned by the plan and reused across replays — steady-state decode and
+   DP-SGD steps allocate almost nothing.  A per-plan lock serializes
+   replays so the scratch is never shared between threads.
+3. **View-safe movement.**  ``reshape``/``transpose`` execute as numpy
+   views (zero copy).  A view that escapes the plan must not alias
+   reusable scratch, so the compiler walks each escaping movement chain to
+   its producing compute node and forces that node onto a fresh per-run
+   buffer instead.
+
+Escape analysis is the ``publish`` bit computed during linearization: a
+node whose global consumer count exceeds its in-graph count (or the root)
+has its value stored back onto the graph node after the run, making it a
+leaf for every later realize — this is what keeps the shared ``project_kv``
+subgraph from being recomputed for ``k`` and ``v``.
+
+Instruction kernels replicate the eager op's exact arithmetic sequence
+(e.g. relu is ``x * (x > 0)``, *not* ``np.maximum`` — they differ on the
+sign of ``-0.0``; mean stays ``sum * (1/n)``) so lazy results are
+bit-identical, NaN/Inf propagation included.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from .graph import ELEMENTWISE, MOVEMENT
+
+_BUF = -1  # operand sentinel: the chain's accumulation buffer
+
+_UFUNCS = {
+    "add": np.add,
+    "mul": np.multiply,
+    "div": np.divide,
+    "neg": np.negative,
+    "exp": np.exp,
+    "log": np.log,
+    "tanh": np.tanh,
+    "sqrt": np.sqrt,
+    "pow": np.power,
+}
+_UNARY = frozenset({"neg", "exp", "log", "tanh", "sqrt"})
+
+_TINY = float(np.finfo(np.float64).tiny)
+
+
+class Plan:
+    """A compiled, replayable schedule for one graph fingerprint.
+
+    ``run`` executes the instruction list over a slot table whose leaf
+    slots the caller pre-filled; interior slots are produced in order.
+    The lock makes replays safe despite reused scratch buffers.
+    """
+
+    __slots__ = (
+        "instructions",
+        "n_slots",
+        "publish_slots",
+        "root_slot",
+        "root_shape",
+        "fused_chains",
+        "replays",
+        "lock",
+    )
+
+    def __init__(self, instructions, n_slots, publish_slots, root_slot, root_shape, fused_chains):
+        self.instructions = instructions
+        self.n_slots = n_slots
+        self.publish_slots = publish_slots
+        self.root_slot = root_slot
+        self.root_shape = root_shape
+        self.fused_chains = fused_chains
+        self.replays = 0
+        self.lock = threading.Lock()
+
+    def run(self, vals: list) -> list:
+        with self.lock:
+            for instruction in self.instructions:
+                instruction(vals)
+        return vals
+
+
+# ----------------------------------------------------------------------
+# Instruction factories.  Each returns a closure over the slot table;
+# ``fresh`` selects a per-run allocation (value escapes the plan) over
+# plan-owned scratch (value is internal and the buffer is reusable).
+# ----------------------------------------------------------------------
+def _out_for(shape, fresh):
+    scratch = None if fresh else np.empty(shape)
+
+    def acquire():
+        return np.empty(shape) if fresh else scratch
+
+    return acquire
+
+
+def _chain(steps, out_slot, shape, fresh):
+    acquire = _out_for(shape, fresh)
+
+    def run(vals):
+        buf = acquire()
+        for fn, ia, ib in steps:
+            a = buf if ia == _BUF else vals[ia]
+            if ib is None:
+                fn(a, out=buf)
+            elif type(ib) is int:
+                fn(a, buf if ib == _BUF else vals[ib], out=buf)
+            else:  # ("const", value) — scalar operand, e.g. pow exponent
+                fn(a, ib[1], out=buf)
+        vals[out_slot] = buf
+
+    return run
+
+
+def _matmul(i, j, out_slot, shape, fresh):
+    acquire = _out_for(shape, fresh)
+
+    def run(vals):
+        out = acquire()
+        np.matmul(vals[i], vals[j], out=out)
+        vals[out_slot] = out
+
+    return run
+
+
+def _reduce(op, i, out_slot, axis, keepdims, shape, fresh):
+    acquire = _out_for(shape, fresh)
+    fn = np.sum if op == "sum" else np.max
+
+    def run(vals):
+        out = acquire()
+        fn(vals[i], axis=axis, keepdims=keepdims, out=out)
+        vals[out_slot] = out
+
+    return run
+
+
+def _movement(op, i, out_slot, arg):
+    if op == "reshape":
+
+        def run(vals):
+            vals[out_slot] = vals[i].reshape(arg)
+
+    else:
+
+        def run(vals):
+            vals[out_slot] = vals[i].transpose(arg)
+
+    return run
+
+
+def _gather(t, i, out_slot, shape, fresh):
+    acquire = _out_for(shape, fresh)
+
+    def run(vals):
+        out = acquire()
+        np.take(vals[t], vals[i], axis=0, out=out)
+        vals[out_slot] = out
+
+    return run
+
+
+def _where_const(i, m, out_slot, value, shape, fresh):
+    acquire = _out_for(shape, fresh)
+
+    def run(vals):
+        out = acquire()
+        np.copyto(out, vals[i])
+        np.copyto(out, value, where=vals[m])
+        vals[out_slot] = out
+
+    return run
+
+
+def _relu(i, out_slot, shape, fresh):
+    # Eager relu is ``x * (x > 0)`` — keep it exactly (np.maximum flips
+    # the sign bit of -0.0, x * mask does not).
+    acquire = _out_for(shape, fresh)
+    mask = np.empty(shape, dtype=bool)
+
+    def run(vals):
+        out = acquire()
+        x = vals[i]
+        np.greater(x, 0, out=mask)
+        np.multiply(x, mask, out=out)
+        vals[out_slot] = out
+
+    return run
+
+
+def _sigmoid(i, out_slot, shape, fresh):
+    # Eager: 1 / (1 + exp(-clip(x, -60, 60))) — replicated ufunc by ufunc.
+    acquire = _out_for(shape, fresh)
+
+    def run(vals):
+        out = acquire()
+        np.clip(vals[i], -60.0, 60.0, out=out)
+        np.negative(out, out=out)
+        np.exp(out, out=out)
+        np.add(out, 1.0, out=out)
+        np.divide(1.0, out, out=out)
+        vals[out_slot] = out
+
+    return run
+
+
+def _softmax(i, out_slot, axis, shape, fresh, log):
+    acquire = _out_for(shape, fresh)
+    red_shape = tuple(1 if a == axis else d for a, d in enumerate(shape))
+    mbuf = np.empty(red_shape)
+    sbuf = np.empty(red_shape)
+    ebuf = np.empty(shape) if log else None
+
+    if log:
+        # Eager: shifted = x - max; log_z = log(sum(exp(shifted))); shifted - log_z
+        def run(vals):
+            out = acquire()
+            x = vals[i]
+            np.max(x, axis=axis, keepdims=True, out=mbuf)
+            np.subtract(x, mbuf, out=out)
+            np.exp(out, out=ebuf)
+            np.sum(ebuf, axis=axis, keepdims=True, out=sbuf)
+            np.log(sbuf, out=sbuf)
+            np.subtract(out, sbuf, out=out)
+            vals[out_slot] = out
+
+    else:
+        # Eager: e = exp(x - max); e / sum(e)
+        def run(vals):
+            out = acquire()
+            x = vals[i]
+            np.max(x, axis=axis, keepdims=True, out=mbuf)
+            np.subtract(x, mbuf, out=out)
+            np.exp(out, out=out)
+            np.sum(out, axis=axis, keepdims=True, out=sbuf)
+            np.divide(out, sbuf, out=out)
+            vals[out_slot] = out
+
+    return run
+
+
+def _einsum(subscripts, src_slots, out_slot, shape, fresh):
+    acquire = _out_for(shape, fresh)
+
+    def run(vals):
+        out = acquire()
+        np.einsum(subscripts, *(vals[s] for s in src_slots), out=out)
+        vals[out_slot] = out
+
+    return run
+
+
+def _concat(src_slots, out_slot, axis, shape, fresh):
+    acquire = _out_for(shape, fresh)
+
+    def run(vals):
+        out = acquire()
+        np.concatenate([vals[s] for s in src_slots], axis=axis, out=out)
+        vals[out_slot] = out
+
+    return run
+
+
+def _dp_clip_factors(i, out_slot, clip_norm, shape, fresh):
+    # Eager (dpsgd): np.where(norms > V, V / np.maximum(norms, tiny), 1.0)
+    acquire = _out_for(shape, fresh)
+    gt = np.empty(shape, dtype=bool)
+    den = np.empty(shape)
+
+    def run(vals):
+        out = acquire()
+        norms = vals[i]
+        np.greater(norms, clip_norm, out=gt)
+        np.maximum(norms, _TINY, out=den)
+        np.divide(clip_norm, den, out=den)
+        np.copyto(out, 1.0)
+        np.copyto(out, den, where=gt)
+        vals[out_slot] = out
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def compile_plan(order, publish) -> Plan:
+    """Compile a linearized graph (leaves included) into a :class:`Plan`.
+
+    ``publish[i]`` marks slots whose values escape the plan (shared with
+    other graphs, or the root); they get fresh per-run buffers and are
+    written back onto the graph by the realizer.
+    """
+    n = len(order)
+    slot_of = {id(node): i for i, node in enumerate(order)}
+    root_slot = n - 1
+
+    is_leaf = [node.value is not None for node in order]
+    internal = [0] * n
+    for node in order:
+        if node.value is None:
+            for src in node.srcs:
+                internal[slot_of[id(src)]] += 1
+
+    # View-escape analysis: a published movement node realizes as a view;
+    # its base compute buffer must then survive the run, so force it fresh.
+    need_fresh = list(publish)
+    for i, node in enumerate(order):
+        if is_leaf[i] or node.op not in MOVEMENT or not publish[i]:
+            continue
+        base = i
+        while order[base].op in MOVEMENT and not is_leaf[base]:
+            base = slot_of[id(order[base].srcs[0])]
+        if not is_leaf[base]:
+            need_fresh[base] = True
+
+    # Group interior slots: fuse maximal single-consumer elementwise chains.
+    consumer_of = [None] * n  # the single in-graph consumer, when unique
+    for i, node in enumerate(order):
+        if node.value is None:
+            for src in node.srcs:
+                s = slot_of[id(src)]
+                consumer_of[s] = i if internal[s] == 1 else None
+
+    assigned = [False] * n
+    groups = []  # (last_slot, kind, payload)
+    for i in range(n):
+        if is_leaf[i] or assigned[i]:
+            continue
+        node = order[i]
+        if node.op in ELEMENTWISE:
+            chain = [i]
+            assigned[i] = True
+            cur = i
+            while True:
+                if publish[cur] or need_fresh[cur] or internal[cur] != 1:
+                    break
+                nxt = consumer_of[cur]
+                if (
+                    nxt is None
+                    or assigned[nxt]
+                    or order[nxt].op not in ELEMENTWISE
+                    or order[nxt].shape != node.shape
+                ):
+                    break
+                chain.append(nxt)
+                assigned[nxt] = True
+                cur = nxt
+            groups.append((chain[-1], "chain", chain))
+        else:
+            assigned[i] = True
+            groups.append((i, "single", i))
+
+    # Execute groups in order of their *last* member: any external operand
+    # of a chain member is the final node of its own producing group, which
+    # precedes this group's last member in topo order — so every operand is
+    # available when a group runs.
+    groups.sort(key=lambda g: g[0])
+
+    instructions = []
+    fused_chains = 0
+    for last, kind, payload in groups:
+        if kind == "chain":
+            chain = payload
+            if len(chain) > 1:
+                fused_chains += 1
+            steps = []
+            prev = None
+            for slot in chain:
+                nd = order[slot]
+                fn = _UFUNCS[nd.op]
+                src_slots = [slot_of[id(s)] for s in nd.srcs]
+                ops = [_BUF if (prev is not None and s == prev) else s for s in src_slots]
+                if nd.op == "pow":
+                    steps.append((fn, ops[0], ("const", nd.arg)))
+                elif nd.op in _UNARY:
+                    steps.append((fn, ops[0], None))
+                else:
+                    steps.append((fn, ops[0], ops[1]))
+                prev = slot
+            fresh = publish[last] or need_fresh[last]
+            instructions.append(_chain(steps, last, order[last].shape, fresh))
+            continue
+
+        i = payload
+        nd = order[i]
+        fresh = publish[i] or need_fresh[i]
+        srcs = [slot_of[id(s)] for s in nd.srcs]
+        shape = nd.shape
+        if nd.op == "matmul":
+            instructions.append(_matmul(srcs[0], srcs[1], i, shape, fresh))
+        elif nd.op in ("sum", "amax"):
+            axis, keepdims = nd.arg
+            instructions.append(_reduce(nd.op, srcs[0], i, axis, keepdims, shape, fresh))
+        elif nd.op in MOVEMENT:
+            instructions.append(_movement(nd.op, srcs[0], i, nd.arg))
+        elif nd.op == "gather":
+            instructions.append(_gather(srcs[0], srcs[1], i, shape, fresh))
+        elif nd.op == "where_const":
+            instructions.append(_where_const(srcs[0], srcs[1], i, nd.arg, shape, fresh))
+        elif nd.op == "relu":
+            instructions.append(_relu(srcs[0], i, shape, fresh))
+        elif nd.op == "sigmoid":
+            instructions.append(_sigmoid(srcs[0], i, shape, fresh))
+        elif nd.op == "softmax":
+            instructions.append(_softmax(srcs[0], i, nd.arg, shape, fresh, log=False))
+        elif nd.op == "log_softmax":
+            instructions.append(_softmax(srcs[0], i, nd.arg, shape, fresh, log=True))
+        elif nd.op == "einsum":
+            instructions.append(_einsum(nd.arg, srcs, i, shape, fresh))
+        elif nd.op == "concat":
+            instructions.append(_concat(srcs, i, nd.arg, shape, fresh))
+        elif nd.op == "dp_clip_factors":
+            instructions.append(_dp_clip_factors(srcs[0], i, nd.arg, shape, fresh))
+        else:  # pragma: no cover - constructors only emit known ops
+            raise ValueError(f"unknown lazy op: {nd.op}")
+
+    publish_slots = tuple(i for i in range(n) if publish[i])
+    return Plan(
+        instructions, n, publish_slots, root_slot, order[root_slot].shape, fused_chains
+    )

@@ -1,0 +1,243 @@
+"""Typed lazy op-graph nodes (tinygrad-style, numpy-realized).
+
+A :class:`LazyNode` records *what* to compute — op code, source nodes, a
+static argument, and the inferred output shape — without executing anything.
+:mod:`repro.nn.tensor` builds these nodes instead of ndarrays whenever the
+lazy engine is enabled and no parent requires grad; :mod:`repro.nn.lazy.realize`
+turns a root node into a value by compiling (or replaying) a fused schedule.
+
+Node taxonomy mirrors the classic lazy-tensor split:
+
+- **elementwise** — ufunc-backed ops (``add``/``mul``/``div``/``neg``/``exp``/
+  ``log``/``tanh``/``sqrt``/``pow``) that the scheduler fuses into single
+  composed-ufunc kernels writing one buffer;
+- **reduce** — ``sum``/``amax`` over an axis set;
+- **matmul** / **einsum** — contraction nodes (einsum is what lets the
+  DP-SGD clip arithmetic collapse into two contractions per parameter);
+- **movement** — ``reshape``/``transpose``: zero-copy views at execution;
+- **composite** — ``softmax``/``log_softmax``/``relu``/``sigmoid``/
+  ``where_const``/``gather``/``concat``/``dp_clip_factors``: multi-ufunc
+  kernels that replicate the eager op's exact arithmetic sequence (the
+  bit-identity contract) with internal scratch instead of temporaries.
+
+Every constructor returns ``None`` when it cannot infer a shape or the op
+falls outside the supported envelope — the Tensor layer treats that as
+"execute eagerly", so the lazy engine never has to be complete, only fast
+on the hot paths.
+
+Shape/dtype inference happens at graph-build time; values never do.  All
+interior nodes are float64 (the engine's only compute dtype — matching the
+eager :class:`~repro.nn.tensor.Tensor` contract); leaves may additionally be
+int64 (gather indices) or bool (masks).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+LEAF = "leaf"
+
+# Pure-ufunc elementwise ops: fusable into composed-pipeline kernels.
+ELEMENTWISE = frozenset({"add", "mul", "div", "neg", "exp", "log", "tanh", "sqrt", "pow"})
+# Ops realized as zero-copy views.
+MOVEMENT = frozenset({"reshape", "transpose"})
+REDUCE = frozenset({"sum", "amax"})
+
+_F64 = np.dtype(np.float64)
+
+# Active trace context (set by repro.nn.lazy.jit while capturing a step
+# function).  ``leaf`` reports every wrapped array to it so the tracer can
+# bind replayed plans to fresh input arrays instead of captured ones.
+_trace = None
+
+
+class LazyNode:
+    """One recorded op: ``op(srcs, arg) -> (shape, float64)``.
+
+    ``value`` is ``None`` while pending; realization publishes values onto
+    nodes that are shared across realize calls (and onto the root), turning
+    them into leaves for every later graph that references them.
+    ``consumers`` counts how many downstream nodes were ever built on top of
+    this one — the scheduler compares it against the in-graph consumer count
+    to decide which intermediates must outlive the plan run.
+    """
+
+    __slots__ = ("op", "srcs", "arg", "shape", "dtype", "value", "consumers")
+
+    def __init__(self, op, srcs, arg, shape, dtype=_F64):
+        self.op = op
+        self.srcs = srcs
+        self.arg = arg
+        self.shape = shape
+        self.dtype = dtype
+        self.value = None
+        self.consumers = 0
+        for src in srcs:
+            src.consumers += 1
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return math.prod(self.shape)
+
+    def __repr__(self) -> str:  # debug / plan-dump aid
+        state = "realized" if self.value is not None else "pending"
+        return f"LazyNode({self.op}, shape={self.shape}, {state})"
+
+
+def leaf(array: np.ndarray) -> LazyNode:
+    """Wrap a realized ndarray as a graph input."""
+    node = LazyNode(LEAF, (), None, array.shape, array.dtype)
+    node.value = array
+    if _trace is not None:
+        _trace.register_leaf(node, array)
+    return node
+
+
+# ----------------------------------------------------------------------
+# Constructors (shape inference; return None -> caller executes eagerly)
+# ----------------------------------------------------------------------
+def ewise(op: str, *srcs: LazyNode) -> LazyNode | None:
+    """Broadcasting elementwise op over one or two sources."""
+    try:
+        shape = np.broadcast_shapes(*(s.shape for s in srcs))
+    except ValueError:
+        return None
+    return LazyNode(op, srcs, None, shape)
+
+
+def unary(op: str, src: LazyNode, arg=None) -> LazyNode:
+    return LazyNode(op, (src,), arg, src.shape)
+
+
+def matmul(a: LazyNode, b: LazyNode) -> LazyNode | None:
+    """Batched matmul with numpy ``@`` semantics (2-D+ operands only)."""
+    if a.ndim < 2 or b.ndim < 2 or a.shape[-1] != b.shape[-2]:
+        return None
+    try:
+        batch = np.broadcast_shapes(a.shape[:-2], b.shape[:-2])
+    except ValueError:
+        return None
+    return LazyNode("matmul", (a, b), None, batch + (a.shape[-2], b.shape[-1]))
+
+
+def _normalize_axes(axis, ndim: int) -> tuple[int, ...] | None:
+    axes = axis if isinstance(axis, tuple) else (axis,)
+    out = []
+    for a in axes:
+        if not isinstance(a, int):
+            return None
+        a = a + ndim if a < 0 else a
+        if not 0 <= a < ndim:
+            return None
+        out.append(a)
+    return tuple(sorted(out))
+
+
+def reduce(op: str, src: LazyNode, axis, keepdims: bool) -> LazyNode | None:
+    """``sum``/``amax`` over ``axis`` (None = all axes)."""
+    if axis is None:
+        axes = tuple(range(src.ndim))
+    else:
+        axes = _normalize_axes(axis, src.ndim)
+        if axes is None:
+            return None
+    if keepdims:
+        shape = tuple(1 if i in axes else d for i, d in enumerate(src.shape))
+    else:
+        shape = tuple(d for i, d in enumerate(src.shape) if i not in axes)
+    # np.sum/np.max want the original axis value (None reduces all).
+    arg = (None if axis is None else axes, bool(keepdims))
+    return LazyNode(op, (src,), arg, shape)
+
+
+def reshape(src: LazyNode, shape) -> LazyNode | None:
+    shape = tuple(int(d) for d in shape)
+    negatives = [i for i, d in enumerate(shape) if d < 0]
+    if len(negatives) > 1 or any(d < -1 for d in shape):
+        return None
+    size = src.size
+    if negatives:
+        rest = math.prod(d for d in shape if d >= 0)
+        if rest == 0 or size % rest:
+            return None
+        shape = tuple(size // rest if d == -1 else d for d in shape)
+    if math.prod(shape) != size:
+        return None
+    return LazyNode("reshape", (src,), shape, shape)
+
+
+def transpose(src: LazyNode, axes) -> LazyNode | None:
+    axes = tuple(int(a) + src.ndim if a < 0 else int(a) for a in axes)
+    if sorted(axes) != list(range(src.ndim)):
+        return None
+    return LazyNode("transpose", (src,), axes, tuple(src.shape[a] for a in axes))
+
+
+def gather(table: LazyNode, indices: LazyNode) -> LazyNode | None:
+    """Row lookup ``table[indices]`` for a 2-D table (embedding)."""
+    if table.ndim != 2:
+        return None
+    return LazyNode("gather", (table, indices), None, indices.shape + (table.shape[1],))
+
+
+def where_const(src: LazyNode, mask: LazyNode, value: float) -> LazyNode | None:
+    """``np.where(mask, value, src)`` with ``mask`` broadcastable to src."""
+    try:
+        if np.broadcast_shapes(mask.shape, src.shape) != src.shape:
+            return None
+    except ValueError:
+        return None
+    return LazyNode("where_const", (src, mask), float(value), src.shape)
+
+
+def softmax(src: LazyNode, axis: int, log: bool = False) -> LazyNode | None:
+    axes = _normalize_axes(axis, src.ndim)
+    if axes is None or len(axes) != 1:
+        return None
+    return LazyNode("log_softmax" if log else "softmax", (src,), axes[0], src.shape)
+
+
+def relu(src: LazyNode) -> LazyNode:
+    return LazyNode("relu", (src,), None, src.shape)
+
+
+def sigmoid(src: LazyNode) -> LazyNode:
+    return LazyNode("sigmoid", (src,), None, src.shape)
+
+
+def einsum(subscripts: str, srcs: tuple[LazyNode, ...], shape: tuple[int, ...]) -> LazyNode:
+    """Contraction node; the caller supplies the output shape (internal use —
+    the DP-SGD clip plan builds these directly)."""
+    return LazyNode("einsum", srcs, subscripts, tuple(shape))
+
+
+def dp_clip_factors(norms: LazyNode, clip_norm: float) -> LazyNode:
+    """Per-example DP clip factors: ``where(n > V, V / max(n, tiny), 1.0)``."""
+    return LazyNode("dp_clip_factors", (norms,), float(clip_norm), norms.shape)
+
+
+def concat(srcs: tuple[LazyNode, ...], axis: int = 0) -> LazyNode | None:
+    if not srcs:
+        return None
+    ndim = srcs[0].ndim
+    if axis < 0:
+        axis += ndim
+    if not 0 <= axis < ndim:
+        return None
+    base = list(srcs[0].shape)
+    total = 0
+    for s in srcs:
+        if s.ndim != ndim:
+            return None
+        for i, d in enumerate(s.shape):
+            if i != axis and d != base[i]:
+                return None
+        total += s.shape[axis]
+    base[axis] = total
+    return LazyNode("concat", tuple(srcs), axis, tuple(base))

@@ -1,0 +1,181 @@
+"""Trace-replay for hot step functions: zero re-dispatch on cache hit.
+
+The realizer's schedule cache removes plan *compilation* from steady-state
+loops, but a Python decode loop still rebuilds the op graph — Tensor ops,
+LazyNode constructors, linearize — every single step, and for small
+per-token kernels that dispatch overhead dominates the numpy work.  This
+module removes it: :func:`run_traced` captures a step function's entire op
+graph ONCE per shape key, compiles it into a single multi-output fused
+plan, and thereafter replays the plan directly against fresh input arrays —
+no Tensor ops, no graph nodes, no linearization, just the instruction list.
+
+Binding rules decide what each leaf slot reads on replay, in priority
+order:
+
+1. **input** — the leaf wrapped an array passed in the ``inputs`` dict
+   (matched by object identity at trace time: ``Tensor.__init__``,
+   ``take_rows`` and ``masked_fill`` all preserve the identity of arrays
+   that already have the right dtype).  Replays read the current call's
+   array under the same name — this is how token ids, KV prefixes, and
+   padding masks flow through.
+2. **tensor** — the leaf came from a live :class:`Tensor` (a weight).
+   Replays read ``tensor._data`` *at replay time*, so weight swaps via
+   ``load_state_dict`` or optimizer steps are honored, never staled.
+3. **const** — anything else (positional-encoding slices, scalar wrappers,
+   derived masks).  These are functions of the step key alone, so the
+   captured array stays valid for the key's lifetime.
+
+Safety: a capture is only cached when the whole step stayed in one
+deferred graph — if anything realized mid-trace (an unsupported-op eager
+fallback), the capture is discarded and the caller's function keeps
+running untraced.  Traced replays fire the same ``nn.realize`` fault site
+as ordinary realizes, so chaos campaigns cover the JIT path too.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from . import graph
+from .cache import ScheduleCache
+from .fusion import compile_plan
+from .realize import linearize_many, maybe_kernel_fault
+
+# Every trace cache registers here so /stats and `repro nn-plans dump` can
+# aggregate hit rates across models without holding them alive.
+_REGISTRY: "weakref.WeakSet[ScheduleCache]" = weakref.WeakSet()
+
+
+def trace_cache(capacity: int | None = None) -> ScheduleCache:
+    """A bounded-LRU cache for step traces, registered for stats."""
+    cache = ScheduleCache(capacity)
+    _REGISTRY.add(cache)
+    return cache
+
+
+def registered_stats() -> dict:
+    """Aggregated counters over every live trace cache."""
+    totals = {"entries": 0, "hits": 0, "misses": 0, "evictions": 0}
+    for cache in list(_REGISTRY):
+        stats = cache.stats()
+        for key in totals:
+            totals[key] += stats[key]
+    total = totals["hits"] + totals["misses"]
+    totals["hit_rate"] = (totals["hits"] / total) if total else 0.0
+    return totals
+
+
+def registered_entries() -> list[dict]:
+    out = []
+    for cache in list(_REGISTRY):
+        out.extend(cache.entries())
+    return out
+
+
+class _TraceContext:
+    """Captures leaf provenance while a step function records its graph."""
+
+    __slots__ = ("input_names", "leaf_inputs", "leaf_tensors", "saw_realize")
+
+    def __init__(self, inputs: dict):
+        self.input_names = {id(array): name for name, array in inputs.items()}
+        self.leaf_inputs: dict[int, str] = {}
+        self.leaf_tensors: dict[int, object] = {}
+        self.saw_realize = False
+
+    def register_leaf(self, node, array) -> None:
+        name = self.input_names.get(id(array))
+        if name is not None:
+            self.leaf_inputs[id(node)] = name
+
+    def register_tensor(self, node, tensor) -> None:
+        if id(node) not in self.leaf_inputs:
+            self.leaf_tensors[id(node)] = tensor
+
+
+class StepTrace:
+    """A compiled multi-output plan plus its leaf binding recipe."""
+
+    __slots__ = ("plan", "binders", "root_slots", "replays")
+
+    def __init__(self, plan, binders, root_slots):
+        self.plan = plan
+        self.binders = binders  # tuple of (slot, kind, ref)
+        self.root_slots = root_slots
+        self.replays = 0
+
+    # ScheduleCache.entries() reads these off cached plans.
+    @property
+    def n_slots(self):
+        return self.plan.n_slots
+
+    @property
+    def instructions(self):
+        return self.plan.instructions
+
+    @property
+    def fused_chains(self):
+        return self.plan.fused_chains
+
+    @property
+    def root_shape(self):
+        return self.plan.root_shape
+
+    def replay(self, inputs: dict) -> list:
+        vals = [None] * self.plan.n_slots
+        for slot, kind, ref in self.binders:
+            if kind == 0:  # input name
+                vals[slot] = inputs[ref]
+            elif kind == 1:  # live tensor — read its current array
+                vals[slot] = ref.data
+            else:  # captured per-key constant
+                vals[slot] = ref
+        self.plan.run(vals)
+        return [vals[slot] for slot in self.root_slots]
+
+
+def run_traced(cache: ScheduleCache, key, fn, inputs: dict) -> list:
+    """Replay the cached trace for ``key``, or capture ``fn`` now.
+
+    ``fn`` must be a *pure* function of the arrays in ``inputs`` plus live
+    module weights, returning a tuple of pending Tensors (or raw
+    :class:`~repro.nn.lazy.graph.LazyNode` roots); the caller owns all
+    side effects (cache appends, counters).  Returns the realized output
+    arrays in ``fn``'s return order.
+    """
+    maybe_kernel_fault()
+    entry = cache.get(key)
+    if entry is not None:
+        return entry.replay(inputs)
+
+    context = _TraceContext(inputs)
+    graph._trace = context
+    try:
+        outputs = fn()
+    finally:
+        graph._trace = None
+
+    roots = [t if isinstance(t, graph.LazyNode) else t._node() for t in outputs]
+    order, publish, root_slots = linearize_many(roots)
+    plan = compile_plan(order, publish)
+
+    binders = []
+    for slot, node in enumerate(order):
+        if node.value is None:
+            continue
+        name = context.leaf_inputs.get(id(node))
+        if name is not None:
+            binders.append((slot, 0, name))
+            continue
+        tensor = context.leaf_tensors.get(id(node))
+        if tensor is not None:
+            binders.append((slot, 1, tensor))
+        else:
+            binders.append((slot, 2, node.value))
+
+    trace = StepTrace(plan, tuple(binders), root_slots)
+    if not context.saw_realize:
+        # Only cache single-graph captures: an eager fallback mid-step
+        # computed values the plan cannot reproduce on replay.
+        cache.put(key, trace)
+    return trace.replay(inputs)

@@ -1,0 +1,185 @@
+"""Realizer: lazy graph root -> ndarray, through the schedule cache.
+
+``realize(root)`` is the single evaluation entry point:
+
+1. fire the ``nn.realize`` fault site (chaos campaigns inject
+   :class:`KernelFault` here to prove kernel-level failures surface and
+   recover like any other fault family);
+2. linearize the graph below ``root`` with a deterministic iterative DFS,
+   building the structural cache key as it goes — per interior node
+   ``(op, arg, src_slots, publish)``, per leaf ``("L", shape, dtype)``;
+3. look the key up in the bounded-LRU :class:`ScheduleCache`; compile a
+   fused :class:`~repro.nn.lazy.fusion.Plan` on miss;
+4. replay the plan over the current leaf values;
+5. *publish*: store values back onto nodes shared with other live graphs
+   (and the root), dropping their ``srcs`` so the upstream subgraph is
+   freed and later realizes see them as leaves.
+
+The publish bit is part of the key because it changes buffer assignment:
+two structurally identical graphs realized under different sharing
+patterns compile to different plans.
+
+Interior shapes are *not* in the key — shape inference is a deterministic
+function of leaf shapes, op codes, and args, so equal keys imply equal
+shapes everywhere, which is what makes replaying a cached plan against
+new leaf values sound.
+"""
+
+from __future__ import annotations
+
+from . import graph as _graph
+from .cache import ScheduleCache
+from .fusion import compile_plan
+
+SCHEDULE_CACHE = ScheduleCache()
+
+# Imported on first realize: repro.runtime's package __init__ imports
+# repro.nn (guards wrap Modules), so a module-level import here would cycle.
+_faults = None
+
+
+class KernelFault(RuntimeError):
+    """An injected failure inside lazy-kernel realization (``nn.realize``)."""
+
+    def __init__(self, site: str = "nn.realize"):
+        super().__init__(f"injected kernel fault at {site}")
+        self.site = site
+
+
+def _linearize(root):
+    """Deterministic postorder DFS; returns (order, publish, key).
+
+    Nodes with a value (original leaves or previously published interiors)
+    are slots whose arrays the caller loads; pending nodes become
+    instructions.  ``publish[i]`` is True when node ``i``'s value must
+    outlive this run: it is the root, or it has consumers in *other*
+    graphs (global consumer count exceeds the in-graph count).
+    """
+    slot_of: dict[int, int] = {}
+    order: list = []
+    opened: set[int] = set()
+    stack = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        nid = id(node)
+        if processed:
+            if nid not in slot_of:
+                slot_of[nid] = len(order)
+                order.append(node)
+            continue
+        if nid in slot_of or nid in opened:
+            continue
+        if node.value is not None:
+            slot_of[nid] = len(order)
+            order.append(node)
+            continue
+        opened.add(nid)
+        stack.append((node, True))
+        for src in reversed(node.srcs):
+            if id(src) not in slot_of:
+                stack.append((src, False))
+
+    internal = [0] * len(order)
+    for node in order:
+        if node.value is None:
+            for src in node.srcs:
+                internal[slot_of[id(src)]] += 1
+
+    root_slot = len(order) - 1
+    publish = []
+    key_parts = []
+    for i, node in enumerate(order):
+        if node.value is not None:
+            publish.append(False)
+            key_parts.append(("L", node.shape, node.dtype.char))
+        else:
+            pub = i == root_slot or node.consumers > internal[i]
+            publish.append(pub)
+            key_parts.append(
+                (node.op, node.arg, tuple(slot_of[id(s)] for s in node.srcs), pub)
+            )
+    return order, publish, tuple(key_parts)
+
+
+def maybe_kernel_fault() -> None:
+    """Fire the ``nn.realize`` site when a fault plan is armed."""
+    faults = _faults
+    if faults is None:
+        from repro.runtime import faults  # noqa: PLC0415 - breaks an import cycle
+        globals()["_faults"] = faults
+    if faults._ACTIVE is not None and faults.fire("nn.realize"):
+        raise KernelFault()
+
+
+def linearize_many(roots):
+    """Linearize the union graph below several roots (for traced steps).
+
+    Same postorder DFS and publish rule as :func:`_linearize`, with every
+    root forced published (each must land in its own fresh buffer), minus
+    the cache-key build — traced plans are keyed by the caller's step key,
+    not by structure.  Returns ``(order, publish, root_slots)``.
+    """
+    slot_of: dict[int, int] = {}
+    order: list = []
+    opened: set[int] = set()
+    stack = [(root, False) for root in reversed(roots)]
+    while stack:
+        node, processed = stack.pop()
+        nid = id(node)
+        if processed:
+            if nid not in slot_of:
+                slot_of[nid] = len(order)
+                order.append(node)
+            continue
+        if nid in slot_of or nid in opened:
+            continue
+        if node.value is not None:
+            slot_of[nid] = len(order)
+            order.append(node)
+            continue
+        opened.add(nid)
+        stack.append((node, True))
+        for src in reversed(node.srcs):
+            if id(src) not in slot_of:
+                stack.append((src, False))
+
+    internal = [0] * len(order)
+    for node in order:
+        if node.value is None:
+            for src in node.srcs:
+                internal[slot_of[id(src)]] += 1
+
+    root_ids = {id(root) for root in roots}
+    publish = [
+        node.value is None
+        and (id(node) in root_ids or node.consumers > internal[i])
+        for i, node in enumerate(order)
+    ]
+    return order, publish, tuple(slot_of[id(root)] for root in roots)
+
+
+def realize(root):
+    """Evaluate ``root`` (idempotent: realized nodes return their value)."""
+    if root.value is not None:
+        return root.value
+    trace = _graph._trace
+    if trace is not None:
+        # A realize inside a traced step is a plan boundary the trace
+        # cannot replay — the tracer must refuse to cache this capture.
+        trace.saw_realize = True
+    maybe_kernel_fault()
+
+    order, publish, key = _linearize(root)
+    plan = SCHEDULE_CACHE.get(key)
+    if plan is None:
+        plan = compile_plan(order, publish)
+        SCHEDULE_CACHE.put(key, plan)
+
+    vals = [node.value for node in order]
+    plan.run(vals)
+
+    for slot in plan.publish_slots:
+        node = order[slot]
+        node.value = vals[slot]
+        node.srcs = ()  # free the upstream subgraph
+    return root.value if root.value is not None else vals[plan.root_slot]

@@ -6,6 +6,20 @@ import numpy as np
 
 from repro.nn.tensor import Tensor
 
+# The fancy-index pick below needs arange(n_positions) every call; training
+# loops call with a fixed batch x seq shape, so memoize the row indices.
+_ARANGE_CACHE: dict[int, np.ndarray] = {}
+
+
+def _arange(n: int) -> np.ndarray:
+    rows = _ARANGE_CACHE.get(n)
+    if rows is None:
+        if len(_ARANGE_CACHE) >= 64:
+            _ARANGE_CACHE.clear()
+        rows = np.arange(n)
+        _ARANGE_CACHE[n] = rows
+    return rows
+
 
 def cross_entropy(
     logits: Tensor,
@@ -37,7 +51,7 @@ def cross_entropy(
     flat_logits = logits.reshape(-1, vocab)
     flat_targets = targets.reshape(-1)
     log_probs = flat_logits.log_softmax(axis=-1)
-    picked = log_probs[np.arange(flat_targets.size), flat_targets]
+    picked = log_probs[_arange(flat_targets.size), flat_targets]
     losses = -picked
     if ignore_index is not None:
         keep = (flat_targets != ignore_index).astype(np.float64)
@@ -80,7 +94,7 @@ def cross_entropy_per_example(
     flat_logits = logits.reshape(-1, vocab)
     flat_targets = targets.reshape(-1)
     log_probs = flat_logits.log_softmax(axis=-1)
-    picked = log_probs[np.arange(flat_targets.size), flat_targets]
+    picked = log_probs[_arange(flat_targets.size), flat_targets]
     per_position = (-picked).reshape(batch, -1)
     if ignore_index is not None:
         keep = (targets.reshape(batch, -1) != ignore_index).astype(np.float64)
